@@ -1,0 +1,136 @@
+// Package avfsim's root benchmarks regenerate each of the paper's tables
+// and figures at a reduced scale, one benchmark per artifact:
+//
+//	go test -bench=. -benchmem
+//
+// The shapes these produce (who wins, by what factor) mirror the paper;
+// absolute AVF values differ because the workloads are synthetic stand-ins
+// for SPEC CPU2000 (see DESIGN.md §2). cmd/avfreport renders the same
+// artifacts as text tables, up to full paper scale.
+package avfsim
+
+import (
+	"testing"
+
+	"avfsim/internal/config"
+	"avfsim/internal/experiment"
+	"avfsim/internal/pipeline"
+	"avfsim/internal/predict"
+	"avfsim/internal/stats"
+	"avfsim/internal/workload"
+)
+
+// benchSpec trims the Quick scale further so the full bench suite stays
+// in CI territory.
+var benchSpec = experiment.ScaleSpec{
+	Name: "bench", Scale: 0.02, M: 1000, N: 100,
+	Intervals: 4, DetailIntervals: 6, Fig2M: 2000, Fig2Samples: 500,
+}
+
+// BenchmarkTable1Simulator measures the timing simulator's cycle
+// throughput at the Table 1 (POWER4-like) configuration.
+func BenchmarkTable1Simulator(b *testing.B) {
+	prof, err := workload.ByName("mesa")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := config.Default()
+	p, err := pipeline.New(&cfg, prof.MustSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+	b.ReportMetric(float64(p.Retired())/float64(p.Cycle()), "ipc")
+}
+
+// BenchmarkFigure1SampleSize measures the sample-size analysis behind
+// Figure 1 (N = AVF(1-AVF)/sigma^2 curves).
+func BenchmarkFigure1SampleSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sigma := range stats.Figure1Sigmas {
+			curve := stats.SampleSizeCurve(sigma, 100)
+			if curve[50].N == 0 {
+				b.Fatal("degenerate curve")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2PropagationCDF regenerates the error-propagation-latency
+// CDFs for the register file and FXU on bzip2.
+func BenchmarkFigure2PropagationCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiment.NewSuite(benchSpec, 1)
+		data, err := s.Figure2Data()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data) != 2 || data[0].Samples == 0 {
+			b.Fatal("no CDF data")
+		}
+	}
+}
+
+// BenchmarkFigure3ErrorStats regenerates one column of Figure 3: the
+// online and utilization error aggregates against the reference for one
+// application across all four structures.
+func BenchmarkFigure3ErrorStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(experiment.RunConfig{
+			Benchmark: "mesa", Scale: benchSpec.Scale, Seed: 1,
+			M: benchSpec.M, N: benchSpec.N, Intervals: benchSpec.Intervals,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, ss := range res.Series {
+			if m := stats.Mean(stats.AbsErrors(ss.Online, ss.Reference)); m > worst {
+				worst = m
+			}
+		}
+		b.ReportMetric(worst, "worst-mean-abs-err")
+	}
+}
+
+// BenchmarkFigure4Timeseries regenerates a detailed per-interval AVF time
+// series (the Figure 4 view) for one application.
+func BenchmarkFigure4Timeseries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(experiment.RunConfig{
+			Benchmark: "ammp", Scale: benchSpec.Scale, Seed: 1,
+			M: benchSpec.M, N: benchSpec.N, Intervals: benchSpec.DetailIntervals,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.SeriesFor(pipeline.StructIQ).Online) != benchSpec.DetailIntervals {
+			b.Fatal("short series")
+		}
+	}
+}
+
+// BenchmarkFigure5Prediction regenerates the last-value prediction errors
+// for one application across the four structures.
+func BenchmarkFigure5Prediction(b *testing.B) {
+	res, err := experiment.Run(experiment.RunConfig{
+		Benchmark: "bzip2", Scale: benchSpec.Scale, Seed: 1,
+		M: benchSpec.M, N: benchSpec.N, Intervals: benchSpec.DetailIntervals,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ss := range res.Series {
+			ev, err := predict.Evaluate(predict.NewLastValue(), ss.Online, ss.Reference)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = ev
+		}
+	}
+}

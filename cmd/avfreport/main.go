@@ -1,0 +1,80 @@
+// Command avfreport regenerates the paper's tables and figures: the
+// processor configuration (Table 1), the sample-size analysis (Figure 1),
+// error-propagation-latency CDFs (Figure 2), per-application estimation
+// error aggregates for the online and utilization methods (Figure 3),
+// detailed AVF time series for mesa and ammp (Figure 4), and last-value
+// prediction errors (Figure 5).
+//
+// Usage:
+//
+//	avfreport [-scale quick|standard|paper] [-seed N] [-only table1|fig1|...|fig5]
+//
+// At -scale paper the run matches the paper's M = N = 1000 over 100–200
+// one-million-cycle intervals per benchmark and takes hours; -scale
+// standard (default) finishes in a few minutes with the same qualitative
+// results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"avfsim/internal/experiment"
+)
+
+func main() {
+	scale := flag.String("scale", "standard", "experiment scale: quick, standard, or paper")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	only := flag.String("only", "", "render a single artifact: table1, fig1, fig2, fig3, fig4, fig5, ablate, baselines")
+	flag.Parse()
+
+	var spec experiment.ScaleSpec
+	switch *scale {
+	case "quick":
+		spec = experiment.Quick
+	case "standard":
+		spec = experiment.Standard
+	case "paper":
+		spec = experiment.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "avfreport: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	suite := experiment.NewSuite(spec, *seed)
+	start := time.Now()
+	fmt.Printf("avfreport: scale=%s (phase scale %.2f, M=%d, N=%d, %d intervals)\n\n",
+		spec.Name, spec.Scale, spec.M, spec.N, spec.Intervals)
+
+	var err error
+	switch *only {
+	case "":
+		err = suite.All(os.Stdout)
+	case "table1":
+		err = suite.Table1(os.Stdout)
+	case "fig1":
+		err = suite.Figure1(os.Stdout)
+	case "fig2":
+		err = suite.Figure2(os.Stdout)
+	case "fig3":
+		err = suite.Figure3(os.Stdout)
+	case "fig4":
+		err = suite.Figure4(os.Stdout)
+	case "fig5":
+		err = suite.Figure5(os.Stdout)
+	case "ablate":
+		err = suite.Ablations(os.Stdout)
+	case "baselines":
+		err = suite.Baselines(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "avfreport: unknown artifact %q\n", *only)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avfreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\navfreport: done in %v\n", time.Since(start).Round(time.Millisecond))
+}

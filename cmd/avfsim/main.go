@@ -1,0 +1,159 @@
+// Command avfsim runs one benchmark on the simulated processor with the
+// online AVF estimator, the SoftArch-style reference, and the utilization
+// baseline attached, and prints the per-interval AVF estimates.
+//
+// Usage:
+//
+//	avfsim -bench mesa [-structs iq,reg,fxu,fpu] [-m 1000] [-n 1000]
+//	       [-intervals 20] [-scale 0.05] [-seed 1] [-random-entry]
+//	       [-random-schedule] [-multiplex] [-due]
+//	       [-trace file.avft] [-csv out.csv] [-json out.json]
+//
+// Structures: iq (issue queues), reg (integer register file), fxu, fpu,
+// fpreg (FP register file), lsu, dtlb, itlb.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"avfsim/internal/due"
+	"avfsim/internal/experiment"
+	"avfsim/internal/pipeline"
+	"avfsim/internal/stats"
+	"avfsim/internal/trace"
+	"avfsim/internal/workload"
+)
+
+// writeFile writes a result with the given encoder.
+func writeFile(path string, res *experiment.Result, enc func(w io.Writer, res *experiment.Result) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := enc(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func main() {
+	bench := flag.String("bench", "mesa", "benchmark name ("+strings.Join(workload.Names(), ", ")+")")
+	structsFlag := flag.String("structs", "iq,reg,fxu,fpu", "comma-separated structures to monitor")
+	m := flag.Int64("m", 1000, "cycles to wait per injection (M)")
+	n := flag.Int("n", 1000, "injections per estimate (N)")
+	intervals := flag.Int("intervals", 20, "estimation intervals to run")
+	scale := flag.Float64("scale", 0.05, "workload phase-length scale (1 = paper)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	randomEntry := flag.Bool("random-entry", false, "random instead of round-robin entry selection")
+	randomSchedule := flag.Bool("random-schedule", false, "random instead of fixed injection intervals")
+	traceFile := flag.String("trace", "", "run a recorded trace file (looped) instead of a named benchmark")
+	csvOut := flag.String("csv", "", "also write per-interval series as CSV to this file")
+	jsonOut := flag.String("json", "", "also write the full result as JSON to this file")
+	showDUE := flag.Bool("due", false, "also print the pi-bit false-DUE report (Weaver-style)")
+	multiplex := flag.Bool("multiplex", false, "single-error hardware mode: one live error rotates across structures")
+	flag.Parse()
+
+	var structures []pipeline.Structure
+	for _, name := range strings.Split(*structsFlag, ",") {
+		s, err := pipeline.ParseStructure(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfsim: %v\n", err)
+			os.Exit(2)
+		}
+		structures = append(structures, s)
+	}
+
+	rc := experiment.RunConfig{
+		Benchmark:      *bench,
+		Scale:          *scale,
+		Seed:           *seed,
+		M:              *m,
+		N:              *n,
+		Intervals:      *intervals,
+		Structures:     structures,
+		RandomEntry:    *randomEntry,
+		RandomSchedule: *randomSchedule,
+		Multiplex:      *multiplex,
+	}
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfsim: %v\n", err)
+			os.Exit(1)
+		}
+		insts, err := trace.ReadAll(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfsim: reading %s: %v\n", *traceFile, err)
+			os.Exit(1)
+		}
+		if len(insts) == 0 {
+			fmt.Fprintf(os.Stderr, "avfsim: %s holds no instructions\n", *traceFile)
+			os.Exit(1)
+		}
+		rc.Source = trace.NewLoop(insts)
+		rc.Benchmark = *traceFile
+	}
+	res, err := experiment.Run(rc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avfsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *csvOut != "" {
+		if err := writeFile(*csvOut, res, experiment.WriteCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "avfsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeFile(*jsonOut, res, experiment.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "avfsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("benchmark %s: %s\n", res.Benchmark, res.Stats)
+	fmt.Printf("estimation interval = M*N = %d cycles\n\n", res.M*int64(res.N))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "ivl\t")
+	for _, ss := range res.Series {
+		fmt.Fprintf(tw, "%s est\t%s real\t", ss.Structure, ss.Structure)
+	}
+	fmt.Fprintln(tw)
+	for i := 0; i < res.Intervals; i++ {
+		fmt.Fprintf(tw, "%d\t", i)
+		for _, ss := range res.Series {
+			fmt.Fprintf(tw, "%.3f\t%.3f\t", ss.Online[i], ss.Reference[i])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+
+	fmt.Println()
+	for _, ss := range res.Series {
+		errs := stats.AbsErrors(ss.Online, ss.Reference)
+		fmt.Printf("%-6s abs error: %s\n", ss.Structure, stats.Summarize(errs))
+	}
+	if res.DroppedMarks > 0 {
+		fmt.Printf("note: reference dropped %d ACE marks (chain truncation)\n", res.DroppedMarks)
+	}
+	if *showDUE {
+		reports, err := due.FromEstimator(res.Estimator)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("\npi-bit view (Weaver-style): machine checks a pi bit avoids")
+		if err := due.Write(os.Stdout, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "avfsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Command avftrace generates, inspects, and converts synthetic workload
+// traces (the repository's stand-in for the paper's SPEC CPU2000 Aria/MET
+// traces).
+//
+// Usage:
+//
+//	avftrace gen -bench bzip2 -n 1000000 -o bzip2.avft [-seed 1] [-scale 1]
+//	avftrace stat -i bzip2.avft
+//	avftrace dump -i bzip2.avft [-n 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"avfsim/internal/config"
+	"avfsim/internal/isa"
+	"avfsim/internal/pipeline"
+	"avfsim/internal/trace"
+	"avfsim/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "stat":
+		err = cmdStat(os.Args[2:])
+	case "dump":
+		err = cmdDump(os.Args[2:])
+	case "profiles":
+		err = cmdProfiles()
+	case "characterize":
+		err = cmdCharacterize(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avftrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: avftrace gen|stat|dump|profiles|characterize [flags]")
+	os.Exit(2)
+}
+
+// cmdCharacterize runs each benchmark briefly on the Table 1 processor and
+// prints its microarchitectural character: IPC, queue occupancy, cache and
+// branch behaviour — the knobs that drive AVF.
+func cmdCharacterize(args []string) error {
+	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark to characterize (default: all)")
+	cycles := fs.Int64("cycles", 500_000, "cycles to simulate per benchmark")
+	scale := fs.Float64("scale", 0.05, "phase-length scale")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	fs.Parse(args)
+
+	names := workload.Names()
+	if *bench != "" {
+		names = []string{*bench}
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "benchmark\tipc\tiq occ\tint busy\tfp busy\tl1d miss\tl2 miss\tbr mispred\t\n")
+	for _, name := range names {
+		prof, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		if *scale != 1 {
+			prof = workload.Scale(prof, *scale)
+		}
+		src, err := prof.Source(*seed)
+		if err != nil {
+			return err
+		}
+		cfg := config.Default()
+		p, err := pipeline.New(&cfg, src)
+		if err != nil {
+			return err
+		}
+		p.Run(*cycles)
+		st := p.Snapshot()
+		h := p.Hierarchy()
+		entries := float64(p.StructureEntries(pipeline.StructIQ))
+		busy := func(k pipeline.FUKind, units int) float64 {
+			return float64(p.BusyUnitCycles(k)) / (float64(st.Cycles) * float64(units))
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t\n",
+			name, st.IPC,
+			100*st.MeanIQOccupancy/entries,
+			100*busy(pipeline.FUInt, cfg.NumIntUnits),
+			100*busy(pipeline.FUFP, cfg.NumFPUnits),
+			100*h.L1D.MissRate(),
+			100*h.L2.MissRate(),
+			100*p.Predictor().MispredictRate())
+	}
+	return tw.Flush()
+}
+
+func cmdProfiles() error {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\tphase\tinsts\tworking set\tdep dist\tdead\tseq\tbiased br\t\n")
+	for _, name := range workload.Names() {
+		prof, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		for _, ph := range prof.Phases {
+			p := ph.Params
+			fmt.Fprintf(tw, "%s\t%s\t%dM\t%s\t%.1f\t%.0f%%\t%.0f%%\t%.0f%%\t\n",
+				prof.Name, ph.Name, ph.Insts>>20, fmtBytes(p.WorkingSet),
+				p.DepDistMean, 100*p.DeadFrac, 100*p.SeqFrac, 100*p.BiasedFrac)
+		}
+	}
+	return tw.Flush()
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dKB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	bench := fs.String("bench", "mesa", "benchmark profile ("+strings.Join(workload.Names(), ", ")+")")
+	n := fs.Int64("n", 1_000_000, "instructions to generate")
+	out := fs.String("o", "", "output file (required)")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	scale := fs.Float64("scale", 1, "phase-length scale")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -o is required")
+	}
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	if *scale != 1 {
+		prof = workload.Scale(prof, *scale)
+	}
+	src, err := prof.Source(*seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	written, err := trace.WriteAll(f, src, *n)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d instructions (%d bytes, %.2f B/inst) to %s\n",
+		written, info.Size(), float64(info.Size())/float64(written), *out)
+	return f.Close()
+}
+
+func openTrace(path string) (*os.File, *trace.Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, trace.NewReader(f), nil
+}
+
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("stat: -i is required")
+	}
+	f, r, err := openTrace(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var total, taken, branches int64
+	counts := map[isa.Class]int64{}
+	pcs := map[uint64]struct{}{}
+	for {
+		inst, ok := r.Next()
+		if !ok {
+			break
+		}
+		total++
+		counts[inst.Class]++
+		pcs[inst.PC] = struct{}{}
+		if inst.Class == isa.ClassBranch {
+			branches++
+			if inst.Taken {
+				taken++
+			}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d instructions, %d static PCs\n", *in, total, len(pcs))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	for c := isa.Class(0); int(c) < isa.NumClasses; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "  %s\t%d\t%.1f%%\t\n", c, counts[c], 100*float64(counts[c])/float64(total))
+	}
+	tw.Flush()
+	if branches > 0 {
+		fmt.Printf("  taken branch fraction: %.1f%%\n", 100*float64(taken)/float64(branches))
+	}
+	return nil
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (required)")
+	n := fs.Int("n", 20, "instructions to print")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("dump: -i is required")
+	}
+	f, r, err := openTrace(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for i := 0; i < *n; i++ {
+		inst, ok := r.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("%6d  %s\n", i, inst.String())
+	}
+	return r.Err()
+}

@@ -1,0 +1,111 @@
+// MTTF tracking: turn per-interval online AVF estimates into the
+// reliability number a designer actually budgets — mean time to failure —
+// using the failure-rate model the paper's introduction builds on (raw
+// soft-error rate × AVF, summed over structures).
+//
+// The example also answers the inverse design question: for a given MTTF
+// goal, what AVF can the chip tolerate unprotected, and how often does
+// the running workload exceed that budget?
+//
+//	go run ./examples/mttf
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"avfsim/internal/config"
+	"avfsim/internal/experiment"
+	"avfsim/internal/mttf"
+	"avfsim/internal/pipeline"
+)
+
+func main() {
+	const (
+		fitPerBit        = 0.05 // raw soft-error rate per bit, FIT (90nm-era SRAM)
+		logicBitsPerUnit = 2000 // effective latch count per execution unit
+		// Fleet framing: a 2000-chip system needs a 1-year system MTTF,
+		// so each chip must deliver ~2000 years against soft errors.
+		mttfGoalYears = 2000.0
+	)
+
+	structs := []pipeline.Structure{
+		pipeline.StructIQ, pipeline.StructReg,
+		pipeline.StructFXU, pipeline.StructFPU,
+	}
+	res, err := experiment.Run(experiment.RunConfig{
+		Benchmark:  "equake",
+		Scale:      0.05,
+		Seed:       11,
+		M:          1000,
+		N:          400,
+		Intervals:  16,
+		Structures: structs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := config.Default()
+	raw := mttf.DefaultRawFIT(&cfg, fitPerBit, logicBitsPerUnit)
+
+	// The unprotected-AVF budget for the measured structures.
+	var rawTotal float64
+	for _, s := range structs {
+		rawTotal += raw[s]
+	}
+	goalHours := mttfGoalYears * 365 * 24
+	budget, err := mttf.AVFBudget(rawTotal, goalHours)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("equake: per-interval MTTF from online AVF estimates\n")
+	fmt.Printf("raw rate %.1f FIT over %d structures; %g-year goal allows mean AVF <= %.3f\n\n",
+		rawTotal, len(structs), mttfGoalYears, budget)
+	fmt.Printf("%4s  %8s  %8s  %8s  %8s  %12s  %8s\n",
+		"ivl", "iq", "reg", "fxu", "fpu", "MTTF(years)", "budget")
+
+	over := 0
+	for i := 0; i < res.Intervals; i++ {
+		avf := map[pipeline.Structure]float64{}
+		for _, ss := range res.Series {
+			avf[ss.Structure] = ss.Online[i]
+		}
+		rel, err := mttf.Compute(avf, raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		years := rel.MTTFHours / (365 * 24)
+		status := "ok"
+		if rel.MTTFHours > 0 && rel.MTTFHours < goalHours {
+			status = "OVER"
+			over++
+		}
+		fmt.Printf("%4d  %8.3f  %8.3f  %8.3f  %8.3f  %12.1f  %8s\n",
+			i, avf[pipeline.StructIQ], avf[pipeline.StructReg],
+			avf[pipeline.StructFXU], avf[pipeline.StructFPU], years, status)
+	}
+	fmt.Printf("\n%d/%d intervals exceed the failure-rate budget; an adaptive\n", over, res.Intervals)
+	fmt.Printf("controller would enable protection exactly there (see examples/adaptive)\n")
+
+	// Whole-run breakdown: which structure dominates the failure rate.
+	mean := map[pipeline.Structure]float64{}
+	for _, ss := range res.Series {
+		sum := 0.0
+		for _, v := range ss.Online {
+			sum += v
+		}
+		mean[ss.Structure] = sum / float64(len(ss.Online))
+	}
+	rel, err := mttf.Compute(mean, raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwhole-run effective failure rate %.2f FIT (MTTF %.1f years); contributions:\n",
+		rel.TotalFIT, rel.MTTFHours/(365*24))
+	for _, b := range rel.PerStruct {
+		fmt.Printf("  %-5s raw %8.2f FIT x AVF %.3f = %8.2f FIT\n",
+			b.Structure, b.RawFIT, b.AVF, b.EffectiveFIT)
+	}
+}

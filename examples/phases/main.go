@@ -1,0 +1,66 @@
+// Phases: track the AVF of a strongly phased workload interval by
+// interval (the Figure 4 view) and compare AVF predictors on it (the
+// Figure 5 question). Shows the online estimator following real phase
+// changes, and how much of the prediction error comes from abrupt phase
+// boundaries versus estimator noise.
+//
+//	go run ./examples/phases
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"avfsim/internal/experiment"
+	"avfsim/internal/pipeline"
+	"avfsim/internal/predict"
+)
+
+func bar(v float64) string {
+	n := int(v * 80)
+	if n > 40 {
+		n = 40
+	}
+	return strings.Repeat("#", n)
+}
+
+func main() {
+	res, err := experiment.Run(experiment.RunConfig{
+		Benchmark: "ammp", // three alternating phases
+		Scale:     0.05,
+		Seed:      3,
+		M:         1000,
+		N:         400,
+		Intervals: 30,
+		Structures: []pipeline.Structure{
+			pipeline.StructReg, pipeline.StructFPU,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, ss := range res.Series {
+		fmt.Printf("ammp %s AVF per interval (est vs real):\n", ss.Structure)
+		for i := range ss.Online {
+			fmt.Printf("%4d  est %.3f  real %.3f  |%s\n",
+				i, ss.Online[i], ss.Reference[i], bar(ss.Reference[i]))
+		}
+		fmt.Println()
+
+		// Compare predictors fed with the online estimates, scored
+		// against the real AVF.
+		ewma, _ := predict.NewEWMA(0.5)
+		window, _ := predict.NewWindow(4)
+		for _, p := range []predict.Predictor{predict.NewLastValue(), ewma, window} {
+			ev, err := predict.Evaluate(p, ss.Online, ss.Reference)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-12s mean abs prediction error %.4f (max %.4f, mean AVF %.3f)\n",
+				p.Name(), ev.MeanAbsError, ev.MaxAbsError, ev.MeanAVF)
+		}
+		fmt.Println()
+	}
+}

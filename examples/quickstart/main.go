@@ -1,0 +1,70 @@
+// Quickstart: wire a workload through the simulated processor with the
+// online AVF estimator attached and print one AVF estimate per interval.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"avfsim/internal/config"
+	"avfsim/internal/core"
+	"avfsim/internal/pipeline"
+	"avfsim/internal/workload"
+)
+
+func main() {
+	// 1. Pick a workload. The suite mirrors the paper's eleven SPEC
+	// CPU2000 benchmarks with synthetic stand-ins.
+	profile, err := workload.ByName("bzip2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := profile.MustSource(42)
+
+	// 2. Build the processor (Table 1 defaults: POWER4-like).
+	cfg := config.Default()
+	proc, err := pipeline.New(&cfg, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Attach the online estimator: inject an emulated error every M
+	// cycles, wait for it to reach a failure point, estimate
+	// AVF = failures/N after N injections.
+	est, err := core.NewEstimator(proc, core.Options{
+		M: 1000, // cycles per injection (paper's value)
+		N: 500,  // injections per estimate (paper uses 1000)
+		Structures: []pipeline.Structure{
+			pipeline.StructIQ, pipeline.StructReg,
+			pipeline.StructFXU, pipeline.StructFPU,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est.Attach()
+
+	// 4. Run 8 estimation intervals.
+	intervalCycles := int64(1000 * 500)
+	for proc.Cycle() < 8*intervalCycles+1 {
+		if !proc.Step() {
+			break
+		}
+		est.Tick()
+	}
+
+	// 5. Read the per-interval estimates.
+	fmt.Printf("%s on the Table 1 processor: %s\n\n", profile.Name, proc.Snapshot())
+	fmt.Println("per-interval online AVF estimates:")
+	fmt.Printf("%4s  %6s  %6s  %6s  %6s\n", "ivl", "iq", "reg", "fxu", "fpu")
+	n := len(est.Estimates(pipeline.StructIQ))
+	for i := 0; i < n; i++ {
+		fmt.Printf("%4d", i)
+		for _, s := range est.Structures() {
+			fmt.Printf("  %6.3f", est.Estimates(s)[i].AVF)
+		}
+		fmt.Println()
+	}
+}

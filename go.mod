@@ -1,0 +1,3 @@
+module avfsim
+
+go 1.22

@@ -1,0 +1,111 @@
+// Package branch implements the front-end branch predictor: a gshare
+// direction predictor with 2-bit saturating counters plus a direct-mapped
+// branch target buffer. Trace-driven simulation resolves every branch from
+// the trace, so the predictor's only job is deciding whether the front end
+// fetched down the right path (a misprediction costs a flush + refetch
+// penalty in the pipeline).
+package branch
+
+import "avfsim/internal/config"
+
+// Predictor is a gshare direction predictor with a BTB.
+type Predictor struct {
+	historyMask uint32
+	history     uint32
+	counters    []uint8 // 2-bit saturating
+
+	btbMask    uint64
+	btbTags    []uint64
+	btbTargets []uint64
+
+	// Stats.
+	predictions int64
+	mispredicts int64
+}
+
+// New builds a predictor from the configuration.
+func New(cfg *config.Config) *Predictor {
+	bits := cfg.BranchHistoryBits
+	return &Predictor{
+		historyMask: 1<<bits - 1,
+		counters:    make([]uint8, 1<<bits),
+		btbMask:     uint64(cfg.BTBEntries - 1),
+		btbTags:     make([]uint64, cfg.BTBEntries),
+		btbTargets:  make([]uint64, cfg.BTBEntries),
+	}
+}
+
+func (p *Predictor) index(pc uint64) int {
+	return int((uint32(pc>>2) ^ p.history) & p.historyMask)
+}
+
+// Predict returns the predicted direction and target for the branch at pc.
+// A taken prediction without a BTB hit predicts an unknown target, which
+// the caller must treat as a misfetch.
+func (p *Predictor) Predict(pc uint64) (taken bool, target uint64, targetKnown bool) {
+	taken = p.counters[p.index(pc)] >= 2
+	slot := (pc >> 2) & p.btbMask
+	if p.btbTags[slot] == pc && p.btbTargets[slot] != 0 {
+		return taken, p.btbTargets[slot], true
+	}
+	return taken, 0, false
+}
+
+// Resolve updates predictor state with the actual outcome and reports
+// whether the fetch direction/target was wrong (i.e. the pipeline must pay
+// the misprediction penalty).
+func (p *Predictor) Resolve(pc uint64, taken bool, target uint64) (mispredicted bool) {
+	p.predictions++
+	idx := p.index(pc)
+	predTaken := p.counters[idx] >= 2
+	var predTarget uint64
+	targetKnown := false
+	slot := (pc >> 2) & p.btbMask
+	if p.btbTags[slot] == pc && p.btbTargets[slot] != 0 {
+		predTarget, targetKnown = p.btbTargets[slot], true
+	}
+
+	mispredicted = predTaken != taken || (taken && (!targetKnown || predTarget != target))
+	if mispredicted {
+		p.mispredicts++
+	}
+
+	// Update the 2-bit counter.
+	if taken {
+		if p.counters[idx] < 3 {
+			p.counters[idx]++
+		}
+	} else {
+		if p.counters[idx] > 0 {
+			p.counters[idx]--
+		}
+	}
+	// Update history and BTB.
+	p.history = ((p.history << 1) | boolBit(taken)) & p.historyMask
+	if taken {
+		p.btbTags[slot] = pc
+		p.btbTargets[slot] = target
+	}
+	return mispredicted
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Predictions returns the number of branches resolved.
+func (p *Predictor) Predictions() int64 { return p.predictions }
+
+// Mispredicts returns the number of mispredictions.
+func (p *Predictor) Mispredicts() int64 { return p.mispredicts }
+
+// MispredictRate returns mispredicts/predictions, or 0 before any branch.
+func (p *Predictor) MispredictRate() float64 {
+	if p.predictions == 0 {
+		return 0
+	}
+	return float64(p.mispredicts) / float64(p.predictions)
+}

@@ -1,0 +1,123 @@
+package branch
+
+import (
+	"testing"
+
+	"avfsim/internal/config"
+)
+
+func newPredictor() *Predictor {
+	cfg := config.Default()
+	return New(&cfg)
+}
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := newPredictor()
+	pc, target := uint64(0x1000), uint64(0x2000)
+	for i := 0; i < 100; i++ {
+		p.Resolve(pc, true, target)
+	}
+	taken, tgt, known := p.Predict(pc)
+	if !taken || !known || tgt != target {
+		t.Errorf("Predict after training = taken=%v tgt=%#x known=%v", taken, tgt, known)
+	}
+	// Accuracy after warmup should be near perfect.
+	before := p.Mispredicts()
+	for i := 0; i < 100; i++ {
+		if p.Resolve(pc, true, target) {
+			t.Fatalf("mispredicted trained branch at iter %d", i)
+		}
+	}
+	if p.Mispredicts() != before {
+		t.Error("mispredict counter moved")
+	}
+}
+
+func TestLearnsAlwaysNotTaken(t *testing.T) {
+	p := newPredictor()
+	pc := uint64(0x3000)
+	for i := 0; i < 50; i++ {
+		p.Resolve(pc, false, 0)
+	}
+	if got := p.Resolve(pc, false, 0); got {
+		t.Error("mispredicted a never-taken branch after training")
+	}
+}
+
+func TestLearnsAlternatingWithHistory(t *testing.T) {
+	// gshare keys on global history, so a strict T/N/T/N pattern becomes
+	// predictable once the counters warm up.
+	p := newPredictor()
+	pc, target := uint64(0x4000), uint64(0x5000)
+	for i := 0; i < 2000; i++ {
+		p.Resolve(pc, i%2 == 0, target)
+	}
+	miss := 0
+	for i := 2000; i < 3000; i++ {
+		if p.Resolve(pc, i%2 == 0, target) {
+			miss++
+		}
+	}
+	if miss > 50 {
+		t.Errorf("alternating pattern mispredicted %d/1000 after training", miss)
+	}
+}
+
+func TestBTBMissCountsAsMispredict(t *testing.T) {
+	p := newPredictor()
+	pc, target := uint64(0x6000), uint64(0x7000)
+	// Train direction on a different PC that aliases the same counter? —
+	// simpler: first taken resolution must mispredict (no BTB entry).
+	if !p.Resolve(pc, true, target) {
+		t.Error("first taken branch should mispredict (cold BTB + weak counter)")
+	}
+}
+
+func TestTargetChangeMispredicts(t *testing.T) {
+	p := newPredictor()
+	pc := uint64(0x8000)
+	for i := 0; i < 20; i++ {
+		p.Resolve(pc, true, 0x9000)
+	}
+	if !p.Resolve(pc, true, 0xa000) {
+		t.Error("changed target should mispredict")
+	}
+}
+
+func TestRandomBranchMispredictsOften(t *testing.T) {
+	p := newPredictor()
+	pc, target := uint64(0xb000), uint64(0xc000)
+	// Deterministic pseudo-random outcomes.
+	x := uint64(12345)
+	miss := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if p.Resolve(pc, x&1 == 1, target) {
+			miss++
+		}
+	}
+	rate := float64(miss) / n
+	if rate < 0.3 {
+		t.Errorf("random branch mispredict rate = %.3f, implausibly low", rate)
+	}
+	if got := p.MispredictRate(); got <= 0 || got > 1 {
+		t.Errorf("MispredictRate = %v", got)
+	}
+	if p.Predictions() != n {
+		t.Errorf("Predictions = %d", p.Predictions())
+	}
+}
+
+func TestZeroStateStartsNotTaken(t *testing.T) {
+	p := newPredictor()
+	taken, _, known := p.Predict(0x1234)
+	if taken || known {
+		t.Errorf("cold predictor: taken=%v known=%v", taken, known)
+	}
+	if p.MispredictRate() != 0 {
+		t.Error("cold mispredict rate nonzero")
+	}
+}

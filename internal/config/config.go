@@ -1,0 +1,191 @@
+// Package config holds the simulated-processor configuration. The defaults
+// reproduce Table 1 of the paper: a POWER4-like out-of-order superscalar at
+// 90nm/2GHz with 8-wide fetch, one 5-instruction dispatch group retired per
+// cycle, split issue queues, and a three-level memory hierarchy.
+package config
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CacheConfig describes one set-associative cache.
+type CacheConfig struct {
+	// SizeBytes is total capacity in bytes.
+	SizeBytes int
+	// Ways is the set associativity (1 = direct mapped).
+	Ways int
+	// LineBytes is the line size in bytes (power of two).
+	LineBytes int
+	// LatencyCycles is the contentionless hit latency.
+	LatencyCycles int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c CacheConfig) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// Validate checks geometric consistency.
+func (c CacheConfig) Validate(name string) error {
+	switch {
+	case c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0:
+		return fmt.Errorf("config: %s: sizes must be positive", name)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("config: %s: line size %d not a power of two", name, c.LineBytes)
+	case c.SizeBytes%(c.Ways*c.LineBytes) != 0:
+		return fmt.Errorf("config: %s: size %d not divisible by ways*line", name, c.SizeBytes)
+	case c.Sets()&(c.Sets()-1) != 0:
+		return fmt.Errorf("config: %s: set count %d not a power of two", name, c.Sets())
+	case c.LatencyCycles < 1:
+		return fmt.Errorf("config: %s: latency must be >= 1", name)
+	}
+	return nil
+}
+
+// Config is the full simulated-processor configuration (Table 1).
+type Config struct {
+	// FetchWidth is instructions fetched per cycle.
+	FetchWidth int
+	// DispatchGroup is the maximum instructions per dispatch group; one
+	// group dispatches and one group retires per cycle.
+	DispatchGroup int
+	// ROBGroups is the reorder-buffer capacity in dispatch groups.
+	ROBGroups int
+	// InstBufferEntries is the fetch (instruction) buffer size.
+	InstBufferEntries int
+
+	// NumIntUnits, NumFPUnits, NumLSUnits, NumBrUnits are functional-unit
+	// counts (Table 1: 2 Int, 2 FP, 2 Load-Store, 1 Branch).
+	NumIntUnits int
+	NumFPUnits  int
+	NumLSUnits  int
+	NumBrUnits  int
+
+	// FXUQueueEntries is the shared load/store/integer issue queue size.
+	FXUQueueEntries int
+	// FPUQueueEntries is the floating-point issue queue size.
+	FPUQueueEntries int
+	// BrQueueEntries is the branch issue queue size.
+	BrQueueEntries int
+
+	// IntRegs and FPRegs are physical register file sizes
+	// (Table 1: 80 integer, 72 FP).
+	IntRegs int
+	FPRegs  int
+
+	// Integer latencies (cycles), all pipelined.
+	IntALULatency int
+	IntMulLatency int
+	IntDivLatency int
+	// FP latencies (cycles), pipelined.
+	FPDefaultLatency int
+	FPDivLatency     int
+
+	// Memory hierarchy.
+	L1D CacheConfig
+	L1I CacheConfig
+	L2  CacheConfig
+	// MemLatencyCycles is the contentionless main-memory latency.
+	MemLatencyCycles int
+	// ITLBEntries and DTLBEntries are TLB sizes; TLBPageBytes the page size.
+	ITLBEntries  int
+	DTLBEntries  int
+	TLBPageBytes int
+	// TLBMissPenalty is the added latency on a TLB miss (software walk).
+	TLBMissPenalty int
+
+	// Branch predictor geometry.
+	BranchHistoryBits int
+	BTBEntries        int
+	// MispredictPenalty is the refetch penalty after a resolved
+	// misprediction, in cycles (front-end refill).
+	MispredictPenalty int
+}
+
+// Default returns the Table 1 configuration.
+func Default() Config {
+	return Config{
+		FetchWidth:        8,
+		DispatchGroup:     5,
+		ROBGroups:         20, // 100 instructions in flight, POWER4-like
+		InstBufferEntries: 64,
+
+		NumIntUnits: 2,
+		NumFPUnits:  2,
+		NumLSUnits:  2,
+		NumBrUnits:  1,
+
+		FXUQueueEntries: 36,
+		FPUQueueEntries: 20,
+		BrQueueEntries:  12,
+
+		IntRegs: 80,
+		FPRegs:  72,
+
+		IntALULatency:    1,
+		IntMulLatency:    4,
+		IntDivLatency:    35,
+		FPDefaultLatency: 5,
+		FPDivLatency:     28,
+
+		L1D: CacheConfig{SizeBytes: 32 << 10, Ways: 2, LineBytes: 128, LatencyCycles: 1},
+		L1I: CacheConfig{SizeBytes: 64 << 10, Ways: 1, LineBytes: 128, LatencyCycles: 1},
+		L2:  CacheConfig{SizeBytes: 1 << 20, Ways: 4, LineBytes: 128, LatencyCycles: 20},
+
+		MemLatencyCycles: 165,
+		ITLBEntries:      128,
+		DTLBEntries:      128,
+		TLBPageBytes:     4096,
+		TLBMissPenalty:   100,
+
+		BranchHistoryBits: 12,
+		BTBEntries:        2048,
+		MispredictPenalty: 6,
+	}
+}
+
+// ROBEntries returns the reorder-buffer capacity in instructions.
+func (c *Config) ROBEntries() int { return c.ROBGroups * c.DispatchGroup }
+
+// Validate reports the first configuration inconsistency found, or nil.
+func (c *Config) Validate() error {
+	checks := []struct {
+		ok  bool
+		msg string
+	}{
+		{c.FetchWidth > 0, "fetch width must be positive"},
+		{c.DispatchGroup > 0, "dispatch group must be positive"},
+		{c.ROBGroups > 0, "ROB groups must be positive"},
+		{c.InstBufferEntries >= c.FetchWidth, "instruction buffer smaller than fetch width"},
+		{c.NumIntUnits > 0, "need at least one integer unit"},
+		{c.NumFPUnits > 0, "need at least one FP unit"},
+		{c.NumLSUnits > 0, "need at least one load-store unit"},
+		{c.NumBrUnits > 0, "need at least one branch unit"},
+		{c.FXUQueueEntries > 0, "FXU queue must be positive"},
+		{c.FPUQueueEntries > 0, "FPU queue must be positive"},
+		{c.BrQueueEntries > 0, "branch queue must be positive"},
+		{c.IntRegs >= 32+c.DispatchGroup, "too few physical integer registers for renaming"},
+		{c.FPRegs >= 32+c.DispatchGroup, "too few physical FP registers for renaming"},
+		{c.IntALULatency >= 1 && c.IntMulLatency >= 1 && c.IntDivLatency >= 1, "integer latencies must be >= 1"},
+		{c.FPDefaultLatency >= 1 && c.FPDivLatency >= 1, "FP latencies must be >= 1"},
+		{c.MemLatencyCycles >= 1, "memory latency must be >= 1"},
+		{c.ITLBEntries > 0 && c.DTLBEntries > 0, "TLB sizes must be positive"},
+		{c.TLBPageBytes > 0 && c.TLBPageBytes&(c.TLBPageBytes-1) == 0, "TLB page size must be a positive power of two"},
+		{c.BranchHistoryBits > 0 && c.BranchHistoryBits <= 24, "branch history bits out of range"},
+		{c.BTBEntries > 0 && c.BTBEntries&(c.BTBEntries-1) == 0, "BTB entries must be a power of two"},
+		{c.MispredictPenalty >= 0, "mispredict penalty must be non-negative"},
+	}
+	for _, ch := range checks {
+		if !ch.ok {
+			return errors.New("config: " + ch.msg)
+		}
+	}
+	for _, cc := range []struct {
+		name string
+		c    CacheConfig
+	}{{"L1D", c.L1D}, {"L1I", c.L1I}, {"L2", c.L2}} {
+		if err := cc.c.Validate(cc.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

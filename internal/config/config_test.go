@@ -1,0 +1,157 @@
+package config
+
+import "testing"
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	c := Default()
+	// The headline Table 1 numbers.
+	if c.FetchWidth != 8 {
+		t.Errorf("fetch width = %d, want 8", c.FetchWidth)
+	}
+	if c.DispatchGroup != 5 {
+		t.Errorf("dispatch group = %d, want 5", c.DispatchGroup)
+	}
+	if c.NumIntUnits != 2 || c.NumFPUnits != 2 || c.NumLSUnits != 2 || c.NumBrUnits != 1 {
+		t.Errorf("functional units = %d/%d/%d/%d, want 2/2/2/1",
+			c.NumIntUnits, c.NumFPUnits, c.NumLSUnits, c.NumBrUnits)
+	}
+	if c.FPUQueueEntries != 20 || c.FXUQueueEntries != 36 || c.BrQueueEntries != 12 {
+		t.Errorf("issue queues = %d/%d/%d, want 20/36/12",
+			c.FPUQueueEntries, c.FXUQueueEntries, c.BrQueueEntries)
+	}
+	if c.IntRegs != 80 || c.FPRegs != 72 {
+		t.Errorf("register files = %d int / %d fp, want 80/72", c.IntRegs, c.FPRegs)
+	}
+	if c.IntALULatency != 1 || c.IntMulLatency != 4 || c.IntDivLatency != 35 {
+		t.Errorf("int latencies = %d/%d/%d, want 1/4/35",
+			c.IntALULatency, c.IntMulLatency, c.IntDivLatency)
+	}
+	if c.FPDefaultLatency != 5 || c.FPDivLatency != 28 {
+		t.Errorf("fp latencies = %d/%d, want 5/28", c.FPDefaultLatency, c.FPDivLatency)
+	}
+	if c.ITLBEntries != 128 || c.DTLBEntries != 128 {
+		t.Errorf("TLBs = %d/%d, want 128/128", c.ITLBEntries, c.DTLBEntries)
+	}
+	if c.InstBufferEntries != 64 {
+		t.Errorf("instruction buffer = %d, want 64", c.InstBufferEntries)
+	}
+	if c.L1D.SizeBytes != 32<<10 || c.L1D.Ways != 2 || c.L1D.LineBytes != 128 {
+		t.Errorf("L1D = %+v, want 32KB/2-way/128B", c.L1D)
+	}
+	if c.L1I.SizeBytes != 64<<10 || c.L1I.Ways != 1 || c.L1I.LineBytes != 128 {
+		t.Errorf("L1I = %+v, want 64KB/1-way/128B", c.L1I)
+	}
+	if c.L2.SizeBytes != 1<<20 || c.L2.Ways != 4 || c.L2.LineBytes != 128 {
+		t.Errorf("L2 = %+v, want 1MB/4-way/128B", c.L2)
+	}
+	if c.L1D.LatencyCycles != 1 || c.L2.LatencyCycles != 20 || c.MemLatencyCycles != 165 {
+		t.Errorf("latencies = %d/%d/%d, want 1/20/165",
+			c.L1D.LatencyCycles, c.L2.LatencyCycles, c.MemLatencyCycles)
+	}
+}
+
+func TestDefaultValidates(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestROBEntries(t *testing.T) {
+	c := Default()
+	if got := c.ROBEntries(); got != c.ROBGroups*c.DispatchGroup {
+		t.Errorf("ROBEntries = %d", got)
+	}
+}
+
+func TestValidateRejectsBrokenConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero fetch width", func(c *Config) { c.FetchWidth = 0 }},
+		{"zero dispatch group", func(c *Config) { c.DispatchGroup = 0 }},
+		{"zero rob", func(c *Config) { c.ROBGroups = 0 }},
+		{"tiny inst buffer", func(c *Config) { c.InstBufferEntries = 1 }},
+		{"no int units", func(c *Config) { c.NumIntUnits = 0 }},
+		{"no fp units", func(c *Config) { c.NumFPUnits = 0 }},
+		{"no ls units", func(c *Config) { c.NumLSUnits = 0 }},
+		{"no br units", func(c *Config) { c.NumBrUnits = 0 }},
+		{"zero fxu queue", func(c *Config) { c.FXUQueueEntries = 0 }},
+		{"zero fpu queue", func(c *Config) { c.FPUQueueEntries = 0 }},
+		{"zero br queue", func(c *Config) { c.BrQueueEntries = 0 }},
+		{"too few int regs", func(c *Config) { c.IntRegs = 32 }},
+		{"too few fp regs", func(c *Config) { c.FPRegs = 32 }},
+		{"zero alu latency", func(c *Config) { c.IntALULatency = 0 }},
+		{"zero fp latency", func(c *Config) { c.FPDefaultLatency = 0 }},
+		{"zero mem latency", func(c *Config) { c.MemLatencyCycles = 0 }},
+		{"zero itlb", func(c *Config) { c.ITLBEntries = 0 }},
+		{"non-pow2 page", func(c *Config) { c.TLBPageBytes = 3000 }},
+		{"zero history bits", func(c *Config) { c.BranchHistoryBits = 0 }},
+		{"huge history bits", func(c *Config) { c.BranchHistoryBits = 25 }},
+		{"non-pow2 btb", func(c *Config) { c.BTBEntries = 1000 }},
+		{"negative penalty", func(c *Config) { c.MispredictPenalty = -1 }},
+		{"bad L1D line", func(c *Config) { c.L1D.LineBytes = 100 }},
+		{"bad L2 geometry", func(c *Config) { c.L2.SizeBytes = 100 }},
+		{"zero L1I latency", func(c *Config) { c.L1I.LatencyCycles = 0 }},
+	}
+	for _, m := range mutations {
+		c := Default()
+		m.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted broken config", m.name)
+		}
+	}
+}
+
+func TestCacheSets(t *testing.T) {
+	c := CacheConfig{SizeBytes: 32 << 10, Ways: 2, LineBytes: 128, LatencyCycles: 1}
+	if got := c.Sets(); got != 128 {
+		t.Errorf("Sets = %d, want 128", got)
+	}
+	if err := c.Validate("test"); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestCacheValidateMessages(t *testing.T) {
+	bad := CacheConfig{SizeBytes: 0, Ways: 1, LineBytes: 64, LatencyCycles: 1}
+	if err := bad.Validate("X"); err == nil {
+		t.Error("zero size accepted")
+	}
+	// 48KB 2-way with 128B lines gives 192 sets: not a power of two.
+	odd := CacheConfig{SizeBytes: 48 << 10, Ways: 2, LineBytes: 128, LatencyCycles: 1}
+	if err := odd.Validate("X"); err == nil {
+		t.Error("non-power-of-two set count accepted")
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"narrow", Narrow()},
+		{"wide", Wide()},
+	} {
+		if err := tc.cfg.Validate(); err != nil {
+			t.Errorf("%s preset invalid: %v", tc.name, err)
+		}
+	}
+}
+
+func TestPresetsBracketDefault(t *testing.T) {
+	n, d, w := Narrow(), Default(), Wide()
+	if !(n.NumIntUnits < d.NumIntUnits && d.NumIntUnits < w.NumIntUnits) {
+		t.Error("unit counts do not bracket the default")
+	}
+	if !(n.IntRegs < d.IntRegs && d.IntRegs < w.IntRegs) {
+		t.Error("register files do not bracket the default")
+	}
+	if !(n.FXUQueueEntries < d.FXUQueueEntries && d.FXUQueueEntries < w.FXUQueueEntries) {
+		t.Error("queues do not bracket the default")
+	}
+	if !(n.L2.SizeBytes < d.L2.SizeBytes && d.L2.SizeBytes < w.L2.SizeBytes) {
+		t.Error("L2 sizes do not bracket the default")
+	}
+}

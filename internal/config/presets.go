@@ -1,0 +1,52 @@
+package config
+
+// Presets beyond the paper's Table 1 machine, for exploring how AVF and
+// estimator accuracy move with the design point. The estimation machinery
+// is geometry-agnostic; these make that easy to demonstrate.
+
+// Narrow returns a low-power, in-order-ish design point: 2-wide fetch,
+// single units, small queues and register files, smaller caches. AVFs
+// shift (less buffering, fewer live values) but the estimator's accuracy
+// bounds are unchanged — they depend only on N.
+func Narrow() Config {
+	c := Default()
+	c.FetchWidth = 2
+	c.DispatchGroup = 2
+	c.ROBGroups = 16
+	c.InstBufferEntries = 16
+	c.NumIntUnits = 1
+	c.NumFPUnits = 1
+	c.NumLSUnits = 1
+	c.NumBrUnits = 1
+	c.FXUQueueEntries = 12
+	c.FPUQueueEntries = 8
+	c.BrQueueEntries = 4
+	c.IntRegs = 48
+	c.FPRegs = 44
+	c.L1D = CacheConfig{SizeBytes: 16 << 10, Ways: 2, LineBytes: 64, LatencyCycles: 1}
+	c.L1I = CacheConfig{SizeBytes: 16 << 10, Ways: 2, LineBytes: 64, LatencyCycles: 1}
+	c.L2 = CacheConfig{SizeBytes: 256 << 10, Ways: 4, LineBytes: 64, LatencyCycles: 12}
+	c.BranchHistoryBits = 10
+	c.BTBEntries = 512
+	return c
+}
+
+// Wide returns an aggressive design point: wider dispatch, more units,
+// bigger queues and register files, larger L2.
+func Wide() Config {
+	c := Default()
+	c.DispatchGroup = 8
+	c.ROBGroups = 32
+	c.InstBufferEntries = 128
+	c.NumIntUnits = 4
+	c.NumFPUnits = 4
+	c.NumLSUnits = 3
+	c.NumBrUnits = 2
+	c.FXUQueueEntries = 64
+	c.FPUQueueEntries = 40
+	c.BrQueueEntries = 24
+	c.IntRegs = 128
+	c.FPRegs = 128
+	c.L2 = CacheConfig{SizeBytes: 4 << 20, Ways: 8, LineBytes: 128, LatencyCycles: 24}
+	return c
+}

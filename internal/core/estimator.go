@@ -1,0 +1,296 @@
+// Package core implements the paper's contribution: online AVF estimation
+// by emulated statistical fault injection (Algorithm 1).
+//
+// For each monitored structure the estimator repeatedly (1) injects an
+// emulated error by setting an error bit, (2) lets the program's own
+// execution propagate it for M cycles, (3) counts a potential failure if a
+// load, store, or branch retires carrying the bit, (4) clears all error
+// bits and injects again. After N injections the AVF estimate is
+// failures/N. With the paper's M = N = 1000, one estimate is produced per
+// one-million-cycle interval.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"avfsim/internal/pipeline"
+	"avfsim/internal/stats"
+)
+
+// Options configures an Estimator.
+type Options struct {
+	// M is the number of cycles to wait after each injection for the
+	// error to (potentially) propagate to a failure point (Section 3.4;
+	// the paper uses 1000).
+	M int64
+	// N is the number of injections per AVF estimate (Section 3.3; the
+	// paper uses 1000). The estimation interval is M*N cycles.
+	N int
+	// Structures selects what to monitor. Defaults to the paper's four
+	// (IQ, REG, FXU, FPU).
+	Structures []pipeline.Structure
+	// RandomEntry selects injection targets uniformly at random instead
+	// of the paper's hardware-friendly round-robin (ablation).
+	RandomEntry bool
+	// RandomSchedule randomizes the inter-injection gap (uniform in
+	// [1, 2M), mean M) instead of the paper's fixed-interval schedule
+	// (ablation: Section 3.3 notes fixed intervals approximate random
+	// sampling).
+	RandomSchedule bool
+	// Seed drives the ablation randomizations.
+	Seed uint64
+	// RecordLatency collects injection-to-failure latencies (Figure 2).
+	RecordLatency bool
+	// Multiplex emulates the true hardware cost model: a single error
+	// bit per value means only ONE emulated error may be live in the
+	// whole machine, so injections rotate across the monitored
+	// structures. Each structure then needs len(Structures)×M×N cycles
+	// per estimate instead of M×N. (The simulator's default gives each
+	// structure its own bit-plane, estimating all of them concurrently —
+	// equivalent per-injection, 4× faster wall-clock for four
+	// structures.)
+	Multiplex bool
+}
+
+// validate applies defaults and checks ranges.
+func (o *Options) validate() error {
+	if o.M <= 0 {
+		return errors.New("core: Options.M must be positive")
+	}
+	if o.N <= 0 {
+		return errors.New("core: Options.N must be positive")
+	}
+	if len(o.Structures) == 0 {
+		o.Structures = append([]pipeline.Structure(nil), pipeline.PaperStructures...)
+	}
+	seen := map[pipeline.Structure]bool{}
+	for _, s := range o.Structures {
+		if int(s) >= pipeline.NumStructures {
+			return fmt.Errorf("core: invalid structure %d", s)
+		}
+		if seen[s] {
+			return fmt.Errorf("core: duplicate structure %v", s)
+		}
+		seen[s] = true
+	}
+	return nil
+}
+
+// Estimate is one per-interval AVF estimate for one structure.
+type Estimate struct {
+	// Interval is the 0-based estimation-interval index.
+	Interval int
+	// StartCycle and EndCycle delimit the interval.
+	StartCycle, EndCycle int64
+	// AVF is failures/injections.
+	AVF float64
+	// Failures and Injections are the raw counters.
+	Failures, Injections int
+}
+
+// structState is the per-structure Algorithm 1 state.
+type structState struct {
+	s       pipeline.Structure
+	entries int
+
+	nextEntry   int   // round-robin cursor
+	injectedAt  int64 // cycle of the live injection, -1 if none
+	failed      bool  // live injection already reached a failure point
+	injections  int
+	failures    int
+	intervalIdx int
+	startCycle  int64
+
+	estimates []Estimate
+	latencies stats.CDF
+}
+
+// Estimator drives Algorithm 1 against a pipeline. Wire it up with Attach
+// (or merge its handlers into your own pipeline.Hooks), then call Tick
+// after every pipeline.Step.
+type Estimator struct {
+	p   *pipeline.Pipeline
+	opt Options
+
+	states     [pipeline.NumStructures]*structState
+	active     []*structState
+	nextInject int64
+	rngState   uint64
+	// muxTurn is the index of the structure receiving the next injection
+	// in Multiplex mode.
+	muxTurn int
+}
+
+// NewEstimator builds an estimator for p.
+func NewEstimator(p *pipeline.Pipeline, opt Options) (*Estimator, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	e := &Estimator{p: p, opt: opt, rngState: opt.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+	for _, s := range opt.Structures {
+		st := &structState{
+			s:          s,
+			entries:    p.StructureEntries(s),
+			injectedAt: -1,
+			startCycle: p.Cycle(),
+		}
+		e.states[s] = st
+		e.active = append(e.active, st)
+	}
+	e.nextInject = p.Cycle() // inject immediately on the first Tick
+	return e, nil
+}
+
+// Attach installs the estimator's failure handler as the pipeline's hooks.
+// Use HandleFailure directly if you need to fan hooks out to several
+// consumers.
+func (e *Estimator) Attach() {
+	e.p.SetHooks(pipeline.Hooks{OnFailure: e.HandleFailure})
+}
+
+// HandleFailure is the pipeline.Hooks.OnFailure sink: a failure-point
+// instruction retired carrying plane s's error bit.
+func (e *Estimator) HandleFailure(s pipeline.Structure, seq, cycle int64) {
+	st := e.states[s]
+	if st == nil || st.injectedAt < 0 || st.failed {
+		return
+	}
+	st.failed = true
+	if e.opt.RecordLatency {
+		st.latencies.Add(cycle - st.injectedAt)
+	}
+}
+
+func (e *Estimator) rand() uint64 {
+	x := e.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	e.rngState = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Tick advances Algorithm 1; call it after every pipeline.Step. At each
+// injection boundary it concludes the live injections (counting failures),
+// clears all error bits, and injects the next error into each monitored
+// structure.
+func (e *Estimator) Tick() {
+	cycle := e.p.Cycle()
+	if cycle < e.nextInject {
+		return
+	}
+	if e.opt.Multiplex {
+		// One live error machine-wide: conclude the structure whose
+		// injection just expired (the previous turn), then hand the
+		// slot to the next structure.
+		prev := (e.muxTurn + len(e.active) - 1) % len(e.active)
+		e.conclude(e.active[prev], cycle)
+		e.inject(e.active[e.muxTurn], cycle)
+		e.muxTurn = (e.muxTurn + 1) % len(e.active)
+	} else {
+		for _, st := range e.active {
+			e.conclude(st, cycle)
+			e.inject(st, cycle)
+		}
+	}
+	if e.opt.RandomSchedule {
+		gap := 1 + int64(e.rand()%uint64(2*e.opt.M))
+		e.nextInject = cycle + gap
+	} else {
+		e.nextInject = cycle + e.opt.M
+	}
+}
+
+// conclude finishes the live injection for st, if any, and emits an
+// estimate when N injections have completed.
+func (e *Estimator) conclude(st *structState, cycle int64) {
+	if st.injectedAt < 0 {
+		return
+	}
+	st.injections++
+	if st.failed {
+		st.failures++
+	}
+	st.injectedAt = -1
+	st.failed = false
+	e.p.ClearPlane(st.s)
+
+	if st.injections >= e.opt.N {
+		st.estimates = append(st.estimates, Estimate{
+			Interval:   st.intervalIdx,
+			StartCycle: st.startCycle,
+			EndCycle:   cycle,
+			AVF:        float64(st.failures) / float64(st.injections),
+			Failures:   st.failures,
+			Injections: st.injections,
+		})
+		st.intervalIdx++
+		st.injections = 0
+		st.failures = 0
+		st.startCycle = cycle
+	}
+}
+
+// inject sets the next error bit for st: round-robin (or random) across
+// entries for storage structures and units for logic structures.
+func (e *Estimator) inject(st *structState, cycle int64) {
+	var idx int
+	if e.opt.RandomEntry {
+		idx = int(e.rand() % uint64(st.entries))
+	} else {
+		idx = st.nextEntry
+		st.nextEntry++
+		if st.nextEntry == st.entries {
+			st.nextEntry = 0
+		}
+	}
+	e.p.Inject(st.s, idx)
+	st.injectedAt = cycle
+}
+
+// Estimates returns the completed per-interval estimates for s (nil if s
+// is not monitored).
+func (e *Estimator) Estimates(s pipeline.Structure) []Estimate {
+	if st := e.states[s]; st != nil {
+		return st.estimates
+	}
+	return nil
+}
+
+// AVFSeries returns just the AVF values of the completed estimates for s.
+func (e *Estimator) AVFSeries(s pipeline.Structure) []float64 {
+	ests := e.Estimates(s)
+	out := make([]float64, len(ests))
+	for i, est := range ests {
+		out[i] = est.AVF
+	}
+	return out
+}
+
+// Latencies returns the recorded injection-to-failure latency distribution
+// for s (empty unless Options.RecordLatency).
+func (e *Estimator) Latencies(s pipeline.Structure) *stats.CDF {
+	if st := e.states[s]; st != nil {
+		return &st.latencies
+	}
+	return &stats.CDF{}
+}
+
+// PendingInjections reports how many injections of the current (partial)
+// interval have completed for s — useful for progress reporting.
+func (e *Estimator) PendingInjections(s pipeline.Structure) int {
+	if st := e.states[s]; st != nil {
+		return st.injections
+	}
+	return 0
+}
+
+// Structures returns the monitored structures.
+func (e *Estimator) Structures() []pipeline.Structure {
+	out := make([]pipeline.Structure, len(e.active))
+	for i, st := range e.active {
+		out[i] = st.s
+	}
+	return out
+}

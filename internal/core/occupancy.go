@@ -1,0 +1,50 @@
+package core
+
+import (
+	"avfsim/internal/pipeline"
+)
+
+// Occupancy is the storage-structure analogue of the utilization baseline,
+// in the spirit of Soundararajan et al. (ISCA 2007), which the paper's
+// related-work section discusses: estimate the issue-queue complex's AVF
+// as its mean occupancy fraction, derived from simple event counters
+// (entries present per cycle) with no error bits at all.
+//
+// Like utilization for logic structures, occupancy is blind to dead
+// values, dead instructions, and everything else ACE analysis captures;
+// it upper-bounds the AVF. The paper also notes such proxies are
+// inherently single-structure: this one only generalizes to structures
+// with an occupancy notion, unlike the error-bit method.
+type Occupancy struct {
+	p         *pipeline.Pipeline
+	entries   int64
+	lastSum   int64
+	lastCycle int64
+	series    []float64
+}
+
+// NewOccupancy builds the occupancy baseline for the issue-queue complex.
+func NewOccupancy(p *pipeline.Pipeline) *Occupancy {
+	return &Occupancy{
+		p:         p,
+		entries:   int64(p.StructureEntries(pipeline.StructIQ)),
+		lastSum:   p.IQOccupancySum(),
+		lastCycle: p.Cycle(),
+	}
+}
+
+// Sample closes the current interval, appending its mean occupancy
+// fraction to the series.
+func (o *Occupancy) Sample() {
+	sum, cycle := o.p.IQOccupancySum(), o.p.Cycle()
+	dc := cycle - o.lastCycle
+	var frac float64
+	if dc > 0 {
+		frac = float64(sum-o.lastSum) / float64(dc*o.entries)
+	}
+	o.series = append(o.series, frac)
+	o.lastSum, o.lastCycle = sum, cycle
+}
+
+// Series returns the per-interval occupancy fractions.
+func (o *Occupancy) Series() []float64 { return o.series }

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"avfsim/internal/pipeline"
+)
+
+func TestOccupancyTracksIQPopulation(t *testing.T) {
+	p := newPipe(t, &loopTrace{})
+	o := NewOccupancy(p)
+	// Warm past the cold-start fetch stall, then measure.
+	p.Run(2000)
+	o.Sample()
+	p.Run(2000)
+	o.Sample()
+	series := o.Series()
+	if len(series) != 2 {
+		t.Fatalf("series length %d", len(series))
+	}
+	steady := series[1]
+	if steady <= 0 || steady > 1 {
+		t.Errorf("occupancy fraction = %v", steady)
+	}
+	// Consistency against the pipeline's own counter.
+	entries := int64(p.StructureEntries(pipeline.StructIQ))
+	wholeRun := float64(p.IQOccupancySum()) / float64(p.Cycle()*entries)
+	mean := (series[0] + series[1]) / 2
+	if d := mean - wholeRun; d > 0.05 || d < -0.05 {
+		t.Errorf("interval mean %.4f far from whole-run %.4f", mean, wholeRun)
+	}
+}
+
+func TestOccupancyZeroCycles(t *testing.T) {
+	p := newPipe(t, &loopTrace{})
+	o := NewOccupancy(p)
+	o.Sample() // no cycles elapsed
+	if got := o.Series()[0]; got != 0 {
+		t.Errorf("zero-cycle sample = %v", got)
+	}
+}

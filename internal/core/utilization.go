@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"avfsim/internal/pipeline"
+)
+
+// Utilization is the simple baseline the paper compares against
+// (Section 4): for a logic structure, use the fraction of unit-cycles the
+// structure is busy as a proxy for its AVF. It is cheap to implement in
+// hardware (a busy counter) but blind to dead values, so the paper shows
+// it has significantly lower fidelity than the error-bit method. No
+// analogous proxy exists for storage structures.
+type Utilization struct {
+	p          *pipeline.Pipeline
+	structures []pipeline.Structure
+	lastBusy   [pipeline.NumFUKinds]int64
+	lastCycle  int64
+	series     [pipeline.NumStructures][]float64
+}
+
+// NewUtilization builds the baseline for the given logic structures
+// (default: FXU and FPU, as in the paper).
+func NewUtilization(p *pipeline.Pipeline, structures ...pipeline.Structure) (*Utilization, error) {
+	if len(structures) == 0 {
+		structures = []pipeline.Structure{pipeline.StructFXU, pipeline.StructFPU}
+	}
+	for _, s := range structures {
+		if _, ok := pipeline.UnitKind(s); !ok {
+			return nil, fmt.Errorf("core: utilization baseline needs a logic structure, got %v", s)
+		}
+	}
+	u := &Utilization{p: p, structures: structures, lastCycle: p.Cycle()}
+	for _, s := range structures {
+		k, _ := pipeline.UnitKind(s)
+		u.lastBusy[k] = p.BusyUnitCycles(k)
+	}
+	return u, nil
+}
+
+// Sample closes the current interval: it computes each structure's busy
+// fraction since the previous Sample and appends it to the series.
+func (u *Utilization) Sample() {
+	cycle := u.p.Cycle()
+	dc := cycle - u.lastCycle
+	for _, s := range u.structures {
+		k, _ := pipeline.UnitKind(s)
+		busy := u.p.BusyUnitCycles(k)
+		var util float64
+		if dc > 0 {
+			units := int64(u.p.StructureEntries(s))
+			util = float64(busy-u.lastBusy[k]) / float64(dc*units)
+		}
+		u.series[s] = append(u.series[s], util)
+		u.lastBusy[k] = busy
+	}
+	u.lastCycle = cycle
+}
+
+// Series returns the per-interval utilization values for s.
+func (u *Utilization) Series(s pipeline.Structure) []float64 { return u.series[s] }

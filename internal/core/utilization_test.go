@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"avfsim/internal/pipeline"
+	"avfsim/internal/trace"
+)
+
+func TestUtilizationRejectsStorage(t *testing.T) {
+	p := newPipe(t, trace.NewSliceSource(nil))
+	if _, err := NewUtilization(p, pipeline.StructIQ); err == nil {
+		t.Error("storage structure accepted")
+	}
+	if _, err := NewUtilization(p, pipeline.StructReg); err == nil {
+		t.Error("register file accepted")
+	}
+}
+
+func TestUtilizationDefaultsToFXUFPU(t *testing.T) {
+	p := newPipe(t, trace.NewSliceSource(nil))
+	u, err := NewUtilization(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Sample()
+	if len(u.Series(pipeline.StructFXU)) != 1 || len(u.Series(pipeline.StructFPU)) != 1 {
+		t.Error("default structures not sampled")
+	}
+}
+
+func TestUtilizationMeasuresBusyFraction(t *testing.T) {
+	p := newPipe(t, &loopTrace{})
+	u, err := NewUtilization(p, pipeline.StructFXU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up past the cold-start fetch stall, then measure an interval.
+	p.Run(2000)
+	u.Sample() // close the warmup interval
+	p.Run(2000)
+	u.Sample()
+	series := u.Series(pipeline.StructFXU)
+	if len(series) != 2 {
+		t.Fatalf("series length %d", len(series))
+	}
+	steady := series[1]
+	if steady <= 0.1 || steady > 1 {
+		t.Errorf("steady-state FXU utilization = %v, want busy", steady)
+	}
+}
+
+func TestUtilizationIdleIsZero(t *testing.T) {
+	p := newPipe(t, trace.NewSliceSource(nil))
+	u, _ := NewUtilization(p, pipeline.StructFXU, pipeline.StructFPU, pipeline.StructLSU)
+	p.Run(100) // drains immediately; cycles may be 0
+	u.Sample()
+	for _, s := range []pipeline.Structure{pipeline.StructFXU, pipeline.StructFPU, pipeline.StructLSU} {
+		for _, v := range u.Series(s) {
+			if v != 0 {
+				t.Errorf("%v idle utilization = %v", s, v)
+			}
+		}
+	}
+}

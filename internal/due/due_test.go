@@ -1,0 +1,138 @@
+package due
+
+import (
+	"strings"
+	"testing"
+
+	"avfsim/internal/config"
+	"avfsim/internal/core"
+	"avfsim/internal/isa"
+	"avfsim/internal/pipeline"
+	"avfsim/internal/trace"
+)
+
+func TestFromEstimatesArithmetic(t *testing.T) {
+	ests := []core.Estimate{
+		{Injections: 100, Failures: 20},
+		{Injections: 100, Failures: 30},
+	}
+	r, err := FromEstimates(pipeline.StructReg, ests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Detections != 200 || r.TrueDUE != 50 || r.FalseDUE != 150 {
+		t.Errorf("report = %+v", r)
+	}
+	if got := r.AvoidedFraction(); got != 0.75 {
+		t.Errorf("avoided = %v", got)
+	}
+	if !strings.Contains(r.String(), "75.0%") {
+		t.Errorf("String() = %q", r.String())
+	}
+}
+
+func TestFromEstimatesRejectsInconsistent(t *testing.T) {
+	if _, err := FromEstimates(pipeline.StructReg,
+		[]core.Estimate{{Injections: 10, Failures: 11}}); err == nil {
+		t.Error("failures > injections accepted")
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	r, err := FromEstimates(pipeline.StructIQ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvoidedFraction() != 0 {
+		t.Error("empty report nonzero")
+	}
+}
+
+// TestFalseDUEComplementOfAVF runs a live workload and verifies the
+// identity false-DUE fraction = 1 - AVF per structure.
+func TestFalseDUEComplementOfAVF(t *testing.T) {
+	g := trace.MustNewGenerator(trace.Params{
+		Seed: 5, Blocks: 64, BlockLen: 7,
+		Mix:         trace.Mix{IntALU: 0.4, FPAdd: 0.12, Load: 0.28, Store: 0.15, Nop: 0.05},
+		DepDistMean: 4, DeadFrac: 0.2, WorkingSet: 1 << 16,
+		SeqFrac: 0.7, TakenBias: 0.6, BiasedFrac: 0.8,
+		PCBase: 0x10000, DataBase: 0x1000000,
+	})
+	cfg := config.Default()
+	p, _ := pipeline.New(&cfg, g)
+	e, _ := core.NewEstimator(p, core.Options{M: 200, N: 100})
+	e.Attach()
+	for i := 0; i < 100_000; i++ {
+		if !p.Step() {
+			break
+		}
+		e.Tick()
+	}
+	reports, err := FromEstimator(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(pipeline.PaperStructures) {
+		t.Fatalf("%d reports", len(reports))
+	}
+	for _, r := range reports {
+		ests := e.Estimates(r.Structure)
+		sumInj, sumFail := 0, 0
+		for _, est := range ests {
+			sumInj += est.Injections
+			sumFail += est.Failures
+		}
+		if r.Detections != sumInj || r.TrueDUE != sumFail {
+			t.Errorf("%v: report disagrees with estimates", r.Structure)
+		}
+		avf := 0.0
+		if sumInj > 0 {
+			avf = float64(sumFail) / float64(sumInj)
+		}
+		if diff := r.AvoidedFraction() - (1 - avf); diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("%v: avoided %.6f != 1-AVF %.6f", r.Structure, r.AvoidedFraction(), 1-avf)
+		}
+		// On a workload with dead values, the pi bit must avoid a large
+		// share of machine checks.
+		if r.Detections > 0 && r.AvoidedFraction() < 0.5 {
+			t.Errorf("%v: only %.1f%% machine checks avoided — implausibly low",
+				r.Structure, 100*r.AvoidedFraction())
+		}
+	}
+	var b strings.Builder
+	if err := Write(&b, reports); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "avoided") {
+		t.Error("Write output malformed")
+	}
+}
+
+// A nop stream yields zero detections-turned-failures: every machine
+// check would be false.
+func TestAllFalseOnIdleMachine(t *testing.T) {
+	nops := make([]isa.Inst, 20_000)
+	for i := range nops {
+		nops[i] = isa.Inst{PC: uint64(0x1000 + 4*(i%16)), Class: isa.ClassNop,
+			Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+	}
+	cfg := config.Default()
+	p, _ := pipeline.New(&cfg, trace.NewSliceSource(nops))
+	e, _ := core.NewEstimator(p, core.Options{M: 50, N: 20})
+	e.Attach()
+	for p.Step() {
+		e.Tick()
+	}
+	reports, err := FromEstimator(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.TrueDUE != 0 {
+			t.Errorf("%v: %d true DUE on an idle machine", r.Structure, r.TrueDUE)
+		}
+		if r.Detections > 0 && r.AvoidedFraction() != 1 {
+			t.Errorf("%v: avoided %.2f, want 1", r.Structure, r.AvoidedFraction())
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"avfsim/internal/pipeline"
+)
+
+// TestMSweepShowsTLBUndercount reproduces the paper's Section 4 footnote
+// as an experiment: with the paper's M = 1000 the dTLB estimate
+// undercounts badly (TLB errors stay live for ~memory-phase timescales),
+// and grows toward the reference as M increases.
+func TestMSweepShowsTLBUndercount(t *testing.T) {
+	rows, err := MSweep("bzip2",
+		[]pipeline.Structure{pipeline.StructDTLB},
+		[]int64{250, 4000, 64000}, 150, 3, 0.03, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	small, large := rows[0], rows[2]
+	if small.MeanOnline >= large.MeanOnline {
+		t.Errorf("dTLB online AVF did not grow with M: %.4f (M=%d) vs %.4f (M=%d)",
+			small.MeanOnline, small.M, large.MeanOnline, large.M)
+	}
+	// At small M the estimate misses most of the exposure.
+	if small.MeanOnline > 0.5*small.MeanReference {
+		t.Errorf("expected heavy undercount at M=%d: online %.4f vs ref %.4f",
+			small.M, small.MeanOnline, small.MeanReference)
+	}
+	// At large M it approaches the reference.
+	if large.MeanAbsErr > 0.5*large.MeanReference {
+		t.Errorf("M=%d estimate still far off: online %.4f vs ref %.4f",
+			large.M, large.MeanOnline, large.MeanReference)
+	}
+}
+
+// TestMSweepPipelineStructuresInsensitive: REG needs only the Figure 2
+// propagation tail; above M = 1000 the estimate stops changing much.
+func TestMSweepPipelineStructuresInsensitive(t *testing.T) {
+	rows, err := MSweep("bzip2",
+		[]pipeline.Structure{pipeline.StructReg},
+		[]int64{1000, 16000}, 150, 3, 0.03, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rows[0], rows[1]
+	diff := a.MeanOnline - b.MeanOnline
+	if diff < 0 {
+		diff = -diff
+	}
+	// Allow sampling noise (sigma ~ 0.02 at N=150) but no systematic gap.
+	if diff > 0.06 {
+		t.Errorf("REG estimate moved %.4f between M=1000 and M=16000", diff)
+	}
+}
+
+// TestNSweepMatchesSamplingTheory: the estimator's interval-to-interval
+// scatter shrinks roughly as 1/sqrt(N) (Section 3.3 / Figure 1).
+func TestNSweepMatchesSamplingTheory(t *testing.T) {
+	rows, err := NSweep("mesa",
+		[]pipeline.Structure{pipeline.StructIQ},
+		[]int{50, 800}, 1000, 6, 0.03, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := rows[0], rows[1]
+	if small.MeasuredSD <= large.MeasuredSD {
+		t.Errorf("scatter did not shrink with N: sd(N=50)=%.4f sd(N=800)=%.4f",
+			small.MeasuredSD, large.MeasuredSD)
+	}
+	for _, r := range rows {
+		if r.MeasuredSD > 3*r.TheorySD+0.01 {
+			t.Errorf("N=%d: measured sd %.4f far above theory %.4f", r.N, r.MeasuredSD, r.TheorySD)
+		}
+	}
+}
+
+// TestPolicySweepAllAccurate: each injection-policy combination stays
+// within a loose accuracy band (Section 3.3: fixed intervals approximate
+// random sampling).
+func TestPolicySweepAllAccurate(t *testing.T) {
+	rows, err := PolicySweep("mesa",
+		[]pipeline.Structure{pipeline.StructIQ, pipeline.StructFXU},
+		1000, 150, 3, 0.03, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 4 policies × 2 structures
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanAbsErr > 0.1 {
+			t.Errorf("policy entry-random=%v sched-random=%v %v: err %.4f",
+				r.RandomEntry, r.RandomSchedule, r.Structure, r.MeanAbsErr)
+		}
+	}
+}
+
+func TestAblationsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow multi-run render")
+	}
+	spec := ScaleSpec{Name: "t", Scale: 0.02, M: 1000, N: 100,
+		Intervals: 3, DetailIntervals: 3, Fig2M: 2000, Fig2Samples: 300}
+	var b strings.Builder
+	if err := NewSuite(spec, 1).Ablations(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Ablation A", "Ablation B", "Ablation C", "dtlb", "round-robin"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}

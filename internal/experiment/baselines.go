@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"avfsim/internal/pipeline"
+	"avfsim/internal/regress"
+	"avfsim/internal/stats"
+	"avfsim/internal/workload"
+)
+
+// This file implements the two related-work baselines the paper positions
+// itself against (Section 2), so the comparison is executable rather than
+// rhetorical:
+//
+//   - Occupancy counting (Soundararajan et al., ISCA 2007): estimate a
+//     storage structure's AVF from its occupancy, derived from simple
+//     event counters. Single-structure by construction and blind to ACE.
+//   - Offline-calibrated regression (Walcott et al., ISCA 2007): regress
+//     AVF on observable microarchitectural variables over a training
+//     workload set, predict online from the variables. Works where
+//     calibration transfers; the cross-workload split below measures how
+//     much it does not.
+
+// OccupancyRow compares the occupancy proxy against the online method for
+// the issue-queue complex on one benchmark.
+type OccupancyRow struct {
+	Benchmark string
+	// OccErr and OnlineErr are mean absolute errors vs the reference.
+	OccErr, OnlineErr float64
+	// MeanOcc and MeanRef give the scale of the overestimate.
+	MeanOcc, MeanRef float64
+}
+
+// OccupancyStudy evaluates the occupancy baseline across the suite.
+func (s *Suite) OccupancyStudy() ([]OccupancyRow, error) {
+	var rows []OccupancyRow
+	for _, bench := range workload.Names() {
+		res, err := s.resultFor(bench, s.Spec.Intervals)
+		if err != nil {
+			return nil, err
+		}
+		iq := res.SeriesFor(pipeline.StructIQ)
+		if iq == nil {
+			return nil, fmt.Errorf("experiment: %s run lacks IQ series", bench)
+		}
+		rows = append(rows, OccupancyRow{
+			Benchmark: bench,
+			OccErr:    stats.Mean(stats.AbsErrors(res.IQOccupancy, iq.Reference)),
+			OnlineErr: stats.Mean(stats.AbsErrors(iq.Online, iq.Reference)),
+			MeanOcc:   stats.Mean(res.IQOccupancy),
+			MeanRef:   stats.Mean(iq.Reference),
+		})
+	}
+	return rows, nil
+}
+
+// RegressionRow is the cross-workload regression outcome for one
+// structure.
+type RegressionRow struct {
+	Structure pipeline.Structure
+	// TrainErr is the regression's residual on its own training set;
+	// TestErr its error on the held-out benchmarks; OnlineErr the online
+	// estimator's error on the same held-out intervals.
+	TrainErr, TestErr, OnlineErr float64
+}
+
+// RegressionSplit returns the train/test benchmark split used by
+// RegressionStudy: alternating benchmarks, so both halves contain a blend
+// of integer and FP workloads.
+func RegressionSplit() (train, test []string) {
+	for i, b := range workload.Names() {
+		if i%2 == 0 {
+			train = append(train, b)
+		} else {
+			test = append(test, b)
+		}
+	}
+	return train, test
+}
+
+// RegressionStudy fits a per-structure linear model from
+// microarchitectural features to the reference AVF on the training
+// benchmarks and evaluates it on the held-out ones, next to the online
+// estimator on the same intervals.
+func (s *Suite) RegressionStudy() ([]RegressionRow, error) {
+	train, test := RegressionSplit()
+	type dataset struct {
+		X []([]float64)
+		y []float64
+		// online accumulates the online estimator's errors on the set.
+		onlineErr []float64
+	}
+	collect := func(benches []string, st pipeline.Structure) (*dataset, error) {
+		ds := &dataset{}
+		for _, bench := range benches {
+			res, err := s.resultFor(bench, s.Spec.Intervals)
+			if err != nil {
+				return nil, err
+			}
+			ss := res.SeriesFor(st)
+			for i := 0; i < res.Intervals && i < len(res.Features); i++ {
+				ds.X = append(ds.X, res.Features[i])
+				ds.y = append(ds.y, ss.Reference[i])
+				d := ss.Online[i] - ss.Reference[i]
+				if d < 0 {
+					d = -d
+				}
+				ds.onlineErr = append(ds.onlineErr, d)
+			}
+		}
+		return ds, nil
+	}
+
+	var rows []RegressionRow
+	for _, st := range pipeline.PaperStructures {
+		trainSet, err := collect(train, st)
+		if err != nil {
+			return nil, err
+		}
+		testSet, err := collect(test, st)
+		if err != nil {
+			return nil, err
+		}
+		model, err := regress.Fit(trainSet.X, trainSet.y, 1e-6)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: regression fit for %v: %w", st, err)
+		}
+		rows = append(rows, RegressionRow{
+			Structure: st,
+			TrainErr:  model.MeanAbsError(trainSet.X, trainSet.y),
+			TestErr:   model.MeanAbsError(testSet.X, testSet.y),
+			OnlineErr: stats.Mean(testSet.onlineErr),
+		})
+	}
+	return rows, nil
+}
+
+// Baselines renders both related-work comparisons.
+func (s *Suite) Baselines(w io.Writer) error {
+	occ, err := s.OccupancyStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Baseline A: occupancy counting (Soundararajan-style) vs online, IQ complex")
+	fmt.Fprintln(w, "  (occupancy needs no error bits but counts dead instructions as vulnerable)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "  app\tmean occ\tmean real\tocc err\tonline err\t\n")
+	for _, r := range occ {
+		fmt.Fprintf(tw, "  %s\t%.4f\t%.4f\t%.4f\t%.4f\t\n",
+			r.Benchmark, r.MeanOcc, r.MeanRef, r.OccErr, r.OnlineErr)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	reg, err := s.RegressionStudy()
+	if err != nil {
+		return err
+	}
+	train, test := RegressionSplit()
+	fmt.Fprintln(w, "\nBaseline B: offline-calibrated regression (Walcott-style) vs online")
+	fmt.Fprintf(w, "  trained on %v\n  tested on %v\n", train, test)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "  struct\ttrain err\ttest err\tonline err (same intervals)\t\n")
+	for _, r := range reg {
+		fmt.Fprintf(tw, "  %s\t%.4f\t%.4f\t%.4f\t\n", r.Structure, r.TrainErr, r.TestErr, r.OnlineErr)
+	}
+	return tw.Flush()
+}

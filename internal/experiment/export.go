@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"avfsim/internal/pipeline"
+)
+
+// parseStructureName resolves a serialized structure name.
+func parseStructureName(name string) (pipeline.Structure, error) {
+	return pipeline.ParseStructure(name)
+}
+
+// This file serializes run results for external tooling (plotting the
+// figures, archiving sweeps).
+
+// WriteCSV emits one row per (structure, interval) with the online,
+// reference, and (where applicable) utilization AVFs, plus the
+// occupancy-proxy series for the IQ complex.
+func WriteCSV(w io.Writer, res *Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark", "structure", "interval", "online", "reference", "utilization", "iq_occupancy"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	for _, ss := range res.Series {
+		for i := range ss.Online {
+			row := []string{
+				res.Benchmark,
+				ss.Structure.String(),
+				strconv.Itoa(i),
+				f(ss.Online[i]),
+				f(ss.Reference[i]),
+				"",
+				"",
+			}
+			if ss.Utilization != nil {
+				row[5] = f(ss.Utilization[i])
+			}
+			if ss.Structure.String() == "iq" && i < len(res.IQOccupancy) {
+				row[6] = f(res.IQOccupancy[i])
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonResult is the serializable projection of a Result.
+type jsonResult struct {
+	Benchmark    string             `json:"benchmark"`
+	M            int64              `json:"m"`
+	N            int                `json:"n"`
+	Intervals    int                `json:"intervals"`
+	IPC          float64            `json:"ipc"`
+	DroppedMarks int64              `json:"dropped_marks"`
+	Series       []jsonStructSeries `json:"series"`
+	IQOccupancy  []float64          `json:"iq_occupancy,omitempty"`
+	FeatureNames []string           `json:"feature_names,omitempty"`
+	Features     [][]float64        `json:"features,omitempty"`
+}
+
+type jsonStructSeries struct {
+	Structure   string    `json:"structure"`
+	Online      []float64 `json:"online"`
+	Reference   []float64 `json:"reference"`
+	Utilization []float64 `json:"utilization,omitempty"`
+}
+
+// WriteJSON emits the full result, including the per-interval feature
+// vectors used by the regression baseline.
+func WriteJSON(w io.Writer, res *Result) error {
+	jr := jsonResult{
+		Benchmark:    res.Benchmark,
+		M:            res.M,
+		N:            res.N,
+		Intervals:    res.Intervals,
+		IPC:          res.Stats.IPC,
+		DroppedMarks: res.DroppedMarks,
+		IQOccupancy:  res.IQOccupancy,
+		FeatureNames: FeatureNames,
+		Features:     res.Features,
+	}
+	for _, ss := range res.Series {
+		jr.Series = append(jr.Series, jsonStructSeries{
+			Structure:   ss.Structure.String(),
+			Online:      ss.Online,
+			Reference:   ss.Reference,
+			Utilization: ss.Utilization,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jr)
+}
+
+// ReadJSON decodes a WriteJSON document back into the serializable
+// projection — round-trip support for external pipelines.
+func ReadJSON(r io.Reader) (*Result, error) {
+	var jr jsonResult
+	if err := json.NewDecoder(r).Decode(&jr); err != nil {
+		return nil, fmt.Errorf("experiment: decoding result JSON: %w", err)
+	}
+	res := &Result{
+		Benchmark:    jr.Benchmark,
+		M:            jr.M,
+		N:            jr.N,
+		Intervals:    jr.Intervals,
+		DroppedMarks: jr.DroppedMarks,
+		IQOccupancy:  jr.IQOccupancy,
+		Features:     jr.Features,
+	}
+	res.Stats.IPC = jr.IPC
+	for _, ss := range jr.Series {
+		st, err := parseStructureName(ss.Structure)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, StructSeries{
+			Structure:   st,
+			Online:      ss.Online,
+			Reference:   ss.Reference,
+			Utilization: ss.Utilization,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"avfsim/internal/pipeline"
+	"avfsim/internal/trace"
+	"avfsim/internal/workload"
+)
+
+func exportResult(t *testing.T) *Result {
+	t.Helper()
+	res, err := Run(RunConfig{
+		Benchmark: "mesa", Scale: 0.02, Seed: 1, M: 500, N: 80, Intervals: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := exportResult(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 4 structures × 3 intervals.
+	if len(records) != 1+4*3 {
+		t.Fatalf("got %d rows", len(records))
+	}
+	if got := strings.Join(records[0], ","); got != "benchmark,structure,interval,online,reference,utilization,iq_occupancy" {
+		t.Errorf("header = %q", got)
+	}
+	// IQ rows carry occupancy; FXU rows carry utilization.
+	sawIQOcc, sawFXUUtil := false, false
+	for _, r := range records[1:] {
+		if r[1] == "iq" && r[6] != "" {
+			sawIQOcc = true
+		}
+		if r[1] == "fxu" && r[5] != "" {
+			sawFXUUtil = true
+		}
+		if r[1] == "iq" && r[5] != "" {
+			t.Error("IQ row has utilization")
+		}
+	}
+	if !sawIQOcc || !sawFXUUtil {
+		t.Errorf("missing occupancy (%v) or utilization (%v) columns", sawIQOcc, sawFXUUtil)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	res := exportResult(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != res.Benchmark || got.M != res.M || got.N != res.N || got.Intervals != res.Intervals {
+		t.Errorf("metadata mismatch: %+v", got)
+	}
+	if len(got.Series) != len(res.Series) {
+		t.Fatalf("series count %d vs %d", len(got.Series), len(res.Series))
+	}
+	for i, ss := range got.Series {
+		want := res.Series[i]
+		if ss.Structure != want.Structure {
+			t.Errorf("series %d structure %v vs %v", i, ss.Structure, want.Structure)
+		}
+		for j := range ss.Online {
+			if ss.Online[j] != want.Online[j] || ss.Reference[j] != want.Reference[j] {
+				t.Fatalf("series %d interval %d mismatch", i, j)
+			}
+		}
+	}
+	if len(got.Features) != len(res.Features) {
+		t.Errorf("features %d vs %d", len(got.Features), len(res.Features))
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"series":[{"structure":"bogus"}]}`)); err == nil {
+		t.Error("unknown structure name accepted")
+	}
+}
+
+func TestRunFromLoopedTrace(t *testing.T) {
+	// Record a window of a benchmark and loop it; Run must work and give
+	// in-range AVFs.
+	prof, err := workload.ByName("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := trace.Collect(prof.MustSource(1), 50_000)
+	res, err := Run(RunConfig{
+		Source: trace.NewLoop(insts), Benchmark: "looped-bzip2",
+		M: 500, N: 100, Intervals: 3,
+		Structures: []pipeline.Structure{pipeline.StructIQ, pipeline.StructReg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "looped-bzip2" {
+		t.Errorf("benchmark name = %q", res.Benchmark)
+	}
+	for _, ss := range res.Series {
+		for i, v := range ss.Online {
+			if v < 0 || v > 1 {
+				t.Errorf("%v interval %d online AVF = %v", ss.Structure, i, v)
+			}
+		}
+	}
+}

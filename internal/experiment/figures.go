@@ -1,0 +1,457 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"avfsim/internal/config"
+	"avfsim/internal/pipeline"
+	"avfsim/internal/predict"
+	"avfsim/internal/stats"
+	"avfsim/internal/workload"
+)
+
+// ScaleSpec sets the experiment scale. The paper runs M = N = 1000 (1M
+// cycles per estimation interval) over 100–200 intervals per benchmark;
+// scaled-down specs shrink N, the interval count, and the workload phase
+// lengths proportionally so phase structure stays visible.
+type ScaleSpec struct {
+	Name string
+	// Scale multiplies workload phase lengths (1 = paper).
+	Scale float64
+	// M and N are the estimator parameters.
+	M int64
+	N int
+	// Intervals is the per-benchmark interval count for aggregate
+	// figures; DetailIntervals is used for the Figure 4 time series
+	// (the paper plots 100 for mesa, 200 for ammp).
+	Intervals       int
+	DetailIntervals int
+	// Fig2M is the injection window while measuring propagation-latency
+	// CDFs (large, so the distribution tail is visible).
+	Fig2M int64
+	// Fig2Samples is the number of injections for the latency CDFs.
+	Fig2Samples int
+}
+
+// Predefined scales.
+var (
+	// Quick runs in seconds; for tests and benches.
+	Quick = ScaleSpec{
+		Name: "quick", Scale: 0.02, M: 1000, N: 150,
+		Intervals: 8, DetailIntervals: 16, Fig2M: 4000, Fig2Samples: 2000,
+	}
+	// Standard is the default for cmd/avfreport (a few minutes).
+	Standard = ScaleSpec{
+		Name: "standard", Scale: 0.05, M: 1000, N: 500,
+		Intervals: 20, DetailIntervals: 40, Fig2M: 5000, Fig2Samples: 4000,
+	}
+	// Paper reproduces the paper's scale: M = N = 1000, 100–200
+	// intervals (hours of simulation).
+	Paper = ScaleSpec{
+		Name: "paper", Scale: 1, M: 1000, N: 1000,
+		Intervals: 100, DetailIntervals: 200, Fig2M: 5000, Fig2Samples: 10000,
+	}
+)
+
+// Suite runs and caches the benchmark grid behind the paper's figures.
+type Suite struct {
+	Spec ScaleSpec
+	Seed uint64
+
+	cache map[string]*Result
+}
+
+// NewSuite returns a Suite at the given scale.
+func NewSuite(spec ScaleSpec, seed uint64) *Suite {
+	return &Suite{Spec: spec, Seed: seed, cache: map[string]*Result{}}
+}
+
+// resultFor runs (or returns the cached run of) one benchmark with the
+// given interval count.
+func (s *Suite) resultFor(bench string, intervals int) (*Result, error) {
+	key := fmt.Sprintf("%s/%d", bench, intervals)
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	r, err := Run(RunConfig{
+		Benchmark: bench,
+		Scale:     s.Spec.Scale,
+		Seed:      s.Seed,
+		M:         s.Spec.M,
+		N:         s.Spec.N,
+		Intervals: intervals,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.cache[key] = r
+	return r, nil
+}
+
+// --- Table 1 ------------------------------------------------------------
+
+// Table1 prints the simulated-processor parameters.
+func (s *Suite) Table1(w io.Writer) error {
+	c := config.Default()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Table 1: Parameters for the simulated processor")
+	rows := [][2]string{
+		{"Fetch rate", fmt.Sprintf("%d per cycle", c.FetchWidth)},
+		{"Retirement rate", fmt.Sprintf("1 dispatch-group (=%d, max) per cycle", c.DispatchGroup)},
+		{"Functional units", fmt.Sprintf("%d Int, %d FP, %d Load-Store, %d Branch", c.NumIntUnits, c.NumFPUnits, c.NumLSUnits, c.NumBrUnits)},
+		{"Issue queue entries", fmt.Sprintf("FPU = %d, Load/Store/Integer = %d, Branch = %d", c.FPUQueueEntries, c.FXUQueueEntries, c.BrQueueEntries)},
+		{"Integer FU latencies", fmt.Sprintf("%d/%d/%d add/multiply/divide (pipelined)", c.IntALULatency, c.IntMulLatency, c.IntDivLatency)},
+		{"FP FU latencies", fmt.Sprintf("%d default, %d div. (pipelined)", c.FPDefaultLatency, c.FPDivLatency)},
+		{"Register file size", fmt.Sprintf("%d integer, %d FP", c.IntRegs, c.FPRegs)},
+		{"iTLB/dTLB entries", fmt.Sprintf("%d/%d", c.ITLBEntries, c.DTLBEntries)},
+		{"Instruction buffer entries", fmt.Sprintf("%d", c.InstBufferEntries)},
+		{"L1 Dcache", fmt.Sprintf("%dKB, %d-way, %d-byte line", c.L1D.SizeBytes>>10, c.L1D.Ways, c.L1D.LineBytes)},
+		{"L1 Icache", fmt.Sprintf("%dKB, %d-way, %d-byte line", c.L1I.SizeBytes>>10, c.L1I.Ways, c.L1I.LineBytes)},
+		{"L2 (Unified)", fmt.Sprintf("%dMB, %d-way, %d-byte line", c.L2.SizeBytes>>20, c.L2.Ways, c.L2.LineBytes)},
+		{"L1/L2/Memory latency", fmt.Sprintf("%d /%d /%d cycles", c.L1D.LatencyCycles, c.L2.LatencyCycles, c.MemLatencyCycles)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(tw, "  %s\t%s\n", r[0], r[1])
+	}
+	return tw.Flush()
+}
+
+// --- Figure 1 -----------------------------------------------------------
+
+// Figure1 prints the samples-needed curves N(AVF) for the paper's
+// estimator precisions.
+func (s *Suite) Figure1(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 1: samples N needed vs AVF, per estimator precision sigma")
+	fmt.Fprintf(w, "  conservative bounds: sigma=0.01 -> N=%d, sigma=0.02 -> N=%d\n",
+		stats.ConservativeSamplesNeeded(0.01), stats.ConservativeSamplesNeeded(0.02))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "  AVF\t")
+	for _, sg := range stats.Figure1Sigmas {
+		fmt.Fprintf(tw, "sigma=%.2f\t", sg)
+	}
+	fmt.Fprintln(tw)
+	const steps = 20
+	for i := 0; i <= steps; i++ {
+		avf := float64(i) / steps
+		fmt.Fprintf(tw, "  %.2f\t", avf)
+		for _, sg := range stats.Figure1Sigmas {
+			fmt.Fprintf(tw, "%d\t", stats.SamplesNeeded(avf, sg))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// --- Figure 2 -----------------------------------------------------------
+
+// Fig2Series is one propagation-latency CDF.
+type Fig2Series struct {
+	Structure pipeline.Structure
+	Points    []stats.CDFPoint
+	Samples   int
+}
+
+// Figure2Data measures the cumulative distribution of the time an injected
+// error takes to reach a failure point, for the register file and FXU on
+// bzip2 (the paper's Figure 2 subject).
+func (s *Suite) Figure2Data() ([]Fig2Series, error) {
+	structures := []pipeline.Structure{pipeline.StructReg, pipeline.StructFXU}
+	injections := s.Spec.Fig2Samples
+	intervals := 1
+	// One long pseudo-interval so the estimator keeps injecting; the
+	// latency CDF is what we are after.
+	res, err := Run(RunConfig{
+		Benchmark:     "bzip2",
+		Scale:         s.Spec.Scale,
+		Seed:          s.Seed,
+		M:             s.Spec.Fig2M,
+		N:             injections,
+		Intervals:     intervals,
+		Structures:    structures,
+		RecordLatency: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig2Series
+	for _, st := range structures {
+		cdf := res.Estimator.Latencies(st)
+		out = append(out, Fig2Series{
+			Structure: st,
+			Points:    cdf.Points(40),
+			Samples:   cdf.N(),
+		})
+	}
+	return out, nil
+}
+
+// Figure2 prints the propagation-latency CDFs.
+func (s *Suite) Figure2(w io.Writer) error {
+	data, err := s.Figure2Data()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 2: cumulative distribution of error propagation time to failure")
+	fmt.Fprintln(w, "  (benchmark bzip2; latency in cycles from injection to failure-point retirement)")
+	for _, series := range data {
+		fmt.Fprintf(w, "  %s (%d unmasked injections):\n", series.Structure, series.Samples)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintf(tw, "    cum.frac\tlatency<=\t\n")
+		for _, pt := range series.Points {
+			fmt.Fprintf(tw, "    %.3f\t%d\t\n", pt.Fraction, pt.Value)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Figure 3 -----------------------------------------------------------
+
+// Fig3Row is the error aggregate for one benchmark × structure.
+type Fig3Row struct {
+	Benchmark string
+	Structure pipeline.Structure
+	// OnlineAbs/OnlineRel summarize the online estimator's absolute and
+	// relative error against the reference.
+	OnlineAbs, OnlineRel stats.Summary
+	// UtilAbs/UtilRel do the same for the utilization baseline (logic
+	// structures only; zero-value otherwise).
+	UtilAbs, UtilRel stats.Summary
+	// HasUtil reports whether the utilization columns are meaningful.
+	HasUtil bool
+}
+
+// relFloor is the reference-AVF floor below which relative error is not
+// accumulated (the paper notes relative error explodes when the real AVF
+// is near zero).
+const relFloor = 1e-3
+
+// Figure3Data computes the Figure 3 aggregates for every benchmark and the
+// paper's four structures.
+func (s *Suite) Figure3Data() ([]Fig3Row, error) {
+	var rows []Fig3Row
+	for _, bench := range workload.Names() {
+		res, err := s.resultFor(bench, s.Spec.Intervals)
+		if err != nil {
+			return nil, err
+		}
+		for _, ss := range res.Series {
+			row := Fig3Row{Benchmark: bench, Structure: ss.Structure}
+			row.OnlineAbs = stats.Summarize(stats.AbsErrors(ss.Online, ss.Reference))
+			row.OnlineRel = stats.Summarize(stats.RelErrors(ss.Online, ss.Reference, relFloor))
+			if ss.Utilization != nil {
+				row.HasUtil = true
+				row.UtilAbs = stats.Summarize(stats.AbsErrors(ss.Utilization, ss.Reference))
+				row.UtilRel = stats.Summarize(stats.RelErrors(ss.Utilization, ss.Reference, relFloor))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Figure3 prints the per-application error aggregates, one block per
+// structure, mirroring Figure 3(a)–(d).
+func (s *Suite) Figure3(w io.Writer) error {
+	rows, err := s.Figure3Data()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 3: error in AVF estimation vs the SoftArch-style reference")
+	fmt.Fprintln(w, "  (abs = absolute error; rel = relative error; O = online method, U = utilization)")
+	for _, st := range pipeline.PaperStructures {
+		fmt.Fprintf(w, "  (%s)\n", st)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintf(tw, "    app\tO abs mean\tO abs sd\tO abs max\tO rel mean\tU abs mean\tU abs sd\tU abs max\tU rel mean\t\n")
+		for _, r := range rows {
+			if r.Structure != st {
+				continue
+			}
+			fmt.Fprintf(tw, "    %s\t%.4f\t%.4f\t%.4f\t%.1f%%\t", r.Benchmark,
+				r.OnlineAbs.Mean, r.OnlineAbs.StdDev, r.OnlineAbs.Max, 100*r.OnlineRel.Mean)
+			if r.HasUtil {
+				fmt.Fprintf(tw, "%.4f\t%.4f\t%.4f\t%.1f%%\t\n",
+					r.UtilAbs.Mean, r.UtilAbs.StdDev, r.UtilAbs.Max, 100*r.UtilRel.Mean)
+			} else {
+				fmt.Fprintf(tw, "-\t-\t-\t-\t\n")
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Figure 4 -----------------------------------------------------------
+
+// Figure4Benchmarks are the two applications the paper plots in detail.
+var Figure4Benchmarks = []string{"mesa", "ammp"}
+
+// Figure4 prints the per-interval AVF time series (reference, online, and
+// utilization where applicable) for mesa and ammp.
+func (s *Suite) Figure4(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 4: per-interval AVF time series (real = reference, est = online)")
+	for _, bench := range Figure4Benchmarks {
+		res, err := s.resultFor(bench, s.Spec.DetailIntervals)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %s (%d intervals of %d cycles):\n", bench, res.Intervals, res.M*int64(res.N))
+		for _, ss := range res.Series {
+			fmt.Fprintf(w, "    %s:\n", ss.Structure)
+			tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+			fmt.Fprintf(tw, "      ivl\treal\test\t")
+			if ss.Utilization != nil {
+				fmt.Fprintf(tw, "util\t")
+			}
+			fmt.Fprintln(tw)
+			for i := range ss.Online {
+				fmt.Fprintf(tw, "      %d\t%.3f\t%.3f\t", i, ss.Reference[i], ss.Online[i])
+				if ss.Utilization != nil {
+					fmt.Fprintf(tw, "%.3f\t", ss.Utilization[i])
+				}
+				fmt.Fprintln(tw)
+			}
+			if err := tw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- Figure 5 -----------------------------------------------------------
+
+// Fig5Row is the prediction outcome for one benchmark × structure.
+type Fig5Row struct {
+	Benchmark string
+	Structure pipeline.Structure
+	// PredErr is the mean absolute error of the last-value predictor
+	// (fed online estimates, scored against the reference AVF).
+	PredErr float64
+	// MeanAVF is the mean reference AVF, plotted alongside in the paper.
+	MeanAVF float64
+}
+
+// Figure5Data evaluates the simple last-value predictor for every
+// benchmark × structure.
+func (s *Suite) Figure5Data() ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, bench := range workload.Names() {
+		res, err := s.resultFor(bench, s.Spec.Intervals)
+		if err != nil {
+			return nil, err
+		}
+		for _, ss := range res.Series {
+			ev, err := predict.Evaluate(predict.NewLastValue(), ss.Online, ss.Reference)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig5Row{
+				Benchmark: bench,
+				Structure: ss.Structure,
+				PredErr:   ev.MeanAbsError,
+				MeanAVF:   ev.MeanAVF,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Figure5 prints the prediction-error chart data, followed by the
+// predictor-comparison extension (Section 3.6 suggests combining the
+// estimator with a phase-prediction algorithm; PhaseMarkov is one).
+func (s *Suite) Figure5(w io.Writer) error {
+	rows, err := s.Figure5Data()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 5: last-value AVF prediction (error vs average AVF)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "  app\tstruct\tavg pred err\tavg AVF\t\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "  %s\t%s\t%.4f\t%.4f\t\n", r.Benchmark, r.Structure, r.PredErr, r.MeanAVF)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	comp, err := s.PredictorStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nExtension: predictor comparison (mean abs error; phase-markov uses the")
+	fmt.Fprintln(w, "  interval feature signatures, per the paper's Section 3.6 suggestion)")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "  app\tstruct\tlast-value\tewma\twindow\tphase-markov\t\n")
+	for _, r := range comp {
+		fmt.Fprintf(tw, "  %s\t%s\t%.4f\t%.4f\t%.4f\t%.4f\t\n",
+			r.Benchmark, r.Structure, r.LastValue, r.EWMA, r.Window, r.PhaseMarkov)
+	}
+	return tw.Flush()
+}
+
+// PredictorRow compares the predictors on one benchmark × structure.
+type PredictorRow struct {
+	Benchmark                            string
+	Structure                            pipeline.Structure
+	LastValue, EWMA, Window, PhaseMarkov float64
+}
+
+// PredictorStudy evaluates the four predictors over the suite, feeding
+// each the online estimates (and, for the phase predictor, the interval
+// feature vectors) and scoring against the reference AVF.
+func (s *Suite) PredictorStudy() ([]PredictorRow, error) {
+	var rows []PredictorRow
+	for _, bench := range workload.Names() {
+		res, err := s.resultFor(bench, s.Spec.Intervals)
+		if err != nil {
+			return nil, err
+		}
+		for _, ss := range res.Series {
+			row := PredictorRow{Benchmark: bench, Structure: ss.Structure}
+			ewma, _ := predict.NewEWMA(0.5)
+			window, _ := predict.NewWindow(4)
+			markov, _ := predict.NewPhaseMarkov(4)
+			preds := []struct {
+				p   predict.FeaturePredictor
+				dst *float64
+			}{
+				{predict.Lift(predict.NewLastValue()), &row.LastValue},
+				{predict.Lift(ewma), &row.EWMA},
+				{predict.Lift(window), &row.Window},
+				{markov, &row.PhaseMarkov},
+			}
+			for _, pr := range preds {
+				ev, err := predict.EvaluateFeatures(pr.p, ss.Online, ss.Reference, res.Features)
+				if err != nil {
+					return nil, err
+				}
+				*pr.dst = ev.MeanAbsError
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// All prints every table and figure, then the ablations and the
+// related-work baselines.
+func (s *Suite) All(w io.Writer) error {
+	steps := []func(io.Writer) error{
+		s.Table1, s.Figure1, s.Figure2, s.Figure3, s.Figure4, s.Figure5,
+		s.Ablations, s.Baselines,
+	}
+	for _, step := range steps {
+		if err := step(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"avfsim/internal/pipeline"
+)
+
+// tinySpec keeps figure tests fast while exercising the full path.
+var tinySpec = ScaleSpec{
+	Name: "tiny", Scale: 0.02, M: 500, N: 60,
+	Intervals: 3, DetailIntervals: 4, Fig2M: 2000, Fig2Samples: 300,
+}
+
+func TestTable1Render(t *testing.T) {
+	var b strings.Builder
+	if err := NewSuite(tinySpec, 1).Table1(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"8 per cycle", "2 Int, 2 FP, 2 Load-Store, 1 Branch",
+		"FPU = 20, Load/Store/Integer = 36, Branch = 12", "80 integer, 72 FP",
+		"1/4/35", "5 default, 28 div", "128/128", "32KB, 2-way", "64KB, 1-way",
+		"1MB, 4-way", "1 /20 /165 cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestFigure1Render(t *testing.T) {
+	var b strings.Builder
+	if err := NewSuite(tinySpec, 1).Figure1(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "N=2500") || !strings.Contains(out, "N=625") {
+		t.Errorf("Figure 1 missing the paper's headline bounds:\n%s", out)
+	}
+}
+
+func TestFigure2Data(t *testing.T) {
+	s := NewSuite(tinySpec, 1)
+	data, err := s.Figure2Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 2 {
+		t.Fatalf("got %d series", len(data))
+	}
+	for _, series := range data {
+		if series.Samples == 0 {
+			t.Errorf("%v: no latency samples", series.Structure)
+		}
+		if len(series.Points) == 0 {
+			t.Errorf("%v: no CDF points", series.Structure)
+		}
+		// CDF must be monotone in both coordinates.
+		for i := 1; i < len(series.Points); i++ {
+			if series.Points[i].Value < series.Points[i-1].Value ||
+				series.Points[i].Fraction < series.Points[i-1].Fraction {
+				t.Errorf("%v: non-monotone CDF", series.Structure)
+				break
+			}
+		}
+		// Latencies bounded by the injection window.
+		last := series.Points[len(series.Points)-1]
+		if last.Value <= 0 || last.Value > tinySpec.Fig2M {
+			t.Errorf("%v: max latency %d outside (0, %d]", series.Structure, last.Value, tinySpec.Fig2M)
+		}
+	}
+	var b strings.Builder
+	if err := s.Figure2(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "bzip2") {
+		t.Error("Figure 2 output missing benchmark name")
+	}
+}
+
+// TestFigure3And5OverSubset runs the aggregate figures over a trimmed
+// benchmark list by exercising Figure3Data's per-benchmark loop through
+// the suite cache (full-suite runs live in cmd/avfreport and the benches).
+func TestFigure3DataSingleBenchmark(t *testing.T) {
+	s := NewSuite(tinySpec, 1)
+	// Prime the cache for one benchmark, then compute rows just for it by
+	// calling the underlying pieces.
+	res, err := s.resultFor("mesa", tinySpec.Intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != len(pipeline.PaperStructures) {
+		t.Fatalf("series count = %d", len(res.Series))
+	}
+	// Cached: second call must return the same pointer.
+	res2, _ := s.resultFor("mesa", tinySpec.Intervals)
+	if res != res2 {
+		t.Error("suite cache miss on identical request")
+	}
+}
+
+func TestFigure4Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-benchmark figure render")
+	}
+	s := NewSuite(tinySpec, 1)
+	var b strings.Builder
+	if err := s.Figure4(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"mesa", "ammp", "real", "est", "util"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 4 output missing %q", want)
+		}
+	}
+}
+
+func TestPredictorStudySingleStructureShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite study")
+	}
+	s := NewSuite(tinySpec, 1)
+	rows, err := s.PredictorStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11*4 {
+		t.Fatalf("got %d rows, want 44", len(rows))
+	}
+	for _, r := range rows {
+		for name, v := range map[string]float64{
+			"last-value": r.LastValue, "ewma": r.EWMA,
+			"window": r.Window, "phase-markov": r.PhaseMarkov,
+		} {
+			if v < 0 || v > 0.5 {
+				t.Errorf("%s/%v %s error = %v implausible", r.Benchmark, r.Structure, name, v)
+			}
+		}
+	}
+}
+
+// TestFullReportRenders exercises every figure path end to end at the
+// tiniest scale — the same code path as cmd/avfreport.
+func TestFullReportRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the complete report")
+	}
+	s := NewSuite(tinySpec, 1)
+	var b strings.Builder
+	if err := s.All(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Table 1", "Figure 1", "Figure 2", "Figure 3", "Figure 4",
+		"Figure 5", "phase-markov", "Ablation A", "Baseline A",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Figure 3 rows cover every benchmark under every structure header.
+	for _, bench := range []string{"ammp", "wupwise", "perlbmk"} {
+		if n := strings.Count(out, bench); n < 4 {
+			t.Errorf("benchmark %s appears %d times, want >= 4", bench, n)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package experiment orchestrates full runs: it wires a workload through
+// the pipeline with the online estimator (internal/core), the SoftArch
+// reference (internal/softarch), and the utilization baseline all
+// observing the same execution, and produces the per-interval AVF series
+// every figure of the paper is built from.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"avfsim/internal/config"
+	"avfsim/internal/core"
+	"avfsim/internal/pipeline"
+	"avfsim/internal/softarch"
+	"avfsim/internal/trace"
+	"avfsim/internal/workload"
+)
+
+// RunConfig describes one benchmark × estimator run.
+type RunConfig struct {
+	// Benchmark names a workload profile (see workload.Names).
+	Benchmark string
+	// Profile overrides Benchmark with an explicit profile when non-nil.
+	Profile *workload.Profile
+	// Source overrides both with an explicit instruction stream (e.g. a
+	// looped trace file). It must be endless; wrap finite recordings in
+	// trace.NewLoop. Scale does not apply.
+	Source trace.Source
+	// Scale shrinks profile phase lengths (1 = paper scale). Use it
+	// together with a smaller N to keep phase-to-interval ratios fixed.
+	Scale float64
+	// Seed perturbs the workload generators.
+	Seed uint64
+
+	// M is the injection wait (cycles); N the injections per estimate.
+	// Defaults: the paper's M = N = 1000.
+	M int64
+	N int
+	// Intervals is how many estimation intervals to simulate.
+	Intervals int
+
+	// Structures to monitor; defaults to the paper's four.
+	Structures []pipeline.Structure
+
+	// Window is the softarch node-ring size (0 = default).
+	Window int
+
+	// RandomEntry / RandomSchedule pass through to the estimator
+	// (ablations).
+	RandomEntry    bool
+	RandomSchedule bool
+	// RecordLatency collects injection-to-failure latencies.
+	RecordLatency bool
+	// Multiplex emulates single-error-bit hardware: injections rotate
+	// across the monitored structures (see core.Options.Multiplex).
+	Multiplex bool
+	// Config overrides the processor configuration when non-nil.
+	Config *config.Config
+}
+
+func (c *RunConfig) defaults() error {
+	if c.M == 0 {
+		c.M = 1000
+	}
+	if c.N == 0 {
+		c.N = 1000
+	}
+	if c.Intervals == 0 {
+		c.Intervals = 10
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.M < 0 || c.N < 0 || c.Intervals < 0 || c.Scale < 0 || c.Scale > 1 {
+		return errors.New("experiment: negative or out-of-range run parameters")
+	}
+	if len(c.Structures) == 0 {
+		c.Structures = append([]pipeline.Structure(nil), pipeline.PaperStructures...)
+	}
+	return nil
+}
+
+// StructSeries holds the three per-interval AVF series for one structure.
+type StructSeries struct {
+	Structure pipeline.Structure
+	// Online is the paper's estimator output.
+	Online []float64
+	// Reference is the SoftArch-style exact ACE analysis.
+	Reference []float64
+	// Utilization is the busy-fraction baseline (logic structures only;
+	// nil otherwise).
+	Utilization []float64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Benchmark string
+	M         int64
+	N         int
+	Intervals int
+	Series    []StructSeries
+	Stats     pipeline.Stats
+	// DroppedMarks is the softarch chain-truncation diagnostic (should
+	// be 0 or negligible).
+	DroppedMarks int64
+	// Estimator gives access to latency CDFs etc. after the run.
+	Estimator *core.Estimator
+	// IQOccupancy is the occupancy-proxy baseline series for the
+	// issue-queue complex (Soundararajan-style).
+	IQOccupancy []float64
+	// Features holds one microarchitectural feature vector per interval
+	// (see FeatureNames) — the inputs of the regression baseline.
+	Features [][]float64
+}
+
+// FeatureNames labels the columns of Result.Features.
+var FeatureNames = []string{
+	"ipc", "iq-occ", "busy-int", "busy-fp", "busy-ls",
+	"l1d-miss", "l2-miss", "br-mispredict",
+}
+
+// featureSampler extracts per-interval deltas of observable counters —
+// the variables a Walcott-style regression predicts AVF from.
+type featureSampler struct {
+	p *pipeline.Pipeline
+
+	lastCycle, lastRetired, lastOcc int64
+	lastBusy                        [pipeline.NumFUKinds]int64
+	lastL1DAcc, lastL1DMiss         int64
+	lastL2Acc, lastL2Miss           int64
+	lastBrPred, lastBrMis           int64
+
+	rows [][]float64
+}
+
+func newFeatureSampler(p *pipeline.Pipeline) *featureSampler {
+	return &featureSampler{p: p}
+}
+
+func rate(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Sample closes the current interval and appends its feature vector.
+func (f *featureSampler) Sample() {
+	p := f.p
+	h := p.Hierarchy()
+	br := p.Predictor()
+	cycle := p.Cycle()
+	dc := cycle - f.lastCycle
+
+	units := func(k pipeline.FUKind) int64 {
+		switch k {
+		case pipeline.FUInt:
+			return int64(p.Config().NumIntUnits)
+		case pipeline.FUFP:
+			return int64(p.Config().NumFPUnits)
+		default:
+			return int64(p.Config().NumLSUnits)
+		}
+	}
+	row := []float64{
+		rate(p.Retired()-f.lastRetired, dc),
+		rate(p.IQOccupancySum()-f.lastOcc, dc*int64(p.StructureEntries(pipeline.StructIQ))),
+		rate(p.BusyUnitCycles(pipeline.FUInt)-f.lastBusy[pipeline.FUInt], dc*units(pipeline.FUInt)),
+		rate(p.BusyUnitCycles(pipeline.FUFP)-f.lastBusy[pipeline.FUFP], dc*units(pipeline.FUFP)),
+		rate(p.BusyUnitCycles(pipeline.FULS)-f.lastBusy[pipeline.FULS], dc*units(pipeline.FULS)),
+		rate(h.L1D.Misses()-f.lastL1DMiss, h.L1D.Accesses()-f.lastL1DAcc),
+		rate(h.L2.Misses()-f.lastL2Miss, h.L2.Accesses()-f.lastL2Acc),
+		rate(br.Mispredicts()-f.lastBrMis, br.Predictions()-f.lastBrPred),
+	}
+	f.rows = append(f.rows, row)
+
+	f.lastCycle, f.lastRetired, f.lastOcc = cycle, p.Retired(), p.IQOccupancySum()
+	for k := 0; k < pipeline.NumFUKinds; k++ {
+		f.lastBusy[k] = p.BusyUnitCycles(pipeline.FUKind(k))
+	}
+	f.lastL1DAcc, f.lastL1DMiss = h.L1D.Accesses(), h.L1D.Misses()
+	f.lastL2Acc, f.lastL2Miss = h.L2.Accesses(), h.L2.Misses()
+	f.lastBrPred, f.lastBrMis = br.Predictions(), br.Mispredicts()
+}
+
+// SeriesFor returns the series for structure s, or nil.
+func (r *Result) SeriesFor(s pipeline.Structure) *StructSeries {
+	for i := range r.Series {
+		if r.Series[i].Structure == s {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// Run executes one benchmark under simultaneous online estimation,
+// reference analysis, and utilization sampling.
+func Run(rc RunConfig) (*Result, error) {
+	if err := rc.defaults(); err != nil {
+		return nil, err
+	}
+	var src trace.Source
+	name := rc.Benchmark
+	if rc.Source != nil {
+		src = rc.Source
+		if name == "" {
+			name = "custom"
+		}
+	} else {
+		prof := rc.Profile
+		if prof == nil {
+			var err error
+			prof, err = workload.ByName(rc.Benchmark)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if rc.Scale != 1 {
+			prof = workload.Scale(prof, rc.Scale)
+		}
+		name = prof.Name
+		var err error
+		src, err = prof.Source(rc.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg := config.Default()
+	if rc.Config != nil {
+		cfg = *rc.Config
+	}
+	p, err := pipeline.New(&cfg, src)
+	if err != nil {
+		return nil, err
+	}
+
+	est, err := core.NewEstimator(p, core.Options{
+		M: rc.M, N: rc.N,
+		Structures:     rc.Structures,
+		RandomEntry:    rc.RandomEntry,
+		RandomSchedule: rc.RandomSchedule,
+		Seed:           rc.Seed,
+		RecordLatency:  rc.RecordLatency,
+		Multiplex:      rc.Multiplex,
+	})
+	if err != nil {
+		return nil, err
+	}
+	intervalCycles := rc.M * int64(rc.N)
+	if rc.Multiplex {
+		// One live error rotating across K structures: each structure
+		// completes its N injections only every K*M*N cycles.
+		intervalCycles *= int64(len(rc.Structures))
+	}
+	ref, err := softarch.NewAnalyzer(p, softarch.Options{
+		IntervalCycles: intervalCycles,
+		Window:         rc.Window,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var logicStructs []pipeline.Structure
+	for _, s := range rc.Structures {
+		if _, ok := pipeline.UnitKind(s); ok {
+			logicStructs = append(logicStructs, s)
+		}
+	}
+	var util *core.Utilization
+	if len(logicStructs) > 0 {
+		util, err = core.NewUtilization(p, logicStructs...)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Fan the pipeline hooks out to both consumers.
+	refHooks := ref.Hooks()
+	p.SetHooks(pipeline.Hooks{
+		OnFailure:   est.HandleFailure,
+		OnRetire:    refHooks.OnRetire,
+		OnRegWrite:  refHooks.OnRegWrite,
+		OnRegRead:   refHooks.OnRegRead,
+		OnTLBAccess: refHooks.OnTLBAccess,
+	})
+
+	occ := core.NewOccupancy(p)
+	feat := newFeatureSampler(p)
+
+	// Drive. The estimator emits an estimate every intervalCycles; run
+	// until every monitored structure has Intervals of them, plus a
+	// settling margin for the reference's deferred attribution.
+	totalCycles := intervalCycles * int64(rc.Intervals)
+	nextSample := intervalCycles
+	for p.Cycle() < totalCycles+1 {
+		if !p.Step() {
+			return nil, fmt.Errorf("experiment: trace ended after %d cycles (%d retired); profiles are cyclic so this indicates a bug",
+				p.Cycle(), p.Retired())
+		}
+		est.Tick()
+		if p.Cycle() >= nextSample {
+			if util != nil {
+				util.Sample()
+			}
+			occ.Sample()
+			feat.Sample()
+			nextSample += intervalCycles
+		}
+	}
+	ref.Flush()
+
+	res := &Result{
+		Benchmark: name,
+		M:         rc.M,
+		N:         rc.N,
+		Intervals: rc.Intervals,
+		Stats:     p.Snapshot(),
+		Estimator: est,
+	}
+	res.DroppedMarks = ref.DroppedMarks()
+	res.IQOccupancy = clampSeries(occ.Series(), rc.Intervals)
+	res.Features = feat.rows
+	if len(res.Features) > rc.Intervals {
+		res.Features = res.Features[:rc.Intervals]
+	}
+	for _, s := range rc.Structures {
+		ss := StructSeries{Structure: s}
+		ss.Online = clampSeries(est.AVFSeries(s), rc.Intervals)
+		ss.Reference = ref.AVFSeries(s, rc.Intervals)
+		if util != nil {
+			if _, ok := pipeline.UnitKind(s); ok {
+				ss.Utilization = clampSeries(util.Series(s), rc.Intervals)
+			}
+		}
+		res.Series = append(res.Series, ss)
+	}
+	return res, nil
+}
+
+// clampSeries truncates or zero-pads xs to exactly n entries.
+func clampSeries(xs []float64, n int) []float64 {
+	out := make([]float64, n)
+	copy(out, xs)
+	return out
+}

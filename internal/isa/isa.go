@@ -1,0 +1,215 @@
+// Package isa defines the abstract instruction set used by the trace-driven
+// simulator: instruction classes, architectural registers, and the dynamic
+// instruction record that traces are made of.
+//
+// The ISA is deliberately generic (a RISC-like load/store architecture with
+// separate integer and floating-point register files) — the AVF estimation
+// algorithm only depends on dataflow between registers, memory accesses, and
+// control flow, not on any concrete encoding.
+package isa
+
+import "fmt"
+
+// Class is the functional class of an instruction. It determines which
+// functional unit executes it, its latency, and whether it is a failure
+// point for AVF estimation (loads, stores, and branches are).
+type Class uint8
+
+// Instruction classes.
+const (
+	// ClassNop occupies fetch/decode/retire bandwidth but has no operands,
+	// destination, or functional unit.
+	ClassNop Class = iota
+	// ClassIntALU covers single-cycle integer operations (add, sub, logic,
+	// shifts, compares).
+	ClassIntALU
+	// ClassIntMul is pipelined integer multiply.
+	ClassIntMul
+	// ClassIntDiv is integer divide (long latency, pipelined per Table 1).
+	ClassIntDiv
+	// ClassFPAdd covers floating-point add/sub/convert/compare.
+	ClassFPAdd
+	// ClassFPMul covers floating-point multiply and fused multiply-add.
+	ClassFPMul
+	// ClassFPDiv is floating-point divide.
+	ClassFPDiv
+	// ClassLoad is a memory load (integer or FP destination).
+	ClassLoad
+	// ClassStore is a memory store.
+	ClassStore
+	// ClassBranch covers conditional branches, jumps, calls, and returns.
+	ClassBranch
+
+	// NumClasses is the number of distinct instruction classes.
+	NumClasses = int(ClassBranch) + 1
+)
+
+var classNames = [NumClasses]string{
+	"nop", "int-alu", "int-mul", "int-div",
+	"fp-add", "fp-mul", "fp-div",
+	"load", "store", "branch",
+}
+
+// String returns the lowercase mnemonic name of the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Valid reports whether c is a defined instruction class.
+func (c Class) Valid() bool { return int(c) < NumClasses }
+
+// IsInt reports whether the class executes on an integer (fixed-point) unit.
+func (c Class) IsInt() bool {
+	return c == ClassIntALU || c == ClassIntMul || c == ClassIntDiv
+}
+
+// IsFP reports whether the class executes on a floating-point unit.
+func (c Class) IsFP() bool {
+	return c == ClassFPAdd || c == ClassFPMul || c == ClassFPDiv
+}
+
+// IsMem reports whether the class accesses memory.
+func (c Class) IsMem() bool { return c == ClassLoad || c == ClassStore }
+
+// IsFailurePoint reports whether a retiring instruction of this class is a
+// potential-failure point per Section 3.2 of the paper: stores (reach
+// program output), loads (erroneous address or value observed), and
+// control-flow instructions (unmodeled control divergence).
+func (c Class) IsFailurePoint() bool {
+	return c == ClassLoad || c == ClassStore || c == ClassBranch
+}
+
+// Reg identifies an architectural register. The integer file and the
+// floating-point file are disjoint halves of one namespace so a single
+// operand field can name either.
+type Reg uint8
+
+// Register namespace layout.
+const (
+	// NumIntArchRegs is the number of architectural integer registers.
+	NumIntArchRegs = 32
+	// NumFPArchRegs is the number of architectural floating-point registers.
+	NumFPArchRegs = 32
+	// RegNone marks an absent operand or destination.
+	RegNone Reg = 255
+)
+
+// IntReg returns the Reg naming architectural integer register n.
+func IntReg(n int) Reg {
+	if n < 0 || n >= NumIntArchRegs {
+		panic(fmt.Sprintf("isa: integer register %d out of range", n))
+	}
+	return Reg(n)
+}
+
+// FPReg returns the Reg naming architectural floating-point register n.
+func FPReg(n int) Reg {
+	if n < 0 || n >= NumFPArchRegs {
+		panic(fmt.Sprintf("isa: fp register %d out of range", n))
+	}
+	return Reg(NumIntArchRegs + n)
+}
+
+// IsInt reports whether r names an integer architectural register.
+func (r Reg) IsInt() bool { return r < NumIntArchRegs }
+
+// IsFP reports whether r names a floating-point architectural register.
+func (r Reg) IsFP() bool { return r >= NumIntArchRegs && r < NumIntArchRegs+NumFPArchRegs }
+
+// Valid reports whether r names a register (i.e. is not RegNone).
+func (r Reg) Valid() bool { return r.IsInt() || r.IsFP() }
+
+// Index returns the register number within its file (0..31).
+func (r Reg) Index() int {
+	if r.IsFP() {
+		return int(r) - NumIntArchRegs
+	}
+	return int(r)
+}
+
+// String formats the register as r<N> (integer) or f<N> (floating point).
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r.IsInt():
+		return fmt.Sprintf("r%d", r.Index())
+	case r.IsFP():
+		return fmt.Sprintf("f%d", r.Index())
+	default:
+		return fmt.Sprintf("reg(%d)", uint8(r))
+	}
+}
+
+// Inst is one dynamic instruction in a trace. Traces carry resolved branch
+// outcomes and effective addresses (trace-driven simulation, as in
+// Turandot), so the timing model never computes values — only latencies,
+// occupancy, and dataflow.
+type Inst struct {
+	// PC is the instruction address.
+	PC uint64
+	// Class selects the functional unit and latency.
+	Class Class
+	// Dst is the destination register, or RegNone.
+	Dst Reg
+	// Src1 and Src2 are source registers, or RegNone. For stores, Src1 is
+	// the data register and Src2 the address base; for loads, Src1 is the
+	// address base; for branches, Src1 (and optionally Src2) are the
+	// condition inputs.
+	Src1, Src2 Reg
+	// Addr is the effective byte address for loads and stores.
+	Addr uint64
+	// Taken is the resolved direction for branches.
+	Taken bool
+	// Target is the resolved next PC for taken branches.
+	Target uint64
+}
+
+// HasDst reports whether the instruction writes a register.
+func (in *Inst) HasDst() bool { return in.Dst != RegNone }
+
+// Sources appends the valid source registers of in to dst and returns it.
+func (in *Inst) Sources(dst []Reg) []Reg {
+	if in.Src1 != RegNone {
+		dst = append(dst, in.Src1)
+	}
+	if in.Src2 != RegNone {
+		dst = append(dst, in.Src2)
+	}
+	return dst
+}
+
+// NextPC returns the address of the next dynamic instruction, given the
+// fixed 4-byte instruction size of the abstract ISA.
+func (in *Inst) NextPC() uint64 {
+	if in.Class == ClassBranch && in.Taken {
+		return in.Target
+	}
+	return in.PC + 4
+}
+
+// String renders a compact human-readable form, e.g.
+// "0x1000 int-alu r3 <- r1,r2".
+func (in *Inst) String() string {
+	s := fmt.Sprintf("0x%x %s", in.PC, in.Class)
+	if in.HasDst() {
+		s += " " + in.Dst.String() + " <-"
+	}
+	if in.Src1 != RegNone || in.Src2 != RegNone {
+		s += " " + in.Src1.String() + "," + in.Src2.String()
+	}
+	if in.Class.IsMem() {
+		s += fmt.Sprintf(" @0x%x", in.Addr)
+	}
+	if in.Class == ClassBranch {
+		if in.Taken {
+			s += fmt.Sprintf(" taken->0x%x", in.Target)
+		} else {
+			s += " not-taken"
+		}
+	}
+	return s
+}

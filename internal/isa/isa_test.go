@@ -1,0 +1,171 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		ClassNop:    "nop",
+		ClassIntALU: "int-alu",
+		ClassIntMul: "int-mul",
+		ClassIntDiv: "int-div",
+		ClassFPAdd:  "fp-add",
+		ClassFPMul:  "fp-mul",
+		ClassFPDiv:  "fp-div",
+		ClassLoad:   "load",
+		ClassStore:  "store",
+		ClassBranch: "branch",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := Class(200).String(); got != "class(200)" {
+		t.Errorf("out-of-range class string = %q", got)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	for c := Class(0); int(c) < NumClasses; c++ {
+		if !c.Valid() {
+			t.Errorf("%v should be valid", c)
+		}
+		if c.IsInt() && c.IsFP() {
+			t.Errorf("%v cannot be both int and FP", c)
+		}
+	}
+	if Class(NumClasses).Valid() {
+		t.Error("class beyond NumClasses reported valid")
+	}
+	intClasses := []Class{ClassIntALU, ClassIntMul, ClassIntDiv}
+	for _, c := range intClasses {
+		if !c.IsInt() {
+			t.Errorf("%v.IsInt() = false", c)
+		}
+	}
+	fpClasses := []Class{ClassFPAdd, ClassFPMul, ClassFPDiv}
+	for _, c := range fpClasses {
+		if !c.IsFP() {
+			t.Errorf("%v.IsFP() = false", c)
+		}
+	}
+	if !ClassLoad.IsMem() || !ClassStore.IsMem() || ClassBranch.IsMem() {
+		t.Error("IsMem wrong for load/store/branch")
+	}
+}
+
+func TestFailurePoints(t *testing.T) {
+	// Section 3.2: retiring stores, loads, and control-flow instructions
+	// are the potential-failure points; nothing else is.
+	want := map[Class]bool{
+		ClassLoad: true, ClassStore: true, ClassBranch: true,
+	}
+	for c := Class(0); int(c) < NumClasses; c++ {
+		if got := c.IsFailurePoint(); got != want[c] {
+			t.Errorf("%v.IsFailurePoint() = %v, want %v", c, got, want[c])
+		}
+	}
+}
+
+func TestRegNamespace(t *testing.T) {
+	r := IntReg(5)
+	if !r.IsInt() || r.IsFP() || r.Index() != 5 || r.String() != "r5" {
+		t.Errorf("IntReg(5) misbehaves: %v idx=%d", r, r.Index())
+	}
+	f := FPReg(7)
+	if !f.IsFP() || f.IsInt() || f.Index() != 7 || f.String() != "f7" {
+		t.Errorf("FPReg(7) misbehaves: %v idx=%d", f, f.Index())
+	}
+	if RegNone.Valid() {
+		t.Error("RegNone should not be valid")
+	}
+	if RegNone.String() != "-" {
+		t.Errorf("RegNone.String() = %q", RegNone.String())
+	}
+}
+
+func TestRegConstructorsPanicOutOfRange(t *testing.T) {
+	for _, fn := range []func(){
+		func() { IntReg(-1) },
+		func() { IntReg(NumIntArchRegs) },
+		func() { FPReg(-1) },
+		func() { FPReg(NumFPArchRegs) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range register")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRegRoundTripProperty(t *testing.T) {
+	prop := func(n uint8) bool {
+		ni := int(n) % NumIntArchRegs
+		nf := int(n) % NumFPArchRegs
+		return IntReg(ni).Index() == ni && FPReg(nf).Index() == nf &&
+			IntReg(ni).Valid() && FPReg(nf).Valid()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstSources(t *testing.T) {
+	in := Inst{Class: ClassIntALU, Dst: IntReg(3), Src1: IntReg(1), Src2: IntReg(2)}
+	srcs := in.Sources(nil)
+	if len(srcs) != 2 || srcs[0] != IntReg(1) || srcs[1] != IntReg(2) {
+		t.Errorf("Sources = %v", srcs)
+	}
+	in.Src2 = RegNone
+	if got := in.Sources(nil); len(got) != 1 || got[0] != IntReg(1) {
+		t.Errorf("Sources with one operand = %v", got)
+	}
+	in.Src1 = RegNone
+	if got := in.Sources(nil); len(got) != 0 {
+		t.Errorf("Sources with no operands = %v", got)
+	}
+	if !in.HasDst() {
+		t.Error("HasDst should be true")
+	}
+	in.Dst = RegNone
+	if in.HasDst() {
+		t.Error("HasDst should be false for RegNone")
+	}
+}
+
+func TestNextPC(t *testing.T) {
+	alu := Inst{PC: 0x100, Class: ClassIntALU}
+	if alu.NextPC() != 0x104 {
+		t.Errorf("sequential NextPC = %#x", alu.NextPC())
+	}
+	br := Inst{PC: 0x100, Class: ClassBranch, Taken: true, Target: 0x200}
+	if br.NextPC() != 0x200 {
+		t.Errorf("taken branch NextPC = %#x", br.NextPC())
+	}
+	br.Taken = false
+	if br.NextPC() != 0x104 {
+		t.Errorf("not-taken branch NextPC = %#x", br.NextPC())
+	}
+}
+
+func TestInstString(t *testing.T) {
+	in := Inst{PC: 0x1000, Class: ClassIntALU, Dst: IntReg(3), Src1: IntReg(1), Src2: IntReg(2)}
+	if got := in.String(); got != "0x1000 int-alu r3 <- r1,r2" {
+		t.Errorf("Inst.String() = %q", got)
+	}
+	ld := Inst{PC: 0x10, Class: ClassLoad, Dst: IntReg(1), Src1: IntReg(2), Src2: RegNone, Addr: 0x80}
+	if got := ld.String(); got != "0x10 load r1 <- r2,- @0x80" {
+		t.Errorf("load String() = %q", got)
+	}
+	br := Inst{PC: 0x20, Class: ClassBranch, Dst: RegNone, Src1: IntReg(1), Src2: RegNone, Taken: true, Target: 0x40}
+	if got := br.String(); got != "0x20 branch r1,- taken->0x40" {
+		t.Errorf("branch String() = %q", got)
+	}
+}

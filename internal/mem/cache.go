@@ -1,0 +1,125 @@
+// Package mem models the memory hierarchy of Table 1: split L1 caches, a
+// unified L2, main memory, and the instruction/data TLBs. The model is a
+// latency model (no data is stored): each access returns the contentionless
+// latency the pipeline should charge, as in Turandot's memory subsystem.
+package mem
+
+import (
+	"fmt"
+
+	"avfsim/internal/config"
+)
+
+// Cache is one set-associative cache level with true-LRU replacement.
+type Cache struct {
+	name      string
+	sets      int
+	ways      int
+	lineShift uint
+	setMask   uint64
+	latency   int
+	tags      []uint64 // sets × ways
+	valid     []bool
+	lru       []uint8 // LRU stamps, small counters per set
+
+	// Stats.
+	accesses int64
+	misses   int64
+}
+
+// NewCache builds a cache from its configuration.
+func NewCache(name string, cc config.CacheConfig) (*Cache, error) {
+	if err := cc.Validate(name); err != nil {
+		return nil, err
+	}
+	sets := cc.Sets()
+	shift := uint(0)
+	for 1<<shift < cc.LineBytes {
+		shift++
+	}
+	if cc.Ways > 255 {
+		return nil, fmt.Errorf("mem: %s: associativity %d exceeds LRU counter range", name, cc.Ways)
+	}
+	return &Cache{
+		name:      name,
+		sets:      sets,
+		ways:      cc.Ways,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		latency:   cc.LatencyCycles,
+		tags:      make([]uint64, sets*cc.Ways),
+		valid:     make([]bool, sets*cc.Ways),
+		lru:       make([]uint8, sets*cc.Ways),
+	}, nil
+}
+
+// Latency returns the hit latency in cycles.
+func (c *Cache) Latency() int { return c.latency }
+
+// Lookup probes the cache for addr; on a miss the line is allocated
+// (evicting LRU). It reports whether the access hit.
+func (c *Cache) Lookup(addr uint64) bool {
+	c.accesses++
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.ways
+
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			c.touch(base, w)
+			return true
+		}
+	}
+	c.misses++
+	w := c.victim(base)
+	c.tags[base+w] = line
+	c.valid[base+w] = true
+	c.touch(base, w)
+	return false
+}
+
+// victim returns the LRU way within the set starting at base.
+func (c *Cache) victim(base int) int {
+	best, bestStamp := 0, uint8(255)
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			return w
+		}
+		if c.lru[base+w] < bestStamp {
+			best, bestStamp = w, c.lru[base+w]
+		}
+	}
+	return best
+}
+
+// touch marks way as most recently used within its set, renormalizing the
+// stamps when the counter saturates.
+func (c *Cache) touch(base, way int) {
+	maxStamp := uint8(0)
+	for w := 0; w < c.ways; w++ {
+		if c.lru[base+w] > maxStamp {
+			maxStamp = c.lru[base+w]
+		}
+	}
+	if maxStamp == 255 {
+		for w := 0; w < c.ways; w++ {
+			c.lru[base+w] /= 2
+		}
+		maxStamp = 127
+	}
+	c.lru[base+way] = maxStamp + 1
+}
+
+// Accesses and Misses expose the counters for reporting.
+func (c *Cache) Accesses() int64 { return c.accesses }
+
+// Misses returns the number of misses observed.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}

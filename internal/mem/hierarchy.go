@@ -1,0 +1,93 @@
+package mem
+
+import "avfsim/internal/config"
+
+// Hierarchy bundles the full memory system: split L1s, unified L2, main
+// memory, and both TLBs. Access methods return the total latency in cycles
+// the pipeline should charge.
+type Hierarchy struct {
+	L1D, L1I, L2 *Cache
+	ITLB, DTLB   *TLB
+
+	memLatency int
+	tlbPenalty int
+}
+
+// NewHierarchy builds the hierarchy from the processor configuration.
+func NewHierarchy(cfg *config.Config) (*Hierarchy, error) {
+	l1d, err := NewCache("L1D", cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := NewCache("L1I", cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache("L2", cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{
+		L1D:        l1d,
+		L1I:        l1i,
+		L2:         l2,
+		ITLB:       NewTLB(cfg.ITLBEntries, cfg.TLBPageBytes),
+		DTLB:       NewTLB(cfg.DTLBEntries, cfg.TLBPageBytes),
+		memLatency: cfg.MemLatencyCycles,
+		tlbPenalty: cfg.TLBMissPenalty,
+	}, nil
+}
+
+// Access describes one memory-system access: the latency to charge and
+// which TLB entry translated it (the injection target for TLB AVF).
+type Access struct {
+	Latency  int
+	TLBEntry int
+	// TLBHit is false when the entry was refilled by this access,
+	// overwriting its previous translation.
+	TLBHit bool
+}
+
+// Data returns the latency of a data access to addr (load or store).
+func (h *Hierarchy) Data(addr uint64) int { return h.DataAccess(addr).Latency }
+
+// DataAccess performs a data access with full TLB detail.
+func (h *Hierarchy) DataAccess(addr uint64) Access {
+	var acc Access
+	hit, entry := h.DTLB.LookupEntry(addr)
+	acc.TLBHit, acc.TLBEntry = hit, entry
+	if !hit {
+		acc.Latency += h.tlbPenalty
+	}
+	switch {
+	case h.L1D.Lookup(addr):
+		acc.Latency += h.L1D.Latency()
+	case h.L2.Lookup(addr):
+		acc.Latency += h.L2.Latency()
+	default:
+		acc.Latency += h.memLatency
+	}
+	return acc
+}
+
+// Inst returns the latency of an instruction fetch from addr.
+func (h *Hierarchy) Inst(addr uint64) int { return h.InstAccess(addr).Latency }
+
+// InstAccess performs an instruction fetch with full TLB detail.
+func (h *Hierarchy) InstAccess(addr uint64) Access {
+	var acc Access
+	hit, entry := h.ITLB.LookupEntry(addr)
+	acc.TLBHit, acc.TLBEntry = hit, entry
+	if !hit {
+		acc.Latency += h.tlbPenalty
+	}
+	switch {
+	case h.L1I.Lookup(addr):
+		acc.Latency += h.L1I.Latency()
+	case h.L2.Lookup(addr):
+		acc.Latency += h.L2.Latency()
+	default:
+		acc.Latency += h.memLatency
+	}
+	return acc
+}

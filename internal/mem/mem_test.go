@@ -1,0 +1,226 @@
+package mem
+
+import (
+	"testing"
+
+	"avfsim/internal/config"
+)
+
+func smallCache(t *testing.T, size, ways, line, lat int) *Cache {
+	t.Helper()
+	c, err := NewCache("test", config.CacheConfig{
+		SizeBytes: size, Ways: ways, LineBytes: line, LatencyCycles: lat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheColdMissThenHit(t *testing.T) {
+	c := smallCache(t, 1024, 2, 64, 1)
+	if c.Lookup(0x100) {
+		t.Error("cold access hit")
+	}
+	if !c.Lookup(0x100) {
+		t.Error("second access missed")
+	}
+	if !c.Lookup(0x13f) { // same 64B line as 0x100
+		t.Error("same-line access missed")
+	}
+	if c.Lookup(0x140) {
+		t.Error("next line hit cold")
+	}
+	if c.Accesses() != 4 || c.Misses() != 2 {
+		t.Errorf("counters: %d accesses, %d misses", c.Accesses(), c.Misses())
+	}
+	if got := c.MissRate(); got != 0.5 {
+		t.Errorf("miss rate = %v", got)
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	// 2-way, 64B lines, 8 sets (1KB). Three lines mapping to set 0:
+	// strides of 512 bytes.
+	c := smallCache(t, 1024, 2, 64, 1)
+	a, b, d := uint64(0), uint64(512), uint64(1024)
+	c.Lookup(a)
+	c.Lookup(b)
+	c.Lookup(a) // a is now MRU; b is LRU
+	c.Lookup(d) // evicts b
+	if !c.Lookup(a) {
+		t.Error("a should have survived")
+	}
+	if c.Lookup(b) {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestCacheDirectMapped(t *testing.T) {
+	c := smallCache(t, 512, 1, 64, 1)
+	c.Lookup(0)
+	c.Lookup(512) // conflicts with 0
+	if c.Lookup(0) {
+		t.Error("direct-mapped conflict not evicted")
+	}
+}
+
+func TestCacheLRUSaturation(t *testing.T) {
+	// Touch one set far more than 255 times; stamps must renormalize
+	// without corrupting LRU order.
+	c := smallCache(t, 1024, 2, 64, 1)
+	c.Lookup(0)
+	c.Lookup(512)
+	for i := 0; i < 1000; i++ {
+		c.Lookup(0)
+		c.Lookup(512)
+	}
+	c.Lookup(1024) // evicts line 0 (LRU: 512 was touched last)
+	// Probe the expected survivor first — Lookup allocates on miss, so
+	// order matters.
+	if !c.Lookup(512) {
+		t.Error("512 should have survived (was MRU before the eviction)")
+	}
+	if c.Lookup(0) {
+		t.Error("0 should have been evicted")
+	}
+}
+
+func TestCacheRejectsHugeAssociativity(t *testing.T) {
+	_, err := NewCache("x", config.CacheConfig{
+		SizeBytes: 1 << 20, Ways: 256, LineBytes: 64, LatencyCycles: 1,
+	})
+	if err == nil {
+		t.Error("256-way cache should be rejected (LRU counter range)")
+	}
+}
+
+func TestTLBHitMissAndLRU(t *testing.T) {
+	tlb := NewTLB(2, 4096)
+	if tlb.Lookup(0x0000) {
+		t.Error("cold TLB hit")
+	}
+	if !tlb.Lookup(0x0fff) {
+		t.Error("same-page miss")
+	}
+	tlb.Lookup(0x1000) // second page
+	tlb.Lookup(0x0000) // page 0 now MRU
+	tlb.Lookup(0x2000) // evicts page 1
+	if !tlb.Lookup(0x0000) {
+		t.Error("page 0 evicted wrongly")
+	}
+	if tlb.Lookup(0x1000) {
+		t.Error("page 1 should have been evicted")
+	}
+	if tlb.Accesses() != 7 || tlb.Misses() != 4 {
+		t.Errorf("counters: %d/%d", tlb.Misses(), tlb.Accesses())
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	cfg := config.Default()
+	h, err := NewHierarchy(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First data access: DTLB miss + L1 miss + L2 miss -> memory.
+	want := cfg.TLBMissPenalty + cfg.MemLatencyCycles
+	if got := h.Data(0x1000); got != want {
+		t.Errorf("cold data access latency = %d, want %d", got, want)
+	}
+	// Second access to the same line: all hits -> L1 latency.
+	if got := h.Data(0x1000); got != cfg.L1D.LatencyCycles {
+		t.Errorf("warm data access latency = %d, want %d", got, cfg.L1D.LatencyCycles)
+	}
+	// Instruction side behaves the same way.
+	wantI := cfg.TLBMissPenalty + cfg.MemLatencyCycles
+	if got := h.Inst(0x2000); got != wantI {
+		t.Errorf("cold inst access latency = %d, want %d", got, wantI)
+	}
+	if got := h.Inst(0x2000); got != cfg.L1I.LatencyCycles {
+		t.Errorf("warm inst access latency = %d, want %d", got, cfg.L1I.LatencyCycles)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	cfg := config.Default()
+	h, err := NewHierarchy(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Data(0x1000) // warm L2 (and L1)
+	// Evict 0x1000 from the 2-way 32KB L1D: two conflicting lines at
+	// 16KB stride (128 sets × 128B lines = 16KB per way).
+	h.Data(0x1000 + 16<<10)
+	h.Data(0x1000 + 32<<10)
+	// L1 now misses, L2 still holds the line.
+	if got := h.Data(0x1000); got != cfg.L2.LatencyCycles {
+		t.Errorf("L2 hit latency = %d, want %d", got, cfg.L2.LatencyCycles)
+	}
+}
+
+func TestHierarchyStreamingMissRate(t *testing.T) {
+	cfg := config.Default()
+	h, err := NewHierarchy(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream 8MB sequentially with 8-byte accesses: expect ~1 miss per
+	// 128-byte line, i.e. miss rate ~1/16.
+	for addr := uint64(0); addr < 8<<20; addr += 8 {
+		h.Data(addr)
+	}
+	mr := h.L1D.MissRate()
+	if mr < 0.05 || mr > 0.08 {
+		t.Errorf("streaming L1D miss rate = %.4f, want ~0.0625", mr)
+	}
+}
+
+func TestTLBLookupEntryReportsEntry(t *testing.T) {
+	tlb := NewTLB(4, 4096)
+	if tlb.Entries() != 4 {
+		t.Fatalf("Entries = %d", tlb.Entries())
+	}
+	hit, e1 := tlb.LookupEntry(0x0000)
+	if hit {
+		t.Error("cold lookup hit")
+	}
+	hit, e2 := tlb.LookupEntry(0x0800) // same page
+	if !hit || e2 != e1 {
+		t.Errorf("same-page lookup: hit=%v entry=%d want %d", hit, e2, e1)
+	}
+	_, e3 := tlb.LookupEntry(0x10000) // new page -> different entry
+	if e3 == e1 {
+		t.Error("new page refilled the MRU entry")
+	}
+}
+
+func TestHierarchyAccessTLBFields(t *testing.T) {
+	cfg := config.Default()
+	h, err := NewHierarchy(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := h.DataAccess(0x5000)
+	if acc.TLBHit {
+		t.Error("cold data access reported TLB hit")
+	}
+	acc2 := h.DataAccess(0x5008)
+	if !acc2.TLBHit || acc2.TLBEntry != acc.TLBEntry {
+		t.Errorf("warm access: %+v vs cold %+v", acc2, acc)
+	}
+	iacc := h.InstAccess(0x7000)
+	if iacc.TLBHit {
+		t.Error("cold inst access reported TLB hit")
+	}
+	if got := h.InstAccess(0x7004); !got.TLBHit {
+		t.Error("warm inst access missed TLB")
+	}
+}
+
+func TestMissRateBeforeAccess(t *testing.T) {
+	c := smallCache(t, 1024, 2, 64, 1)
+	if got := c.MissRate(); got != 0 {
+		t.Errorf("cold MissRate = %v", got)
+	}
+}

@@ -1,0 +1,79 @@
+package mem
+
+// TLB is a fully-associative translation lookaside buffer with LRU
+// replacement, modeled as a latency adder: a miss charges the configured
+// walk penalty.
+type TLB struct {
+	pageShift uint
+	entries   []uint64
+	valid     []bool
+	stamps    []int64
+	clock     int64
+	mru       int // index of the last hit: consecutive same-page accesses skip the scan
+
+	accesses int64
+	misses   int64
+}
+
+// NewTLB builds a TLB with the given entry count and page size (a power of
+// two).
+func NewTLB(entries int, pageBytes int) *TLB {
+	shift := uint(0)
+	for 1<<shift < pageBytes {
+		shift++
+	}
+	return &TLB{
+		pageShift: shift,
+		entries:   make([]uint64, entries),
+		valid:     make([]bool, entries),
+		stamps:    make([]int64, entries),
+	}
+}
+
+// Lookup probes the TLB for the page containing addr, allocating on a
+// miss. It reports whether the access hit.
+func (t *TLB) Lookup(addr uint64) bool {
+	hit, _ := t.LookupEntry(addr)
+	return hit
+}
+
+// LookupEntry is Lookup, additionally reporting which entry served (or
+// was refilled by) the access — the injection target for TLB AVF
+// estimation.
+func (t *TLB) LookupEntry(addr uint64) (hit bool, entry int) {
+	t.accesses++
+	t.clock++
+	page := addr >> t.pageShift
+	if t.valid[t.mru] && t.entries[t.mru] == page {
+		t.stamps[t.mru] = t.clock
+		return true, t.mru
+	}
+	victim, victimStamp := 0, int64(1<<62)
+	for i := range t.entries {
+		if t.valid[i] && t.entries[i] == page {
+			t.stamps[i] = t.clock
+			t.mru = i
+			return true, i
+		}
+		if !t.valid[i] {
+			victim, victimStamp = i, -1
+		} else if t.stamps[i] < victimStamp {
+			victim, victimStamp = i, t.stamps[i]
+		}
+	}
+	t.misses++
+	t.entries[victim] = page
+	t.valid[victim] = true
+	t.stamps[victim] = t.clock
+	t.mru = victim
+	return false, victim
+}
+
+// Entries returns the TLB capacity.
+func (t *TLB) Entries() int { return len(t.entries) }
+
+// Accesses returns the number of lookups performed.
+func (t *TLB) Accesses() int64 { return t.accesses }
+
+// Misses returns the number of misses observed.
+func (t *TLB) Misses() int64 { return t.misses }

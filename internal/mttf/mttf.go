@@ -1,0 +1,118 @@
+// Package mttf converts AVF estimates into reliability numbers. Section 1
+// of the paper motivates online AVF estimation through the failure-rate
+// model of Li et al. (DSN 2007) [5]: for the systems studied, a
+// structure's soft-error failure rate is its raw event rate times its
+// AVF, failure rates add across structures, and MTTF is the reciprocal of
+// the total. This is what lets a designer trade protection overhead
+// against a concrete MTTF target — the paper's over-/under-design
+// argument.
+//
+// Rates are expressed in FIT (failures in time): failures per 10^9
+// device-hours.
+package mttf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"avfsim/internal/config"
+	"avfsim/internal/pipeline"
+)
+
+// HoursPerFIT is the number of device-hours over which FIT counts
+// failures.
+const HoursPerFIT = 1e9
+
+// RawFIT maps each structure to its raw soft-error rate in FIT — the rate
+// at which particle strikes flip its bits, before any architectural
+// masking.
+type RawFIT map[pipeline.Structure]float64
+
+// DefaultRawFIT derives per-structure raw rates from a per-bit rate and
+// the configured structure geometries. Storage structures contribute
+// bits; logic structures are modeled with an effective bit count per unit
+// (latches in the datapath), following the common SER-estimation
+// practice of reducing logic to an equivalent latch count.
+func DefaultRawFIT(cfg *config.Config, fitPerBit float64, logicBitsPerUnit int) RawFIT {
+	const wordBits = 64
+	// Issue-queue entries hold an instruction's payload: roughly an
+	// opcode plus operand tags and immediate.
+	const iqEntryBits = 96
+	entries := func(n, bits int) float64 { return float64(n*bits) * fitPerBit }
+	return RawFIT{
+		pipeline.StructIQ:    entries(cfg.FXUQueueEntries+cfg.FPUQueueEntries+cfg.BrQueueEntries, iqEntryBits),
+		pipeline.StructReg:   entries(cfg.IntRegs, wordBits),
+		pipeline.StructFPReg: entries(cfg.FPRegs, wordBits),
+		pipeline.StructFXU:   entries(cfg.NumIntUnits, logicBitsPerUnit),
+		pipeline.StructFPU:   entries(cfg.NumFPUnits, logicBitsPerUnit),
+		pipeline.StructLSU:   entries(cfg.NumLSUnits, logicBitsPerUnit),
+		pipeline.StructDTLB:  entries(cfg.DTLBEntries, wordBits),
+		pipeline.StructITLB:  entries(cfg.ITLBEntries, wordBits),
+	}
+}
+
+// Breakdown is the reliability contribution of one structure.
+type Breakdown struct {
+	Structure    pipeline.Structure
+	AVF          float64
+	RawFIT       float64
+	EffectiveFIT float64
+}
+
+// Result is a reliability estimate over a set of structures.
+type Result struct {
+	// TotalFIT is the summed effective (AVF-derated) failure rate.
+	TotalFIT float64
+	// MTTFHours is HoursPerFIT / TotalFIT (infinite when TotalFIT is 0).
+	MTTFHours float64
+	// PerStruct lists the contributions, largest first.
+	PerStruct []Breakdown
+}
+
+// Compute derates each structure's raw rate by its AVF and aggregates.
+// Structures present in raw but absent from avf are skipped (their
+// vulnerability was not measured), so the result covers exactly the
+// measured structures.
+func Compute(avf map[pipeline.Structure]float64, raw RawFIT) (Result, error) {
+	var res Result
+	for s, a := range avf {
+		if a < 0 || a > 1 {
+			return Result{}, fmt.Errorf("mttf: AVF for %v is %v, outside [0,1]", s, a)
+		}
+		r, ok := raw[s]
+		if !ok {
+			return Result{}, fmt.Errorf("mttf: no raw FIT rate for %v", s)
+		}
+		if r < 0 {
+			return Result{}, fmt.Errorf("mttf: negative raw FIT for %v", s)
+		}
+		eff := r * a
+		res.TotalFIT += eff
+		res.PerStruct = append(res.PerStruct, Breakdown{
+			Structure: s, AVF: a, RawFIT: r, EffectiveFIT: eff,
+		})
+	}
+	sort.Slice(res.PerStruct, func(i, j int) bool {
+		if res.PerStruct[i].EffectiveFIT != res.PerStruct[j].EffectiveFIT {
+			return res.PerStruct[i].EffectiveFIT > res.PerStruct[j].EffectiveFIT
+		}
+		return res.PerStruct[i].Structure < res.PerStruct[j].Structure
+	})
+	if res.TotalFIT > 0 {
+		res.MTTFHours = HoursPerFIT / res.TotalFIT
+	}
+	return res, nil
+}
+
+// AVFBudget answers the designer's inverse question: given a raw FIT
+// total and an MTTF goal in hours, what average AVF can the design
+// tolerate without protection? Values above 1 mean the goal is met even
+// with no masking; see the paper's point that an AVF-oblivious design
+// must assume 1.
+func AVFBudget(rawTotalFIT, mttfGoalHours float64) (float64, error) {
+	if rawTotalFIT <= 0 || mttfGoalHours <= 0 {
+		return 0, errors.New("mttf: raw FIT and MTTF goal must be positive")
+	}
+	return HoursPerFIT / (mttfGoalHours * rawTotalFIT), nil
+}

@@ -1,0 +1,359 @@
+package pipeline
+
+import (
+	"testing"
+
+	"avfsim/internal/config"
+	"avfsim/internal/isa"
+	"avfsim/internal/trace"
+)
+
+// stepUntilRetired steps until n instructions have retired.
+func stepUntilRetired(t *testing.T, p *Pipeline, n int64) {
+	t.Helper()
+	for i := 0; i < 1_000_000; i++ {
+		if p.Retired() >= n {
+			return
+		}
+		if !p.Step() {
+			break
+		}
+	}
+	if p.Retired() < n {
+		t.Fatalf("only %d retired, want %d", p.Retired(), n)
+	}
+}
+
+// physOf returns the current physical register mapped to arch reg r.
+func physOf(p *Pipeline, r isa.Reg) int16 {
+	file, idx := fileOf(r)
+	return p.fileFor(file).lookup(idx)
+}
+
+// failureCollector records OnFailure callbacks per structure.
+type failureCollector struct {
+	count map[Structure]int
+}
+
+func newFailureCollector(p *Pipeline) *failureCollector {
+	fc := &failureCollector{count: map[Structure]int{}}
+	p.SetHooks(Hooks{OnFailure: func(s Structure, seq, cycle int64) { fc.count[s]++ }})
+	return fc
+}
+
+// TestPaperExampleDeadValueMasked reproduces the first injection of the
+// Section 3.1 example: an error injected into r3 after line 1 but before
+// line 3 overwrites it disappears when r3 is rewritten — a dead value, no
+// failure.
+func TestPaperExampleDeadValueMasked(t *testing.T) {
+	r1, r2, r3, r4, r5 := isa.IntReg(1), isa.IntReg(2), isa.IntReg(3), isa.IntReg(4), isa.IntReg(5)
+	insts := []isa.Inst{
+		alu(0x1000, r3, r1, r2), // 1: r1+r2=r3
+		alu(0x1004, r4, r1, r2), // 2: r1-r2=r4
+		alu(0x1008, r3, r2, r4), // 3: r2+r4=r3 (overwrites r3)
+		alu(0x100c, r5, r3, r4), // 4: r3+r4=r5
+		{PC: 0x1010, Class: isa.ClassStore, Dst: isa.RegNone, Src1: r5, Src2: r4, Addr: 0x100}, // 5: store r5
+	}
+	p := newTestPipeline(t, insts)
+	fc := newFailureCollector(p)
+
+	// Run until instruction 1 has retired so r3 holds line 1's value and
+	// line 3 has not yet renamed it... renaming happens at dispatch, so
+	// we must inject into the physical register line 1 wrote *after*
+	// line 3 renamed r3 to a new one — that's exactly the "old value"
+	// case. Instead inject right at the start: before any cycle, r3's
+	// physical register is its initial mapping, which line 3's rename
+	// replaces. The injected error is only read by line 4 if line 4 uses
+	// the same physical register — it does not (it reads line 3's).
+	p.Inject(StructReg, int(physOf(p, r3)))
+	runToDrain(t, p)
+	if fc.count[StructReg] != 0 {
+		t.Errorf("dead-value injection caused %d failures, want 0", fc.count[StructReg])
+	}
+}
+
+// TestPaperExampleStoreFailure reproduces the second injection: an error
+// in r4 before line 4 propagates through r5 into the store, which retires
+// erroneous — a potential failure.
+func TestPaperExampleStoreFailure(t *testing.T) {
+	r1, r2, r4, r5 := isa.IntReg(1), isa.IntReg(2), isa.IntReg(4), isa.IntReg(5)
+	insts := []isa.Inst{
+		alu(0x1000, r4, r1, r2), // produce r4
+		alu(0x1004, r5, r4, isa.RegNone),
+		{PC: 0x1008, Class: isa.ClassStore, Dst: isa.RegNone, Src1: r5, Src2: r4, Addr: 0x100},
+	}
+	p := newTestPipeline(t, insts)
+	fc := newFailureCollector(p)
+	// Let the producer dispatch and complete, then corrupt its physical
+	// register before the consumer issues... the consumer may issue
+	// back-to-back, so instead corrupt r4's *initial* physical register
+	// before anything runs and make line 2 read the initial r4? No:
+	// line 1 renames r4. Corrupt the initial mapping of r1 instead: it
+	// feeds line 1 -> r4 -> r5 -> store.
+	p.Inject(StructReg, int(physOf(p, r1)))
+	runToDrain(t, p)
+	if fc.count[StructReg] != 1 {
+		t.Errorf("store failure count = %d, want 1", fc.count[StructReg])
+	}
+}
+
+// TestErrorPropagatesThroughChain checks multi-hop propagation: reg ->
+// ALU result -> another ALU -> branch retires with the bit set.
+func TestErrorPropagatesToBranch(t *testing.T) {
+	r1, r5, r6 := isa.IntReg(1), isa.IntReg(5), isa.IntReg(6)
+	insts := []isa.Inst{
+		alu(0x1000, r5, r1, isa.RegNone),
+		alu(0x1004, r6, r5, isa.RegNone),
+		{PC: 0x1008, Class: isa.ClassBranch, Dst: isa.RegNone, Src1: r6, Src2: isa.RegNone, Taken: false},
+	}
+	p := newTestPipeline(t, insts)
+	fc := newFailureCollector(p)
+	p.Inject(StructReg, int(physOf(p, r1)))
+	runToDrain(t, p)
+	if fc.count[StructReg] != 1 {
+		t.Errorf("branch failure count = %d, want 1", fc.count[StructReg])
+	}
+}
+
+// TestLoadRetiringWithErrorIsFailure: an erroneous address register makes
+// the load a failure point.
+func TestLoadFailurePoint(t *testing.T) {
+	r1, r5 := isa.IntReg(1), isa.IntReg(5)
+	insts := []isa.Inst{
+		{PC: 0x1000, Class: isa.ClassLoad, Dst: r5, Src1: r1, Src2: isa.RegNone, Addr: 0x200},
+	}
+	p := newTestPipeline(t, insts)
+	fc := newFailureCollector(p)
+	p.Inject(StructReg, int(physOf(p, r1)))
+	runToDrain(t, p)
+	if fc.count[StructReg] != 1 {
+		t.Errorf("load failure count = %d, want 1", fc.count[StructReg])
+	}
+}
+
+// TestNonFailurePointDoesNotFail: an error consumed only by ALU ops whose
+// results die causes no failure.
+func TestErrorDiesWithDeadChain(t *testing.T) {
+	r1, r5, r6 := isa.IntReg(1), isa.IntReg(5), isa.IntReg(6)
+	insts := []isa.Inst{
+		alu(0x1000, r5, r1, isa.RegNone), // consumes corrupted r1
+		alu(0x1004, r5, r6, isa.RegNone), // overwrites r5 from clean r6
+		{PC: 0x1008, Class: isa.ClassStore, Dst: isa.RegNone, Src1: r5, Src2: r6, Addr: 0x100},
+	}
+	p := newTestPipeline(t, insts)
+	fc := newFailureCollector(p)
+	p.Inject(StructReg, int(physOf(p, r1)))
+	runToDrain(t, p)
+	if fc.count[StructReg] != 0 {
+		t.Errorf("dead chain caused %d failures", fc.count[StructReg])
+	}
+}
+
+// TestLogicInjectionIdleMasked: arming an FXU injection during a cycle
+// where no integer op starts is masked (paper example: ALU idle during a
+// load's execute cycle).
+func TestLogicInjectionIdleMasked(t *testing.T) {
+	p := newTestPipeline(t, nil) // empty pipeline: units always idle
+	fc := newFailureCollector(p)
+	p.Inject(StructFXU, 0)
+	for i := 0; i < 10; i++ {
+		p.Step()
+	}
+	if fc.count[StructFXU] != 0 {
+		t.Errorf("idle-unit injection caused failures")
+	}
+	// The armed injection must not linger beyond its cycle.
+	if p.pendingLogic[StructFXU] != 0 {
+		t.Error("logic injection lingered past its cycle")
+	}
+}
+
+// TestLogicInjectionActivePropagates: corrupting the ALU during the cycle
+// an op starts propagates into the result and onward to a store.
+func TestLogicInjectionActivePropagates(t *testing.T) {
+	r1, r5 := isa.IntReg(1), isa.IntReg(5)
+	insts := []isa.Inst{
+		alu(0x1000, r5, r1, isa.RegNone),
+		{PC: 0x1004, Class: isa.ClassStore, Dst: isa.RegNone, Src1: r5, Src2: r1, Addr: 0x100},
+	}
+	p := newTestPipeline(t, insts)
+	fc := newFailureCollector(p)
+	// Arm an FXU unit-0 injection every cycle until the ALU op starts;
+	// exactly one injection can land because the op issues once.
+	for i := 0; i < 1000 && p.Retired() < 2; i++ {
+		p.Inject(StructFXU, 0)
+		p.Step()
+	}
+	runToDrain(t, p)
+	if fc.count[StructFXU] != 1 {
+		t.Errorf("active-unit injection failures = %d, want 1", fc.count[StructFXU])
+	}
+}
+
+// TestIQInjectionOccupiedEntry: corrupting an occupied issue-queue entry
+// corrupts the waiting instruction.
+func TestIQInjectionOccupiedEntry(t *testing.T) {
+	r1, r5 := isa.IntReg(1), isa.IntReg(5)
+	// A long-latency divide keeps its dependent waiting in the queue.
+	insts := []isa.Inst{
+		{PC: 0x1000, Class: isa.ClassIntDiv, Dst: r5, Src1: r1, Src2: isa.RegNone},
+		{PC: 0x1004, Class: isa.ClassStore, Dst: isa.RegNone, Src1: r5, Src2: r1, Addr: 0x100},
+	}
+	p := newTestPipeline(t, insts)
+	fc := newFailureCollector(p)
+	// Step until the store sits in the FXU queue (waiting on the divide),
+	// then corrupt every FXU queue entry.
+	// The bound covers the cold-start I-fetch stall (~265 cycles).
+	for i := 0; i < 2000 && p.queues[QFXU].count == 0; i++ {
+		p.Step()
+	}
+	landed := false
+	for e := 0; e < p.cfg.FXUQueueEntries; e++ {
+		if p.Inject(StructIQ, e) {
+			landed = true
+		}
+	}
+	if !landed {
+		t.Fatal("no IQ injection landed on an occupied entry")
+	}
+	runToDrain(t, p)
+	if fc.count[StructIQ] == 0 {
+		t.Error("occupied IQ entry corruption never reached a failure point")
+	}
+}
+
+// TestIQInjectionEmptyEntryMasked: corrupting a free entry does nothing.
+func TestIQInjectionEmptyEntryMasked(t *testing.T) {
+	p := newTestPipeline(t, nil)
+	if p.Inject(StructIQ, 0) {
+		t.Error("empty entry injection reported as landed")
+	}
+}
+
+// TestClearPlaneRemovesAllBits: after ClearPlane, a previously injected
+// error can no longer cause failures.
+func TestClearPlaneRemovesAllBits(t *testing.T) {
+	r1, r5 := isa.IntReg(1), isa.IntReg(5)
+	insts := []isa.Inst{
+		alu(0x1000, r5, r1, isa.RegNone),
+		{PC: 0x1004, Class: isa.ClassStore, Dst: isa.RegNone, Src1: r5, Src2: r1, Addr: 0x100},
+	}
+	p := newTestPipeline(t, insts)
+	fc := newFailureCollector(p)
+	p.Inject(StructReg, int(physOf(p, r1)))
+	p.ClearPlane(StructReg)
+	runToDrain(t, p)
+	if fc.count[StructReg] != 0 {
+		t.Errorf("cleared plane still caused %d failures", fc.count[StructReg])
+	}
+}
+
+// TestClearPlaneScrubsInFlight: bits already propagated into in-flight
+// instructions are cleared too.
+func TestClearPlaneScrubsInFlight(t *testing.T) {
+	r1, r5 := isa.IntReg(1), isa.IntReg(5)
+	insts := []isa.Inst{
+		{PC: 0x1000, Class: isa.ClassIntDiv, Dst: r5, Src1: r1, Src2: isa.RegNone},
+		{PC: 0x1004, Class: isa.ClassStore, Dst: isa.RegNone, Src1: r5, Src2: r1, Addr: 0x100},
+	}
+	p := newTestPipeline(t, insts)
+	fc := newFailureCollector(p)
+	p.Inject(StructReg, int(physOf(p, r1)))
+	// Let the divide issue (reading the corrupted register)...
+	for i := 0; i < 10; i++ {
+		p.Step()
+	}
+	// ...then clear the plane while the divide is still in flight.
+	p.ClearPlane(StructReg)
+	runToDrain(t, p)
+	if fc.count[StructReg] != 0 {
+		t.Errorf("in-flight bit survived ClearPlane: %d failures", fc.count[StructReg])
+	}
+}
+
+// TestPlanesAreIndependent: simultaneous errors in different planes do not
+// interfere.
+func TestPlanesAreIndependent(t *testing.T) {
+	r1, r2, r5, r6 := isa.IntReg(1), isa.IntReg(2), isa.IntReg(5), isa.IntReg(6)
+	insts := []isa.Inst{
+		alu(0x1000, r5, r1, isa.RegNone),
+		alu(0x1004, r6, r2, isa.RegNone),
+		{PC: 0x1008, Class: isa.ClassStore, Dst: isa.RegNone, Src1: r5, Src2: r1, Addr: 0x100},
+		{PC: 0x100c, Class: isa.ClassStore, Dst: isa.RegNone, Src1: r6, Src2: r2, Addr: 0x108},
+	}
+	p := newTestPipeline(t, insts)
+	fc := newFailureCollector(p)
+	p.Inject(StructReg, int(physOf(p, r1)))
+	p.Inject(StructFPReg, int(physOf(p, r1))) // same entry, different plane; int reg file is StructReg's
+	runToDrain(t, p)
+	if fc.count[StructReg] != 1 {
+		t.Errorf("REG failures = %d, want 1", fc.count[StructReg])
+	}
+	// StructFPReg's bit was injected into the *FP* file's register with
+	// that index, which nothing here reads.
+	if fc.count[StructFPReg] != 0 {
+		t.Errorf("FPREG failures = %d, want 0", fc.count[StructFPReg])
+	}
+}
+
+// TestInjectionIntoFreeRegisterMasked: a free physical register's error
+// bit is cleared on the next allocation's write, never read.
+func TestInjectionIntoFreeRegisterMasked(t *testing.T) {
+	g := trace.MustNewGenerator(trace.Params{
+		Seed: 11, Blocks: 16, BlockLen: 6,
+		Mix:         trace.Mix{IntALU: 0.5, Load: 0.3, Store: 0.2},
+		DepDistMean: 3, WorkingSet: 1 << 14, SeqFrac: 0.9, TakenBias: 0.7, BiasedFrac: 0.9,
+	})
+	cfg := config.Default()
+	p, _ := New(&cfg, trace.NewLimit(g, 5000))
+	fc := newFailureCollector(p)
+	// Inject into a currently free register, then run: its bit must be
+	// overwritten by the next writer before any read.
+	free := p.intRF.free[len(p.intRF.free)-1]
+	p.Inject(StructReg, int(free))
+	runToDrain(t, p)
+	if fc.count[StructReg] != 0 {
+		t.Errorf("free-register injection caused %d failures", fc.count[StructReg])
+	}
+}
+
+func TestInjectOutOfRangePanics(t *testing.T) {
+	p := newTestPipeline(t, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.Inject(StructReg, 10_000)
+}
+
+func TestStructureEntries(t *testing.T) {
+	p := newTestPipeline(t, nil)
+	cfg := config.Default()
+	want := map[Structure]int{
+		StructIQ:    cfg.FXUQueueEntries + cfg.FPUQueueEntries + cfg.BrQueueEntries,
+		StructReg:   cfg.IntRegs,
+		StructFPReg: cfg.FPRegs,
+		StructFXU:   cfg.NumIntUnits,
+		StructFPU:   cfg.NumFPUnits,
+		StructLSU:   cfg.NumLSUnits,
+	}
+	for s, w := range want {
+		if got := p.StructureEntries(s); got != w {
+			t.Errorf("StructureEntries(%v) = %d, want %d", s, got, w)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	for i := 0; i < NumStructures; i++ {
+		s := Structure(i)
+		got, err := ParseStructure(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStructure(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseStructure("rob"); err == nil {
+		t.Error("unknown structure accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package pipeline
+
+import (
+	"testing"
+
+	"avfsim/internal/config"
+	"avfsim/internal/isa"
+	"avfsim/internal/trace"
+)
+
+// eventLog captures every hook invocation in order for sequencing checks.
+type eventLog struct {
+	kind  string
+	cycle int64
+	seq   int64
+	phys  int16
+	file  RegFileID
+}
+
+func collectEvents(t *testing.T, insts []isa.Inst) []eventLog {
+	t.Helper()
+	p := newTestPipeline(t, insts)
+	var log []eventLog
+	p.SetHooks(Hooks{
+		OnRetire: func(ev *RetireEvent) {
+			log = append(log, eventLog{kind: "retire", cycle: ev.RetireCycle, seq: ev.Seq})
+		},
+		OnRegWrite: func(file RegFileID, phys int16, cycle, writer int64) {
+			log = append(log, eventLog{kind: "write", cycle: cycle, seq: writer, phys: phys, file: file})
+		},
+		OnRegRead: func(file RegFileID, phys int16, cycle, reader int64) {
+			log = append(log, eventLog{kind: "read", cycle: cycle, seq: reader, phys: phys, file: file})
+		},
+		OnRegFree: func(file RegFileID, phys int16, cycle int64) {
+			log = append(log, eventLog{kind: "free", cycle: cycle, phys: phys, file: file})
+		},
+	})
+	runToDrain(t, p)
+	return log
+}
+
+func TestEventOrderingSingleChain(t *testing.T) {
+	r1, r5 := isa.IntReg(1), isa.IntReg(5)
+	insts := []isa.Inst{
+		alu(0x1000, r5, r1, isa.RegNone),
+		{PC: 0x1004, Class: isa.ClassStore, Dst: isa.RegNone, Src1: r5, Src2: r1, Addr: 0x100},
+	}
+	log := collectEvents(t, insts)
+
+	// Expected: seq0 reads r1's phys, writes its dst, retires; seq1 reads
+	// that phys and r1, retires; finally seq... the writer's old mapping
+	// frees when seq0 retires.
+	var readCycles, writeCycles []int64
+	var retire0, retire1 int64 = -1, -1
+	for _, e := range log {
+		switch {
+		case e.kind == "read" && e.seq == 0:
+			readCycles = append(readCycles, e.cycle)
+		case e.kind == "write" && e.seq == 0:
+			writeCycles = append(writeCycles, e.cycle)
+		case e.kind == "retire" && e.seq == 0:
+			retire0 = e.cycle
+		case e.kind == "retire" && e.seq == 1:
+			retire1 = e.cycle
+		}
+	}
+	if len(readCycles) != 1 || len(writeCycles) != 1 {
+		t.Fatalf("seq0: %d reads, %d writes", len(readCycles), len(writeCycles))
+	}
+	if !(readCycles[0] <= writeCycles[0] && writeCycles[0] < retire0 && retire0 <= retire1) {
+		t.Errorf("event cycle ordering violated: read=%d write=%d retire0=%d retire1=%d",
+			readCycles[0], writeCycles[0], retire0, retire1)
+	}
+}
+
+func TestRegFreeFollowsOverwriterRetire(t *testing.T) {
+	// Two writes to the same architectural register: the first physical
+	// register frees when the *second* writer retires.
+	r1, r5 := isa.IntReg(1), isa.IntReg(5)
+	insts := []isa.Inst{
+		alu(0x1000, r5, r1, isa.RegNone),
+		alu(0x1004, r5, r1, isa.RegNone),
+	}
+	log := collectEvents(t, insts)
+	var firstDstPhys int16 = -1
+	var freeCycle, retire1 int64 = -1, -1
+	for _, e := range log {
+		if e.kind == "write" && e.seq == 0 {
+			firstDstPhys = e.phys
+		}
+	}
+	for _, e := range log {
+		if e.kind == "free" && e.phys == firstDstPhys {
+			freeCycle = e.cycle
+		}
+		if e.kind == "retire" && e.seq == 1 {
+			retire1 = e.cycle
+		}
+	}
+	if firstDstPhys < 0 {
+		t.Fatal("no write event for seq 0")
+	}
+	if freeCycle != retire1 {
+		t.Errorf("first mapping freed at %d, overwriter retired at %d", freeCycle, retire1)
+	}
+}
+
+func TestRetireEventFieldsPopulated(t *testing.T) {
+	r1, r5, f2 := isa.IntReg(1), isa.IntReg(5), isa.FPReg(2)
+	insts := []isa.Inst{
+		alu(0x1000, r5, r1, isa.RegNone),
+		{PC: 0x1004, Class: isa.ClassFPAdd, Dst: f2, Src1: f2, Src2: isa.RegNone},
+		{PC: 0x1008, Class: isa.ClassNop, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone},
+	}
+	p := newTestPipeline(t, insts)
+	var evs []RetireEvent
+	p.SetHooks(Hooks{OnRetire: func(ev *RetireEvent) { evs = append(evs, *ev) }})
+	runToDrain(t, p)
+	if len(evs) != 3 {
+		t.Fatalf("%d retire events", len(evs))
+	}
+
+	aluEv := evs[0]
+	if aluEv.Class != isa.ClassIntALU || aluEv.Queue != QFXU || aluEv.FU != FUInt {
+		t.Errorf("alu event routing: %+v", aluEv)
+	}
+	if aluEv.DstFile != IntFile || aluEv.DstPhys < 0 {
+		t.Errorf("alu event dst: %+v", aluEv)
+	}
+	if aluEv.IssueCycle < aluEv.DispatchCycle || aluEv.RetireCycle < aluEv.IssueCycle {
+		t.Errorf("alu event cycles out of order: %+v", aluEv)
+	}
+	if aluEv.ExecStart != aluEv.IssueCycle {
+		t.Errorf("exec start %d != issue %d", aluEv.ExecStart, aluEv.IssueCycle)
+	}
+	if aluEv.SrcProducers[0] != -1 {
+		t.Errorf("initial-state source should have producer -1, got %d", aluEv.SrcProducers[0])
+	}
+
+	fpEv := evs[1]
+	if fpEv.Queue != QFPU || fpEv.FU != FUFP || fpEv.DstFile != FPFile {
+		t.Errorf("fp event routing: %+v", fpEv)
+	}
+
+	nopEv := evs[2]
+	if nopEv.Queue != QNone || nopEv.FU != FUNone {
+		t.Errorf("nop event routing: %+v", nopEv)
+	}
+	if nopEv.IssueCycle != -1 || nopEv.ExecStart != -1 || nopEv.DstPhys != -1 {
+		t.Errorf("nop event should carry sentinel fields: %+v", nopEv)
+	}
+}
+
+func TestSrcProducersLinkDataflow(t *testing.T) {
+	r1, r5, r6 := isa.IntReg(1), isa.IntReg(5), isa.IntReg(6)
+	insts := []isa.Inst{
+		alu(0x1000, r5, r1, isa.RegNone), // seq 0
+		alu(0x1004, r6, r5, r5),          // seq 1 reads seq 0's value twice
+	}
+	p := newTestPipeline(t, insts)
+	var evs []RetireEvent
+	p.SetHooks(Hooks{OnRetire: func(ev *RetireEvent) { evs = append(evs, *ev) }})
+	runToDrain(t, p)
+	if evs[1].SrcProducers[0] != 0 || evs[1].SrcProducers[1] != 0 {
+		t.Errorf("producers = %v, want [0 0]", evs[1].SrcProducers)
+	}
+}
+
+func TestEventsQuietWithoutHooks(t *testing.T) {
+	// No hooks installed: the pipeline must run (and not panic) exactly
+	// as with hooks.
+	g := trace.MustNewGenerator(trace.Params{
+		Seed: 2, Blocks: 16, BlockLen: 6,
+		Mix:         trace.Mix{IntALU: 0.5, Load: 0.3, Store: 0.2},
+		DepDistMean: 3, WorkingSet: 1 << 14, SeqFrac: 0.9, TakenBias: 0.7, BiasedFrac: 0.9,
+	})
+	cfg := config.Default()
+	p, _ := New(&cfg, trace.NewLimit(g, 10_000))
+	runToDrain(t, p)
+	if p.Retired() != 10_000 {
+		t.Errorf("retired %d", p.Retired())
+	}
+}
+
+func TestMispredictedFlagOnRetireEvent(t *testing.T) {
+	// First-ever taken branch must be flagged mispredicted (cold BTB).
+	insts := []isa.Inst{
+		{PC: 0x1000, Class: isa.ClassBranch, Dst: isa.RegNone, Src1: isa.IntReg(1),
+			Src2: isa.RegNone, Taken: true, Target: 0x2000},
+		alu(0x2000, isa.IntReg(5), isa.IntReg(1), isa.RegNone),
+	}
+	p := newTestPipeline(t, insts)
+	var evs []RetireEvent
+	p.SetHooks(Hooks{OnRetire: func(ev *RetireEvent) { evs = append(evs, *ev) }})
+	runToDrain(t, p)
+	if len(evs) != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if !evs[0].Mispredicted {
+		t.Error("cold taken branch not flagged mispredicted")
+	}
+	if evs[1].Mispredicted {
+		t.Error("non-branch flagged mispredicted")
+	}
+}

@@ -1,0 +1,139 @@
+package pipeline
+
+import "fmt"
+
+// This file is the error-injection surface used by the online AVF
+// estimator (internal/core). Storage injections set the error bit of one
+// entry; logic injections arm a single-cycle corruption of one unit,
+// landing only if an operation starts on that unit during the next cycle
+// (an idle unit masks the error, per Section 3.1).
+
+// StructureEntries returns the number of injectable entries (storage) or
+// units (logic) of s — the K used for round-robin entry selection.
+func (p *Pipeline) StructureEntries(s Structure) int {
+	switch s {
+	case StructIQ:
+		return p.cfg.FXUQueueEntries + p.cfg.FPUQueueEntries + p.cfg.BrQueueEntries
+	case StructReg:
+		return p.cfg.IntRegs
+	case StructFPReg:
+		return p.cfg.FPRegs
+	case StructFXU:
+		return p.cfg.NumIntUnits
+	case StructFPU:
+		return p.cfg.NumFPUnits
+	case StructLSU:
+		return p.cfg.NumLSUnits
+	case StructDTLB:
+		return p.cfg.DTLBEntries
+	case StructITLB:
+		return p.cfg.ITLBEntries
+	default:
+		panic(fmt.Sprintf("pipeline: unknown structure %v", s))
+	}
+}
+
+// iqSlot maps a combined issue-queue entry index to (queue, slot). Entries
+// are numbered FXU queue first, then FPU, then branch.
+func (p *Pipeline) iqSlot(idx int) (QueueID, int) {
+	if idx < p.cfg.FXUQueueEntries {
+		return QFXU, idx
+	}
+	idx -= p.cfg.FXUQueueEntries
+	if idx < p.cfg.FPUQueueEntries {
+		return QFPU, idx
+	}
+	return QBr, idx - p.cfg.FPUQueueEntries
+}
+
+// Inject emulates a soft error in entry/unit idx of structure s by setting
+// its error bit. For storage structures the bit lands immediately (an
+// empty entry masks the error: nothing ever reads it). For logic
+// structures the injection is armed for the next simulated cycle only.
+// It reports whether the error landed on live content (occupied entry or
+// a unit that will see the armed cycle) — diagnostic only; masking is
+// decided by the normal propagation rules.
+func (p *Pipeline) Inject(s Structure, idx int) bool {
+	if idx < 0 || idx >= p.StructureEntries(s) {
+		panic(fmt.Sprintf("pipeline: inject %v entry %d out of range", s, idx))
+	}
+	switch s {
+	case StructIQ:
+		q, slot := p.iqSlot(idx)
+		if u := p.queues[q].slots[slot]; u != nil {
+			u.errMask |= s.Bit()
+			return true
+		}
+		// Empty entry: the error has nowhere to live; it is masked.
+		return false
+	case StructReg:
+		p.intRF.err[idx] |= s.Bit()
+		return p.intRF.ready[idx]
+	case StructFPReg:
+		p.fpRF.err[idx] |= s.Bit()
+		return p.fpRF.ready[idx]
+	case StructDTLB:
+		p.dtlbErr[idx] |= s.Bit()
+		return true
+	case StructITLB:
+		p.itlbErr[idx] |= s.Bit()
+		return true
+	case StructFXU, StructFPU, StructLSU:
+		p.pendingLogic[s] = idx + 1
+		return true
+	default:
+		panic(fmt.Sprintf("pipeline: unknown structure %v", s))
+	}
+}
+
+// ClearPlane removes every error bit of structure s from the machine:
+// physical registers, in-flight instructions, and any armed logic
+// injection. The estimator calls this between injections so exactly one
+// emulated error is live at a time (Section 3.1).
+func (p *Pipeline) ClearPlane(s Structure) {
+	bit := s.Bit()
+	p.intRF.clearPlane(bit)
+	p.fpRF.clearPlane(bit)
+	for i := 0; i < p.rob.len(); i++ {
+		p.rob.at(i).errMask &^= bit
+	}
+	for i := range p.dtlbErr {
+		p.dtlbErr[i] &^= bit
+	}
+	for i := range p.itlbErr {
+		p.itlbErr[i] &^= bit
+	}
+	p.curLineErr &^= bit
+	for i := 0; i < p.instBuf.len(); i++ {
+		p.instBuf.buf[(p.instBuf.head+i)%len(p.instBuf.buf)].errMask &^= bit
+	}
+	if int(s) < NumStructures {
+		p.pendingLogic[s] = 0
+	}
+}
+
+// UnitKind returns the functional-unit kind monitored by a logic
+// structure.
+func UnitKind(s Structure) (FUKind, bool) {
+	switch s {
+	case StructFXU:
+		return FUInt, true
+	case StructFPU:
+		return FUFP, true
+	case StructLSU:
+		return FULS, true
+	default:
+		return 0, false
+	}
+}
+
+// BusyUnitCycles returns the accumulated busy unit-cycles for a unit
+// kind — the counter behind the utilization-based AVF baseline.
+func (p *Pipeline) BusyUnitCycles(k FUKind) int64 { return p.busyUnitCycles[k] }
+
+// Initiations returns the operations started per unit kind.
+func (p *Pipeline) Initiations(k FUKind) int64 { return p.initiations[k] }
+
+// IQOccupancySum returns the accumulated combined issue-queue population
+// (entry-cycles) — the counter behind the occupancy-based AVF baseline.
+func (p *Pipeline) IQOccupancySum() int64 { return p.iqOccupancySum }

@@ -1,0 +1,680 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"avfsim/internal/branch"
+	"avfsim/internal/config"
+	"avfsim/internal/isa"
+	"avfsim/internal/mem"
+	"avfsim/internal/trace"
+)
+
+// uop is one in-flight instruction.
+type uop struct {
+	inst isa.Inst
+	seq  int64
+
+	queue  QueueID
+	fu     FUKind
+	qEntry int
+	unit   int
+
+	srcPhys      [2]int16 // -1 = no source
+	srcFile      [2]RegFileID
+	srcProducers [2]int64
+	dstPhys      int16 // -1 = no destination
+	dstFile      RegFileID
+	oldDst       int16
+
+	dispatchCycle int64
+	issueCycle    int64
+	execStart     int64
+	doneCycle     int64
+
+	issued       bool
+	done         bool
+	mispredicted bool
+
+	errMask ErrMask
+}
+
+// fetched pairs a trace instruction with its fetch-time branch prediction
+// outcome while it waits in the instruction buffer.
+type fetched struct {
+	inst    isa.Inst
+	mispred bool
+	seq     int64
+	// errMask carries error bits acquired at fetch (a corrupted iTLB
+	// translation corrupts every instruction fetched through it).
+	errMask ErrMask
+}
+
+// ring is a bounded FIFO.
+type ring[T any] struct {
+	buf  []T
+	head int
+	size int
+}
+
+func newRing[T any](capacity int) *ring[T] { return &ring[T]{buf: make([]T, capacity)} }
+
+func (r *ring[T]) full() bool  { return r.size == len(r.buf) }
+func (r *ring[T]) empty() bool { return r.size == 0 }
+func (r *ring[T]) len() int    { return r.size }
+func (r *ring[T]) space() int  { return len(r.buf) - r.size }
+
+func (r *ring[T]) push(v T) {
+	if r.full() {
+		panic("pipeline: ring overflow")
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.size++
+}
+
+func (r *ring[T]) front() T { return r.buf[r.head] }
+
+func (r *ring[T]) pop() T {
+	if r.empty() {
+		panic("pipeline: ring underflow")
+	}
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return v
+}
+
+// at returns the i-th element from the front without removing it.
+func (r *ring[T]) at(i int) T { return r.buf[(r.head+i)%len(r.buf)] }
+
+// issueQueue is a fixed set of reservation slots.
+type issueQueue struct {
+	slots []*uop
+	count int
+}
+
+func (q *issueQueue) hasSpace() bool { return q.count < len(q.slots) }
+
+func (q *issueQueue) alloc(u *uop) int {
+	for i, s := range q.slots {
+		if s == nil {
+			q.slots[i] = u
+			q.count++
+			return i
+		}
+	}
+	panic("pipeline: issue queue overflow")
+}
+
+func (q *issueQueue) free(i int) {
+	q.slots[i] = nil
+	q.count--
+}
+
+// Pipeline is the simulated processor.
+type Pipeline struct {
+	cfg  *config.Config
+	src  trace.Source
+	hier *mem.Hierarchy
+	pred *branch.Predictor
+
+	cycle   int64
+	seq     int64 // next fetch sequence number
+	retired int64
+
+	// Fetch state.
+	pending         *fetched // next instruction not yet in the buffer
+	srcDone         bool
+	instBuf         *ring[fetched]
+	fetchStallUntil int64
+	fetchHalted     bool  // waiting on a mispredicted branch to resolve
+	fetchHaltSeq    int64 // seq of that branch
+	curFetchLine    uint64
+	haveFetchLine   bool
+	curLineErr      ErrMask // iTLB error bits of the current fetch line
+
+	// Rename / registers.
+	intRF, fpRF *regFile
+
+	// Window.
+	rob    *ring[*uop]
+	queues [NumQueues]issueQueue
+
+	// Execution.
+	executing []*uop
+	inflight  [NumFUKinds][]int // per unit: ops in flight
+
+	// Error-bit machinery.
+	pendingLogic [NumStructures]int // unit index + 1; 0 = no injection pending
+	dtlbErr      []ErrMask
+	itlbErr      []ErrMask
+
+	hooks Hooks
+
+	// Statistics.
+	busyUnitCycles [NumFUKinds]int64
+	initiations    [NumFUKinds]int64
+	iqOccupancySum int64
+	failures       [NumStructures]int64
+
+	// Scratch buffers reused across cycles.
+	candBuf []*uop
+
+	// uop free pool.
+	pool []*uop
+}
+
+// New builds a pipeline over the given instruction source.
+func New(cfg *config.Config, src trace.Source) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hier, err := mem.NewHierarchy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:     cfg,
+		src:     src,
+		hier:    hier,
+		pred:    branch.New(cfg),
+		instBuf: newRing[fetched](cfg.InstBufferEntries),
+		intRF:   newRegFile(IntFile, cfg.IntRegs),
+		fpRF:    newRegFile(FPFile, cfg.FPRegs),
+		rob:     newRing[*uop](cfg.ROBEntries()),
+	}
+	p.dtlbErr = make([]ErrMask, cfg.DTLBEntries)
+	p.itlbErr = make([]ErrMask, cfg.ITLBEntries)
+	p.queues[QFXU].slots = make([]*uop, cfg.FXUQueueEntries)
+	p.queues[QFPU].slots = make([]*uop, cfg.FPUQueueEntries)
+	p.queues[QBr].slots = make([]*uop, cfg.BrQueueEntries)
+	p.inflight[FUInt] = make([]int, cfg.NumIntUnits)
+	p.inflight[FUFP] = make([]int, cfg.NumFPUnits)
+	p.inflight[FULS] = make([]int, cfg.NumLSUnits)
+	p.inflight[FUBr] = make([]int, cfg.NumBrUnits)
+	return p, nil
+}
+
+// SetHooks installs observation callbacks. Call before stepping.
+func (p *Pipeline) SetHooks(h Hooks) { p.hooks = h }
+
+// Cycle returns the number of cycles simulated so far.
+func (p *Pipeline) Cycle() int64 { return p.cycle }
+
+// Retired returns the number of instructions retired so far.
+func (p *Pipeline) Retired() int64 { return p.retired }
+
+// Hierarchy exposes the memory system for reporting.
+func (p *Pipeline) Hierarchy() *mem.Hierarchy { return p.hier }
+
+// Predictor exposes the branch predictor for reporting.
+func (p *Pipeline) Predictor() *branch.Predictor { return p.pred }
+
+// Config returns the processor configuration.
+func (p *Pipeline) Config() *config.Config { return p.cfg }
+
+func (p *Pipeline) getUop() *uop {
+	if n := len(p.pool); n > 0 {
+		u := p.pool[n-1]
+		p.pool = p.pool[:n-1]
+		*u = uop{}
+		return u
+	}
+	return &uop{}
+}
+
+func (p *Pipeline) putUop(u *uop) { p.pool = append(p.pool, u) }
+
+// Step simulates one cycle. It returns false once the trace is exhausted
+// and the pipeline has drained.
+func (p *Pipeline) Step() bool {
+	if p.done() {
+		return false
+	}
+	p.retire()
+	p.complete()
+	p.issue()
+	p.dispatch()
+	p.fetch()
+	p.accountCycle()
+	p.cycle++
+	return true
+}
+
+// Run steps until the pipeline drains or maxCycles elapse (if > 0). It
+// returns the cycles executed during this call.
+func (p *Pipeline) Run(maxCycles int64) int64 {
+	start := p.cycle
+	for maxCycles <= 0 || p.cycle-start < maxCycles {
+		if !p.Step() {
+			break
+		}
+	}
+	return p.cycle - start
+}
+
+func (p *Pipeline) done() bool {
+	return p.srcDone && p.pending == nil && p.instBuf.empty() && p.rob.empty()
+}
+
+// retire commits up to one dispatch group per cycle, in order.
+func (p *Pipeline) retire() {
+	for n := 0; n < p.cfg.DispatchGroup && !p.rob.empty(); n++ {
+		u := p.rob.front()
+		if !u.done {
+			break
+		}
+		p.rob.pop()
+		p.retired++
+
+		if u.errMask != 0 && u.inst.Class.IsFailurePoint() {
+			for s := Structure(0); int(s) < NumStructures; s++ {
+				if u.errMask&s.Bit() != 0 {
+					p.failures[s]++
+					if p.hooks.OnFailure != nil {
+						p.hooks.OnFailure(s, u.seq, p.cycle)
+					}
+				}
+			}
+		}
+		if p.hooks.OnRetire != nil {
+			ev := RetireEvent{
+				Seq:           u.seq,
+				Class:         u.inst.Class,
+				PC:            u.inst.PC,
+				DispatchCycle: u.dispatchCycle,
+				IssueCycle:    u.issueCycle,
+				RetireCycle:   p.cycle,
+				Queue:         u.queue,
+				QueueEntry:    u.qEntry,
+				FU:            u.fu,
+				Unit:          u.unit,
+				ExecStart:     u.execStart,
+				SrcProducers:  u.srcProducers,
+				DstFile:       u.dstFile,
+				DstPhys:       u.dstPhys,
+				Err:           u.errMask,
+				Mispredicted:  u.mispredicted,
+			}
+			p.hooks.OnRetire(&ev)
+		}
+		if u.dstPhys >= 0 {
+			rf := p.fileFor(u.dstFile)
+			rf.release(u.oldDst)
+			if p.hooks.OnRegFree != nil {
+				p.hooks.OnRegFree(u.dstFile, u.oldDst, p.cycle)
+			}
+		}
+		p.putUop(u)
+	}
+}
+
+func (p *Pipeline) fileFor(id RegFileID) *regFile {
+	if id == FPFile {
+		return p.fpRF
+	}
+	return p.intRF
+}
+
+// complete performs writeback for operations finishing this cycle.
+func (p *Pipeline) complete() {
+	out := p.executing[:0]
+	for _, u := range p.executing {
+		if u.doneCycle > p.cycle {
+			out = append(out, u)
+			continue
+		}
+		u.done = true
+		p.inflight[u.fu][u.unit]--
+		if u.dstPhys >= 0 {
+			rf := p.fileFor(u.dstFile)
+			rf.ready[u.dstPhys] = true
+			rf.err[u.dstPhys] = u.errMask
+			rf.writer[u.dstPhys] = u.seq
+			if p.hooks.OnRegWrite != nil {
+				p.hooks.OnRegWrite(u.dstFile, u.dstPhys, p.cycle, u.seq)
+			}
+		}
+		if u.mispredicted && p.fetchHalted && u.seq == p.fetchHaltSeq {
+			p.fetchHalted = false
+			stallUntil := p.cycle + int64(p.cfg.MispredictPenalty)
+			if stallUntil > p.fetchStallUntil {
+				p.fetchStallUntil = stallUntil
+			}
+		}
+	}
+	p.executing = out
+}
+
+// issue selects ready instructions from the queues, oldest first, and
+// starts them on free functional units.
+func (p *Pipeline) issue() {
+	var avail [NumFUKinds]int
+	avail[FUInt] = p.cfg.NumIntUnits
+	avail[FUFP] = p.cfg.NumFPUnits
+	avail[FULS] = p.cfg.NumLSUnits
+	avail[FUBr] = p.cfg.NumBrUnits
+
+	for q := 0; q < NumQueues; q++ {
+		queue := &p.queues[q]
+		if queue.count == 0 {
+			continue
+		}
+		// Gather ready candidates; stop once every occupant was seen.
+		cands := p.candBuf[:0]
+		seen := 0
+		for _, u := range queue.slots {
+			if u == nil {
+				continue
+			}
+			if p.ready(u) {
+				cands = append(cands, u)
+			}
+			if seen++; seen == queue.count {
+				break
+			}
+		}
+		// Oldest first (insertion sort; candidate lists are tiny).
+		for i := 1; i < len(cands); i++ {
+			for j := i; j > 0 && cands[j].seq < cands[j-1].seq; j-- {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			}
+		}
+		for _, u := range cands {
+			if avail[u.fu] == 0 {
+				continue
+			}
+			unit := p.pickUnit(u.fu, avail[u.fu])
+			avail[u.fu]--
+			p.start(u, unit)
+			queue.free(u.qEntry)
+		}
+		p.candBuf = cands[:0]
+	}
+}
+
+// ready reports whether all of u's sources have been produced.
+func (p *Pipeline) ready(u *uop) bool {
+	for i := 0; i < 2; i++ {
+		if u.srcPhys[i] < 0 {
+			continue
+		}
+		if !p.fileFor(u.srcFile[i]).ready[u.srcPhys[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// pickUnit chooses the unit instance for this issue slot: units fill in
+// order within a cycle (avail counts down).
+func (p *Pipeline) pickUnit(k FUKind, avail int) int {
+	return len(p.inflight[k]) - avail
+}
+
+// start begins execution of u on the given unit: operands are read (error
+// bits OR in), a pending logic injection on this unit lands, and the
+// completion time is scheduled.
+func (p *Pipeline) start(u *uop, unit int) {
+	u.issued = true
+	u.issueCycle = p.cycle
+	u.execStart = p.cycle
+	u.unit = unit
+
+	for i := 0; i < 2; i++ {
+		if u.srcPhys[i] < 0 {
+			continue
+		}
+		rf := p.fileFor(u.srcFile[i])
+		u.errMask |= rf.err[u.srcPhys[i]]
+		u.srcProducers[i] = rf.writer[u.srcPhys[i]]
+		if p.hooks.OnRegRead != nil {
+			p.hooks.OnRegRead(u.srcFile[i], u.srcPhys[i], p.cycle, u.seq)
+		}
+	}
+
+	// A pending single-cycle logic injection corrupts the op starting on
+	// the chosen unit this cycle.
+	if ls := logicStructure(u.fu); int(ls) < NumStructures {
+		if p.pendingLogic[ls] == unit+1 {
+			u.errMask |= ls.Bit()
+			p.pendingLogic[ls] = 0 // consumed
+		}
+	}
+
+	u.doneCycle = p.cycle + p.latency(u)
+	p.inflight[u.fu][unit]++
+	p.initiations[u.fu]++
+	p.executing = append(p.executing, u)
+}
+
+// latency returns the execution latency for u, charging the memory
+// hierarchy for loads.
+func (p *Pipeline) latency(u *uop) int64 {
+	switch u.inst.Class {
+	case isa.ClassIntALU:
+		return int64(p.cfg.IntALULatency)
+	case isa.ClassIntMul:
+		return int64(p.cfg.IntMulLatency)
+	case isa.ClassIntDiv:
+		return int64(p.cfg.IntDivLatency)
+	case isa.ClassFPAdd, isa.ClassFPMul:
+		return int64(p.cfg.FPDefaultLatency)
+	case isa.ClassFPDiv:
+		return int64(p.cfg.FPDivLatency)
+	case isa.ClassLoad:
+		return 1 + int64(p.dataAccess(u))
+	case isa.ClassStore:
+		// Address generation only; the store drains from a store buffer
+		// after retirement. The cache state is still updated.
+		p.dataAccess(u)
+		return 1
+	case isa.ClassBranch:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// dataAccess performs u's data-side memory access: it charges the
+// latency, propagates a corrupted dTLB translation into the instruction,
+// and clears the entry's error bit on refill (the new translation
+// overwrites it).
+func (p *Pipeline) dataAccess(u *uop) int {
+	acc := p.hier.DataAccess(u.inst.Addr)
+	if acc.TLBHit {
+		u.errMask |= p.dtlbErr[acc.TLBEntry]
+	} else {
+		p.dtlbErr[acc.TLBEntry] = 0
+	}
+	if p.hooks.OnTLBAccess != nil {
+		p.hooks.OnTLBAccess(StructDTLB, acc.TLBEntry, p.cycle, !acc.TLBHit)
+	}
+	return acc.Latency
+}
+
+// dispatch renames and inserts up to one dispatch group into the window.
+func (p *Pipeline) dispatch() {
+	for n := 0; n < p.cfg.DispatchGroup && !p.instBuf.empty() && !p.rob.full(); n++ {
+		f := p.instBuf.front()
+		q, fu := route(f.inst.Class)
+		if q != QNone && !p.queues[q].hasSpace() {
+			break
+		}
+		var rf *regFile
+		if f.inst.HasDst() {
+			file, _ := fileOf(f.inst.Dst)
+			rf = p.fileFor(file)
+			if !rf.canAlloc(1) {
+				break
+			}
+		}
+		p.instBuf.pop()
+
+		u := p.getUop()
+		u.inst = f.inst
+		u.seq = f.seq
+		u.queue = q
+		u.fu = fu
+		u.qEntry = -1
+		u.unit = -1
+		u.dispatchCycle = p.cycle
+		u.issueCycle = -1
+		u.execStart = -1
+		u.dstPhys = -1
+		u.srcPhys = [2]int16{-1, -1}
+		u.srcProducers = [2]int64{-1, -1}
+		u.mispredicted = f.mispred
+		u.errMask = f.errMask
+
+		srcs := [2]isa.Reg{f.inst.Src1, f.inst.Src2}
+		for i, s := range srcs {
+			if s == isa.RegNone {
+				continue
+			}
+			file, idx := fileOf(s)
+			u.srcFile[i] = file
+			u.srcPhys[i] = p.fileFor(file).lookup(idx)
+		}
+		if f.inst.HasDst() {
+			file, idx := fileOf(f.inst.Dst)
+			u.dstFile = file
+			u.dstPhys, u.oldDst = rf.alloc(idx)
+			_ = file
+		}
+
+		p.rob.push(u)
+		if q != QNone {
+			u.qEntry = p.queues[q].alloc(u)
+		} else {
+			// Nops bypass the queues and complete immediately.
+			u.done = true
+			u.doneCycle = p.cycle
+		}
+	}
+}
+
+// fetch brings up to FetchWidth instructions per cycle into the
+// instruction buffer, honoring I-cache latency, taken-branch fetch breaks,
+// and misprediction stalls.
+func (p *Pipeline) fetch() {
+	if p.fetchHalted || p.cycle < p.fetchStallUntil {
+		return
+	}
+	lineMask := ^uint64(p.cfg.L1I.LineBytes - 1)
+	for n := 0; n < p.cfg.FetchWidth && !p.instBuf.full(); n++ {
+		if p.pending == nil {
+			in, ok := p.src.Next()
+			if !ok {
+				p.srcDone = true
+				return
+			}
+			p.pending = &fetched{inst: in, seq: p.seq}
+			p.seq++
+		}
+		f := p.pending
+		// New cache line: probe the I-side hierarchy; a miss stalls the
+		// front end until the line arrives.
+		line := f.inst.PC & lineMask
+		if !p.haveFetchLine || line != p.curFetchLine {
+			acc := p.hier.InstAccess(f.inst.PC)
+			p.curFetchLine = line
+			p.haveFetchLine = true
+			if acc.TLBHit {
+				p.curLineErr = p.itlbErr[acc.TLBEntry]
+			} else {
+				// The refill overwrites the entry (and any error in it);
+				// the fetched instructions use the fresh translation.
+				p.itlbErr[acc.TLBEntry] = 0
+				p.curLineErr = 0
+			}
+			if p.hooks.OnTLBAccess != nil {
+				p.hooks.OnTLBAccess(StructITLB, acc.TLBEntry, p.cycle, !acc.TLBHit)
+			}
+			if acc.Latency > p.cfg.L1I.LatencyCycles {
+				p.fetchStallUntil = p.cycle + int64(acc.Latency)
+				return
+			}
+		}
+		f.errMask = p.curLineErr
+		// Branch prediction happens at fetch; the trace carries the
+		// resolved outcome, so we learn immediately whether the front
+		// end would have misfetched.
+		if f.inst.Class == isa.ClassBranch {
+			f.mispred = p.pred.Resolve(f.inst.PC, f.inst.Taken, f.inst.Target)
+		}
+		p.instBuf.push(*f)
+		p.pending = nil
+
+		if f.inst.Class == isa.ClassBranch {
+			if f.mispred {
+				// Fetch halts until the branch resolves in the back end.
+				p.fetchHalted = true
+				p.fetchHaltSeq = f.seq
+				return
+			}
+			if f.inst.Taken {
+				// A correctly predicted taken branch still ends the
+				// fetch group.
+				return
+			}
+		}
+	}
+}
+
+// accountCycle updates per-cycle statistics.
+func (p *Pipeline) accountCycle() {
+	for k := 0; k < NumFUKinds; k++ {
+		for _, n := range p.inflight[k] {
+			if n > 0 {
+				p.busyUnitCycles[k]++
+			}
+		}
+	}
+	p.iqOccupancySum += int64(p.queues[QFXU].count + p.queues[QFPU].count + p.queues[QBr].count)
+	// Unconsumed single-cycle logic injections are masked (unit idle).
+	for s := range p.pendingLogic {
+		p.pendingLogic[s] = 0
+	}
+}
+
+// Stats is a snapshot of pipeline counters.
+type Stats struct {
+	Cycles  int64
+	Retired int64
+	IPC     float64
+	// BusyUnitCycles counts unit-cycles with at least one op in flight,
+	// per unit kind.
+	BusyUnitCycles [NumFUKinds]int64
+	// Initiations counts operations started per unit kind.
+	Initiations [NumFUKinds]int64
+	// MeanIQOccupancy is the average combined issue-queue population.
+	MeanIQOccupancy float64
+	// Failures counts failure-point retirements carrying each plane's
+	// error bit.
+	Failures [NumStructures]int64
+}
+
+// Snapshot returns current statistics.
+func (p *Pipeline) Snapshot() Stats {
+	st := Stats{
+		Cycles:         p.cycle,
+		Retired:        p.retired,
+		BusyUnitCycles: p.busyUnitCycles,
+		Initiations:    p.initiations,
+		Failures:       p.failures,
+	}
+	if p.cycle > 0 {
+		st.IPC = float64(p.retired) / float64(p.cycle)
+		st.MeanIQOccupancy = float64(p.iqOccupancySum) / float64(p.cycle)
+	}
+	return st
+}
+
+// String summarizes the snapshot.
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d retired=%d ipc=%.3f iq-occ=%.1f",
+		s.Cycles, s.Retired, s.IPC, s.MeanIQOccupancy)
+}

@@ -1,0 +1,257 @@
+package pipeline
+
+import (
+	"testing"
+
+	"avfsim/internal/config"
+	"avfsim/internal/isa"
+	"avfsim/internal/trace"
+)
+
+func newTestPipeline(t *testing.T, insts []isa.Inst) *Pipeline {
+	t.Helper()
+	cfg := config.Default()
+	p, err := New(&cfg, trace.NewSliceSource(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runToDrain steps until the pipeline drains, bounding runaway loops.
+func runToDrain(t *testing.T, p *Pipeline) {
+	t.Helper()
+	for i := 0; i < 10_000_000; i++ {
+		if !p.Step() {
+			return
+		}
+	}
+	t.Fatal("pipeline failed to drain")
+}
+
+func alu(pc uint64, dst, s1, s2 isa.Reg) isa.Inst {
+	return isa.Inst{PC: pc, Class: isa.ClassIntALU, Dst: dst, Src1: s1, Src2: s2}
+}
+
+func TestEmptyTraceDrains(t *testing.T) {
+	p := newTestPipeline(t, nil)
+	runToDrain(t, p)
+	if p.Retired() != 0 {
+		t.Errorf("retired %d from empty trace", p.Retired())
+	}
+}
+
+func TestRetiresAllInstructions(t *testing.T) {
+	// Loop-like code (PCs repeat) so the I-cache warms up, as in real
+	// programs; a linear walk through cold code would be fetch-bound.
+	var insts []isa.Inst
+	for i := 0; i < 1000; i++ {
+		insts = append(insts, alu(uint64(0x1000+4*(i%64)), isa.IntReg(5+i%8), isa.IntReg(5), isa.IntReg(6)))
+	}
+	p := newTestPipeline(t, insts)
+	runToDrain(t, p)
+	if p.Retired() != 1000 {
+		t.Errorf("retired %d, want 1000", p.Retired())
+	}
+	st := p.Snapshot()
+	if st.IPC <= 0.8 {
+		t.Errorf("ALU stream IPC = %.3f, suspiciously low (2 int units available)", st.IPC)
+	}
+	if st.IPC > float64(p.cfg.DispatchGroup) {
+		t.Errorf("IPC %.3f exceeds retire bandwidth", st.IPC)
+	}
+}
+
+func TestDependencyChainLimitsIPC(t *testing.T) {
+	// A serial dependence chain of N single-cycle ops takes ~N cycles.
+	var insts []isa.Inst
+	for i := 0; i < 500; i++ {
+		insts = append(insts, alu(uint64(0x1000+4*i), isa.IntReg(5), isa.IntReg(5), isa.RegNone))
+	}
+	p := newTestPipeline(t, insts)
+	runToDrain(t, p)
+	if p.Cycle() < 500 {
+		t.Errorf("serial chain of 500 finished in %d cycles", p.Cycle())
+	}
+	st := p.Snapshot()
+	if st.IPC > 1.05 {
+		t.Errorf("serial chain IPC = %.3f > 1", st.IPC)
+	}
+}
+
+func TestLongLatencyDivide(t *testing.T) {
+	// Dependent divides must each pay the full divide latency.
+	var insts []isa.Inst
+	const n = 20
+	for i := 0; i < n; i++ {
+		insts = append(insts, isa.Inst{
+			PC: uint64(0x1000 + 4*i), Class: isa.ClassIntDiv,
+			Dst: isa.IntReg(5), Src1: isa.IntReg(5), Src2: isa.IntReg(6),
+		})
+	}
+	p := newTestPipeline(t, insts)
+	runToDrain(t, p)
+	cfg := config.Default()
+	if p.Cycle() < int64(n*cfg.IntDivLatency) {
+		t.Errorf("%d dependent divides took %d cycles, want >= %d",
+			n, p.Cycle(), n*cfg.IntDivLatency)
+	}
+}
+
+func TestInOrderRetirement(t *testing.T) {
+	// A long-latency op followed by quick ops: retire order must equal
+	// program order even though the quick ops finish first.
+	insts := []isa.Inst{
+		{PC: 0x1000, Class: isa.ClassIntDiv, Dst: isa.IntReg(5), Src1: isa.IntReg(6), Src2: isa.IntReg(7)},
+		alu(0x1004, isa.IntReg(8), isa.IntReg(9), isa.RegNone),
+		alu(0x1008, isa.IntReg(10), isa.IntReg(11), isa.RegNone),
+	}
+	p := newTestPipeline(t, insts)
+	var order []int64
+	p.SetHooks(Hooks{OnRetire: func(ev *RetireEvent) { order = append(order, ev.Seq) }})
+	runToDrain(t, p)
+	if len(order) != 3 {
+		t.Fatalf("retired %d", len(order))
+	}
+	for i, s := range order {
+		if s != int64(i) {
+			t.Fatalf("retire order %v", order)
+		}
+	}
+}
+
+func TestMemoryBoundSlowdown(t *testing.T) {
+	// Random loads over a huge footprint must run far slower than
+	// cache-resident loads.
+	mkLoads := func(stride uint64, span uint64) []isa.Inst {
+		var insts []isa.Inst
+		addr := uint64(0)
+		for i := 0; i < 10000; i++ {
+			insts = append(insts, isa.Inst{
+				PC: uint64(0x1000 + 4*(i%64)), Class: isa.ClassLoad,
+				Dst: isa.IntReg(5 + i%8), Src1: isa.IntReg(1), Src2: isa.RegNone,
+				Addr: addr % span,
+			})
+			addr += stride
+		}
+		return insts
+	}
+	resident := newTestPipeline(t, mkLoads(8, 16<<10))
+	runToDrain(t, resident)
+	streaming := newTestPipeline(t, mkLoads(16<<10+128, 64<<20))
+	runToDrain(t, streaming)
+	if streaming.Cycle() < 4*resident.Cycle() {
+		t.Errorf("streaming %d cycles vs resident %d — memory system has no teeth",
+			streaming.Cycle(), resident.Cycle())
+	}
+}
+
+func TestMispredictionStallsFetch(t *testing.T) {
+	// Alternating unpredictable branches vs fully biased ones: the
+	// unpredictable run must be slower.
+	mkBranches := func(pattern func(i int) bool) []isa.Inst {
+		var insts []isa.Inst
+		pc := uint64(0x1000)
+		for i := 0; i < 2000; i++ {
+			insts = append(insts, alu(pc, isa.IntReg(5+i%4), isa.IntReg(5), isa.RegNone))
+			pc += 4
+			taken := pattern(i)
+			br := isa.Inst{PC: pc, Class: isa.ClassBranch, Dst: isa.RegNone,
+				Src1: isa.IntReg(5), Src2: isa.RegNone, Taken: taken}
+			if taken {
+				br.Target = pc + 4
+			}
+			insts = append(insts, br)
+			pc += 4
+		}
+		return insts
+	}
+	// Pseudo-random pattern (xorshift) vs never-taken.
+	x := uint64(99)
+	random := newTestPipeline(t, mkBranches(func(i int) bool {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x&1 == 1
+	}))
+	runToDrain(t, random)
+	biased := newTestPipeline(t, mkBranches(func(i int) bool { return false }))
+	runToDrain(t, biased)
+	if random.Cycle() <= biased.Cycle() {
+		t.Errorf("random branches (%d cycles) not slower than biased (%d)",
+			random.Cycle(), biased.Cycle())
+	}
+	if random.Predictor().MispredictRate() < 0.2 {
+		t.Errorf("random branch mispredict rate = %.3f", random.Predictor().MispredictRate())
+	}
+}
+
+func TestGeneratedWorkloadRuns(t *testing.T) {
+	g := trace.MustNewGenerator(trace.Params{
+		Seed: 7, Blocks: 64, BlockLen: 7,
+		Mix:         trace.Mix{IntALU: 0.4, IntMul: 0.03, FPAdd: 0.1, FPMul: 0.08, Load: 0.25, Store: 0.12, Nop: 0.02},
+		DepDistMean: 4, DeadFrac: 0.15, WorkingSet: 1 << 18,
+		SeqFrac: 0.6, TakenBias: 0.6, BiasedFrac: 0.8,
+		PCBase: 0x10000, DataBase: 0x1000000,
+	})
+	cfg := config.Default()
+	p, err := New(&cfg, trace.NewLimit(g, 200_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runToDrain(t, p)
+	if p.Retired() != 200_000 {
+		t.Fatalf("retired %d", p.Retired())
+	}
+	st := p.Snapshot()
+	if st.IPC < 0.2 || st.IPC > 5 {
+		t.Errorf("workload IPC = %.3f, outside plausible range", st.IPC)
+	}
+	if st.MeanIQOccupancy <= 0 {
+		t.Error("IQ occupancy never measured")
+	}
+	if st.BusyUnitCycles[FUInt] == 0 || st.BusyUnitCycles[FULS] == 0 {
+		t.Error("busy counters stayed zero")
+	}
+}
+
+func TestRunMaxCycles(t *testing.T) {
+	g := trace.MustNewGenerator(trace.Params{
+		Seed: 1, Blocks: 16, BlockLen: 6,
+		Mix:         trace.Mix{IntALU: 0.6, Load: 0.25, Store: 0.15},
+		DepDistMean: 3, WorkingSet: 1 << 14, SeqFrac: 0.9, TakenBias: 0.7, BiasedFrac: 0.9,
+	})
+	cfg := config.Default()
+	p, _ := New(&cfg, g)
+	n := p.Run(5000)
+	if n != 5000 || p.Cycle() != 5000 {
+		t.Errorf("Run(5000) ran %d cycles (cycle=%d)", n, p.Cycle())
+	}
+}
+
+func TestRegisterFileRenamingInvariant(t *testing.T) {
+	// After drain, every physical register is either mapped or free:
+	// mapped(32) + free == total.
+	g := trace.MustNewGenerator(trace.Params{
+		Seed: 3, Blocks: 32, BlockLen: 6,
+		Mix:         trace.Mix{IntALU: 0.5, FPAdd: 0.15, Load: 0.2, Store: 0.15},
+		DepDistMean: 3, WorkingSet: 1 << 14, SeqFrac: 0.9, TakenBias: 0.7, BiasedFrac: 0.9,
+	})
+	cfg := config.Default()
+	p, _ := New(&cfg, trace.NewLimit(g, 50_000))
+	runToDrain(t, p)
+	if got := len(p.intRF.free); got != cfg.IntRegs-32 {
+		t.Errorf("int free list = %d, want %d", got, cfg.IntRegs-32)
+	}
+	if got := len(p.fpRF.free); got != cfg.FPRegs-32 {
+		t.Errorf("fp free list = %d, want %d", got, cfg.FPRegs-32)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	p := newTestPipeline(t, nil)
+	runToDrain(t, p)
+	if p.Snapshot().String() == "" {
+		t.Error("empty stats string")
+	}
+}

@@ -1,0 +1,80 @@
+package pipeline
+
+import "avfsim/internal/isa"
+
+// regFile is one physical register file with renaming state. Each
+// architectural register maps to a physical register; writers allocate a
+// fresh physical register at dispatch and the previous mapping is freed
+// when the writer retires.
+type regFile struct {
+	id RegFileID
+
+	ready  []bool // value has been produced
+	err    []ErrMask
+	writer []int64 // Seq of the producing instruction, -1 for initial state
+
+	rmap [32]int16 // architectural -> physical
+	free []int16   // free list (LIFO)
+}
+
+func newRegFile(id RegFileID, physRegs int) *regFile {
+	rf := &regFile{
+		id:     id,
+		ready:  make([]bool, physRegs),
+		err:    make([]ErrMask, physRegs),
+		writer: make([]int64, physRegs),
+	}
+	for i := 0; i < 32; i++ {
+		rf.rmap[i] = int16(i)
+		rf.ready[i] = true
+		rf.writer[i] = -1
+	}
+	for i := 32; i < physRegs; i++ {
+		rf.writer[i] = -1
+		rf.free = append(rf.free, int16(i))
+	}
+	return rf
+}
+
+// canAlloc reports whether n more physical registers are available.
+func (rf *regFile) canAlloc(n int) bool { return len(rf.free) >= n }
+
+// alloc takes a free physical register for arch and returns (new, old)
+// mappings. The new register starts not-ready with a clear error mask.
+func (rf *regFile) alloc(arch int) (phys, old int16) {
+	phys = rf.free[len(rf.free)-1]
+	rf.free = rf.free[:len(rf.free)-1]
+	old = rf.rmap[arch]
+	rf.rmap[arch] = phys
+	rf.ready[phys] = false
+	rf.err[phys] = 0
+	rf.writer[phys] = -1
+	return phys, old
+}
+
+// release returns a physical register to the free list.
+func (rf *regFile) release(phys int16) {
+	rf.ready[phys] = false
+	rf.err[phys] = 0
+	rf.writer[phys] = -1
+	rf.free = append(rf.free, phys)
+}
+
+// lookup returns the current physical register for an architectural one.
+func (rf *regFile) lookup(arch int) int16 { return rf.rmap[arch] }
+
+// clearPlane removes one structure's error bit from every register.
+func (rf *regFile) clearPlane(bit ErrMask) {
+	for i := range rf.err {
+		rf.err[i] &^= bit
+	}
+}
+
+// fileOf returns which file an architectural register belongs to and its
+// index within that file.
+func fileOf(r isa.Reg) (RegFileID, int) {
+	if r.IsFP() {
+		return FPFile, r.Index()
+	}
+	return IntFile, r.Index()
+}

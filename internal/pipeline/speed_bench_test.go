@@ -1,0 +1,20 @@
+package pipeline
+
+import (
+	"testing"
+
+	"avfsim/internal/config"
+	"avfsim/internal/workload"
+)
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	prof, _ := workload.ByName("mesa")
+	src := prof.MustSource(0)
+	cfg := config.Default()
+	p, _ := New(&cfg, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+	b.ReportMetric(float64(p.Retired())/float64(p.Cycle()), "ipc")
+}

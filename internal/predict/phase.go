@@ -1,0 +1,158 @@
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"avfsim/internal/stats"
+)
+
+// Section 3.6 of the paper: "In order for our approach to be useful for
+// controlling any processor adaptation, we need to integrate our method
+// with an interval or phase prediction method. ... Our work can simply be
+// combined with any phase prediction algorithm."
+//
+// This file provides that integration: a phase-aware predictor in the
+// spirit of Sherwood-style phase classification. Each interval is
+// classified by a quantized signature of observable microarchitectural
+// features (IPC, occupancies, miss rates — the same vector the regression
+// baseline uses); the predictor learns, per signature, which AVF tends to
+// FOLLOW intervals of that phase, so abrupt but recurring phase changes
+// (the last-value predictor's blind spot) become predictable.
+
+// FeaturePredictor forecasts the next interval's AVF using the current
+// interval's feature vector alongside its AVF history.
+type FeaturePredictor interface {
+	// PredictNext returns the forecast for the next interval, given the
+	// feature vector of the interval that just finished.
+	PredictNext(features []float64) float64
+	// Observe feeds the just-finished interval's AVF and features.
+	Observe(avf float64, features []float64)
+	// Reset clears history.
+	Reset()
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// PhaseMarkov predicts the AVF that followed the last occurrence of the
+// current phase signature, falling back to last-value for signatures
+// never seen.
+type PhaseMarkov struct {
+	levels int
+	table  map[string]float64
+	// prevSig is the signature of the previous observed interval; the
+	// next Observe's AVF is what followed it.
+	prevSig  string
+	havePrev bool
+	last     float64
+}
+
+// NewPhaseMarkov builds a phase-aware predictor; levels is the per-feature
+// quantization granularity (>= 2; 8 is a good default — fine enough to
+// separate phases, coarse enough to re-identify them).
+func NewPhaseMarkov(levels int) (*PhaseMarkov, error) {
+	if levels < 2 {
+		return nil, errors.New("predict: PhaseMarkov needs at least 2 quantization levels")
+	}
+	return &PhaseMarkov{levels: levels, table: map[string]float64{}}, nil
+}
+
+// signature quantizes a feature vector into a phase id.
+func (p *PhaseMarkov) signature(features []float64) string {
+	sig := make([]byte, len(features))
+	for i, f := range features {
+		if f < 0 {
+			f = 0
+		}
+		// Features are rates in [0,1] except IPC, which we squash.
+		if f > 1 {
+			f = 1 + math.Log2(f)/8 // IPC 2 -> 1.125, IPC 8 -> 1.375
+			if f > 2 {
+				f = 2
+			}
+			f /= 2
+		}
+		q := int(f * float64(p.levels))
+		if q >= p.levels {
+			q = p.levels - 1
+		}
+		sig[i] = byte('a' + q)
+	}
+	return string(sig)
+}
+
+// PredictNext implements FeaturePredictor.
+func (p *PhaseMarkov) PredictNext(features []float64) float64 {
+	if v, ok := p.table[p.signature(features)]; ok {
+		return v
+	}
+	return p.last
+}
+
+// successorAlpha smooths the per-signature successor AVF: phases rarely
+// align exactly with estimation intervals, so the value following a given
+// signature jitters; an EWMA per signature absorbs that.
+const successorAlpha = 0.5
+
+// Observe implements FeaturePredictor: the observed AVF is folded into
+// the successor statistics of the previous interval's signature.
+func (p *PhaseMarkov) Observe(avf float64, features []float64) {
+	if p.havePrev {
+		if old, ok := p.table[p.prevSig]; ok {
+			p.table[p.prevSig] = successorAlpha*avf + (1-successorAlpha)*old
+		} else {
+			p.table[p.prevSig] = avf
+		}
+	}
+	p.prevSig = p.signature(features)
+	p.havePrev = true
+	p.last = avf
+}
+
+// Reset implements FeaturePredictor.
+func (p *PhaseMarkov) Reset() {
+	p.table = map[string]float64{}
+	p.havePrev = false
+	p.prevSig = ""
+	p.last = 0
+}
+
+// Name implements FeaturePredictor.
+func (p *PhaseMarkov) Name() string { return fmt.Sprintf("phase-markov(%d)", p.levels) }
+
+// liftedPredictor adapts a plain Predictor to the feature interface so
+// both kinds can be evaluated side by side.
+type liftedPredictor struct{ p Predictor }
+
+// Lift wraps a Predictor as a FeaturePredictor that ignores features.
+func Lift(p Predictor) FeaturePredictor { return liftedPredictor{p} }
+
+func (l liftedPredictor) PredictNext([]float64) float64    { return l.p.Predict() }
+func (l liftedPredictor) Observe(avf float64, _ []float64) { l.p.Observe(avf) }
+func (l liftedPredictor) Reset()                           { l.p.Reset() }
+func (l liftedPredictor) Name() string                     { return l.p.Name() }
+
+// EvaluateFeatures replays a series through a FeaturePredictor the way a
+// controller would use it: at each interval end the predictor sees the
+// finished interval's estimate and features, then forecasts the next
+// interval, which is scored against the next actual value.
+func EvaluateFeatures(p FeaturePredictor, estimates, actual []float64, features [][]float64) (Evaluation, error) {
+	if len(estimates) != len(actual) || len(estimates) != len(features) {
+		return Evaluation{}, fmt.Errorf("predict: series lengths %d/%d/%d differ",
+			len(estimates), len(actual), len(features))
+	}
+	p.Reset()
+	var ev Evaluation
+	for i := range actual {
+		if i > 0 {
+			err := math.Abs(p.PredictNext(features[i-1]) - actual[i])
+			ev.Errors = append(ev.Errors, err)
+		}
+		p.Observe(estimates[i], features[i])
+	}
+	ev.MeanAbsError = stats.Mean(ev.Errors)
+	ev.MaxAbsError = stats.Max(ev.Errors)
+	ev.MeanAVF = stats.Mean(actual)
+	return ev, nil
+}

@@ -1,0 +1,120 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+// alternating builds a strictly periodic two-phase series: AVF and a
+// distinguishing feature alternate every interval — the worst case for
+// last-value, the best case for phase classification.
+func alternating(n int) (avf []float64, features [][]float64) {
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			avf = append(avf, 0.1)
+			features = append(features, []float64{0.2, 0.9})
+		} else {
+			avf = append(avf, 0.5)
+			features = append(features, []float64{0.8, 0.1})
+		}
+	}
+	return avf, features
+}
+
+func TestPhaseMarkovLearnsAlternation(t *testing.T) {
+	avf, features := alternating(40)
+	pm, err := NewPhaseMarkov(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phaseEv, err := EvaluateFeatures(pm, avf, avf, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastEv, err := EvaluateFeatures(Lift(NewLastValue()), avf, avf, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last-value is wrong by 0.4 every interval; the phase predictor is
+	// wrong only while learning (the first two transitions).
+	if math.Abs(lastEv.MeanAbsError-0.4) > 1e-9 {
+		t.Errorf("last-value error = %v, want 0.4", lastEv.MeanAbsError)
+	}
+	if phaseEv.MeanAbsError > 0.05 {
+		t.Errorf("phase predictor error = %v on a periodic series", phaseEv.MeanAbsError)
+	}
+	// After warmup it must be exact.
+	for i := 4; i < len(phaseEv.Errors); i++ {
+		if phaseEv.Errors[i] != 0 {
+			t.Errorf("post-warmup error at %d: %v", i, phaseEv.Errors[i])
+		}
+	}
+}
+
+func TestPhaseMarkovFallsBackToLastValue(t *testing.T) {
+	pm, _ := NewPhaseMarkov(8)
+	// Unknown signature: prediction equals last observed AVF.
+	pm.Observe(0.3, []float64{0.5, 0.5})
+	if got := pm.PredictNext([]float64{0.99, 0.01}); got != 0.3 {
+		t.Errorf("fallback prediction = %v, want 0.3", got)
+	}
+}
+
+func TestPhaseMarkovValidation(t *testing.T) {
+	if _, err := NewPhaseMarkov(1); err == nil {
+		t.Error("levels=1 accepted")
+	}
+}
+
+func TestPhaseMarkovReset(t *testing.T) {
+	pm, _ := NewPhaseMarkov(4)
+	pm.Observe(0.4, []float64{0.1})
+	pm.Observe(0.6, []float64{0.9})
+	pm.Reset()
+	if got := pm.PredictNext([]float64{0.1}); got != 0 {
+		t.Errorf("prediction after reset = %v", got)
+	}
+	if pm.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestPhaseMarkovSignatureHandlesWildFeatures(t *testing.T) {
+	pm, _ := NewPhaseMarkov(8)
+	// Negative and >1 features (IPC) must quantize without panicking and
+	// deterministically.
+	a := pm.signature([]float64{-0.5, 3.7, 0.2})
+	b := pm.signature([]float64{-0.5, 3.7, 0.2})
+	if a != b {
+		t.Error("signature not deterministic")
+	}
+	// Distinct IPC regimes map to distinct signatures.
+	low := pm.signature([]float64{0.3})
+	high := pm.signature([]float64{6.0})
+	if low == high {
+		t.Error("IPC 0.3 and 6.0 share a signature")
+	}
+}
+
+func TestEvaluateFeaturesValidation(t *testing.T) {
+	pm, _ := NewPhaseMarkov(8)
+	if _, err := EvaluateFeatures(pm, []float64{1}, []float64{1, 2}, [][]float64{{1}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestLiftBehavesLikeUnderlying(t *testing.T) {
+	series := []float64{0.1, 0.2, 0.3, 0.4}
+	feats := [][]float64{{0}, {0}, {0}, {0}}
+	direct, err := Evaluate(NewLastValue(), series, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted, err := EvaluateFeatures(Lift(NewLastValue()), series, series, feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(direct.MeanAbsError-lifted.MeanAbsError) > 1e-12 {
+		t.Errorf("lifted %v != direct %v", lifted.MeanAbsError, direct.MeanAbsError)
+	}
+}

@@ -1,0 +1,169 @@
+// Package predict turns the estimator's per-interval AVF history into a
+// forecast for the next interval, the input any dynamic protection
+// controller needs (Section 5, "Prediction errors"). The paper
+// demonstrates a simple last-value predictor; EWMA and windowed-average
+// variants are provided for comparison.
+package predict
+
+import (
+	"errors"
+	"fmt"
+
+	"avfsim/internal/stats"
+)
+
+// Predictor forecasts the next interval's AVF from observed history.
+type Predictor interface {
+	// Predict returns the forecast for the next interval.
+	Predict() float64
+	// Observe feeds the AVF measured for the interval just finished.
+	Observe(avf float64)
+	// Reset clears history.
+	Reset()
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// LastValue predicts the next interval's AVF to equal the last observed
+// one — the paper's predictor ("the AVF behavior across consecutive
+// estimation intervals ... is stable or changes very slowly").
+type LastValue struct {
+	last float64
+}
+
+// NewLastValue returns a last-value predictor (initial prediction 0).
+func NewLastValue() *LastValue { return &LastValue{} }
+
+// Predict implements Predictor.
+func (p *LastValue) Predict() float64 { return p.last }
+
+// Observe implements Predictor.
+func (p *LastValue) Observe(avf float64) { p.last = avf }
+
+// Reset implements Predictor.
+func (p *LastValue) Reset() { p.last = 0 }
+
+// Name implements Predictor.
+func (p *LastValue) Name() string { return "last-value" }
+
+// EWMA predicts with an exponentially weighted moving average.
+type EWMA struct {
+	alpha  float64
+	value  float64
+	inited bool
+}
+
+// NewEWMA returns an EWMA predictor with smoothing factor alpha in (0,1];
+// alpha = 1 degenerates to last-value.
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, errors.New("predict: EWMA alpha must be in (0,1]")
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// Predict implements Predictor.
+func (p *EWMA) Predict() float64 { return p.value }
+
+// Observe implements Predictor.
+func (p *EWMA) Observe(avf float64) {
+	if !p.inited {
+		p.value = avf
+		p.inited = true
+		return
+	}
+	p.value = p.alpha*avf + (1-p.alpha)*p.value
+}
+
+// Reset implements Predictor.
+func (p *EWMA) Reset() { p.value = 0; p.inited = false }
+
+// Name implements Predictor.
+func (p *EWMA) Name() string { return fmt.Sprintf("ewma(%.2f)", p.alpha) }
+
+// Window predicts the mean of the last k observations.
+type Window struct {
+	k    int
+	buf  []float64
+	head int
+	n    int
+	sum  float64
+}
+
+// NewWindow returns a windowed-average predictor over k intervals.
+func NewWindow(k int) (*Window, error) {
+	if k < 1 {
+		return nil, errors.New("predict: window size must be >= 1")
+	}
+	return &Window{k: k, buf: make([]float64, k)}, nil
+}
+
+// Predict implements Predictor.
+func (p *Window) Predict() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	return p.sum / float64(p.n)
+}
+
+// Observe implements Predictor.
+func (p *Window) Observe(avf float64) {
+	if p.n == p.k {
+		p.sum -= p.buf[p.head]
+	} else {
+		p.n++
+	}
+	p.buf[p.head] = avf
+	p.sum += avf
+	p.head = (p.head + 1) % p.k
+}
+
+// Reset implements Predictor.
+func (p *Window) Reset() {
+	p.n, p.head, p.sum = 0, 0, 0
+}
+
+// Name implements Predictor.
+func (p *Window) Name() string { return fmt.Sprintf("window(%d)", p.k) }
+
+// Evaluation is the outcome of running a predictor over a series
+// (Figure 5 reports MeanAbsError alongside the mean real AVF).
+type Evaluation struct {
+	// MeanAbsError averages |prediction - actual| over predicted
+	// intervals (the first interval has no prediction and is skipped).
+	MeanAbsError float64
+	// MaxAbsError is the worst single-interval error.
+	MaxAbsError float64
+	// MeanAVF is the mean of the actual series, for context.
+	MeanAVF float64
+	// Errors holds the per-interval absolute errors.
+	Errors []float64
+}
+
+// Evaluate replays the series through p: for each interval after the
+// first, p predicts before observing the actual value, exactly as an
+// online controller would use it. The actual series here should be the
+// *real* (reference) AVF; the predictor is typically fed the estimated
+// AVF via estimates — pass the same slice for both to evaluate prediction
+// of the estimate itself.
+func Evaluate(p Predictor, estimates, actual []float64) (Evaluation, error) {
+	if len(estimates) != len(actual) {
+		return Evaluation{}, fmt.Errorf("predict: series length mismatch %d != %d", len(estimates), len(actual))
+	}
+	p.Reset()
+	var ev Evaluation
+	for i, act := range actual {
+		if i > 0 {
+			err := p.Predict() - act
+			if err < 0 {
+				err = -err
+			}
+			ev.Errors = append(ev.Errors, err)
+		}
+		p.Observe(estimates[i])
+	}
+	ev.MeanAbsError = stats.Mean(ev.Errors)
+	ev.MaxAbsError = stats.Max(ev.Errors)
+	ev.MeanAVF = stats.Mean(actual)
+	return ev, nil
+}

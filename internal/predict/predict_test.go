@@ -1,0 +1,184 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLastValue(t *testing.T) {
+	p := NewLastValue()
+	if p.Predict() != 0 {
+		t.Error("initial prediction nonzero")
+	}
+	p.Observe(0.3)
+	if p.Predict() != 0.3 {
+		t.Errorf("Predict = %v", p.Predict())
+	}
+	p.Observe(0.5)
+	if p.Predict() != 0.5 {
+		t.Errorf("Predict = %v", p.Predict())
+	}
+	p.Reset()
+	if p.Predict() != 0 {
+		t.Error("Reset did not clear")
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	if _, err := NewEWMA(0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := NewEWMA(1.5); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	p, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(0.4) // first observation initializes
+	if p.Predict() != 0.4 {
+		t.Errorf("after init Predict = %v", p.Predict())
+	}
+	p.Observe(0.8)
+	if math.Abs(p.Predict()-0.6) > 1e-12 {
+		t.Errorf("EWMA = %v, want 0.6", p.Predict())
+	}
+	// alpha=1 behaves as last-value.
+	lv, _ := NewEWMA(1)
+	lv.Observe(0.2)
+	lv.Observe(0.9)
+	if lv.Predict() != 0.9 {
+		t.Errorf("alpha=1 Predict = %v", lv.Predict())
+	}
+}
+
+func TestWindow(t *testing.T) {
+	if _, err := NewWindow(0); err == nil {
+		t.Error("window 0 accepted")
+	}
+	p, err := NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Predict() != 0 {
+		t.Error("empty window prediction nonzero")
+	}
+	p.Observe(0.3)
+	if p.Predict() != 0.3 {
+		t.Errorf("Predict = %v", p.Predict())
+	}
+	p.Observe(0.6)
+	p.Observe(0.9)
+	if math.Abs(p.Predict()-0.6) > 1e-12 {
+		t.Errorf("mean of 3 = %v", p.Predict())
+	}
+	p.Observe(1.2) // evicts 0.3
+	if math.Abs(p.Predict()-0.9) > 1e-12 {
+		t.Errorf("rolling mean = %v, want 0.9", p.Predict())
+	}
+	p.Reset()
+	if p.Predict() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestEvaluateStableSeries(t *testing.T) {
+	// A constant series is perfectly predicted by last-value.
+	series := []float64{0.2, 0.2, 0.2, 0.2, 0.2}
+	ev, err := Evaluate(NewLastValue(), series, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MeanAbsError != 0 || ev.MaxAbsError != 0 {
+		t.Errorf("stable series error = %+v", ev)
+	}
+	if ev.MeanAVF != 0.2 {
+		t.Errorf("MeanAVF = %v", ev.MeanAVF)
+	}
+	if len(ev.Errors) != 4 {
+		t.Errorf("expected 4 predicted intervals, got %d", len(ev.Errors))
+	}
+}
+
+func TestEvaluateStepSeries(t *testing.T) {
+	// One abrupt step: last-value pays exactly once.
+	series := []float64{0.1, 0.1, 0.5, 0.5, 0.5}
+	ev, err := Evaluate(NewLastValue(), series, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.MaxAbsError-0.4) > 1e-12 {
+		t.Errorf("MaxAbsError = %v, want 0.4", ev.MaxAbsError)
+	}
+	if math.Abs(ev.MeanAbsError-0.1) > 1e-12 {
+		t.Errorf("MeanAbsError = %v, want 0.1", ev.MeanAbsError)
+	}
+}
+
+func TestEvaluateSeparateEstimateAndActual(t *testing.T) {
+	// The predictor consumes noisy estimates but is scored against the
+	// real series.
+	est := []float64{0.22, 0.18, 0.21}
+	act := []float64{0.20, 0.20, 0.20}
+	ev, err := Evaluate(NewLastValue(), est, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions: 0.22 (vs 0.20), 0.18 (vs 0.20) -> errors 0.02, 0.02.
+	if math.Abs(ev.MeanAbsError-0.02) > 1e-12 {
+		t.Errorf("MeanAbsError = %v", ev.MeanAbsError)
+	}
+}
+
+func TestEvaluateLengthMismatch(t *testing.T) {
+	if _, err := Evaluate(NewLastValue(), []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestPredictionBoundedProperty(t *testing.T) {
+	// For series in [0,1], every predictor's predictions stay in [0,1].
+	mk := func() []Predictor {
+		e, _ := NewEWMA(0.3)
+		w, _ := NewWindow(4)
+		return []Predictor{NewLastValue(), e, w}
+	}
+	prop := func(raw []uint8) bool {
+		series := make([]float64, len(raw))
+		for i, r := range raw {
+			series[i] = float64(r) / 255
+		}
+		for _, p := range mk() {
+			for _, v := range series {
+				pred := p.Predict()
+				if pred < 0 || pred > 1 {
+					return false
+				}
+				p.Observe(v)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResetAndNames(t *testing.T) {
+	e, _ := NewEWMA(0.3)
+	w, _ := NewWindow(2)
+	for _, p := range []Predictor{NewLastValue(), e, w} {
+		p.Observe(0.5)
+		p.Reset()
+		if p.Predict() != 0 {
+			t.Errorf("%s: Predict after Reset = %v", p.Name(), p.Predict())
+		}
+		if p.Name() == "" {
+			t.Errorf("predictor has empty name")
+		}
+	}
+}

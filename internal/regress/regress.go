@@ -1,0 +1,157 @@
+// Package regress implements ordinary least-squares linear regression
+// (with optional ridge damping), the machinery behind the Walcott et al.
+// (ISCA 2007) style AVF baseline the paper's related-work section
+// discusses: regress AVF offline against observable microarchitectural
+// variables, then predict online from those variables. The paper's
+// criticism — coefficients calibrated on one workload set may not
+// transfer to another — is exactly what the cross-workload study in
+// internal/experiment measures.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a fitted linear model: y ≈ Intercept + Σ Weights[i]·x[i].
+type Model struct {
+	Intercept float64
+	Weights   []float64
+}
+
+// Fit solves the least-squares problem over rows X (n × d) and targets y
+// (n) using the normal equations, with ridge damping lambda >= 0 on the
+// non-intercept weights for numerical robustness when features are
+// collinear.
+func Fit(X [][]float64, y []float64, lambda float64) (*Model, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, errors.New("regress: need equally many rows and targets")
+	}
+	d := len(X[0])
+	if d == 0 {
+		return nil, errors.New("regress: rows must have at least one feature")
+	}
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("regress: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	if lambda < 0 {
+		return nil, errors.New("regress: lambda must be non-negative")
+	}
+
+	// Augment with the intercept column: solve (A'A + λI)w = A'y with
+	// A = [1 | X], and λ applied to all but the intercept.
+	k := d + 1
+	ata := make([][]float64, k)
+	for i := range ata {
+		ata[i] = make([]float64, k+1) // last column holds A'y
+	}
+	at := func(row []float64, j int) float64 {
+		if j == 0 {
+			return 1
+		}
+		return row[j-1]
+	}
+	for _, idx := range seq(n) {
+		row := X[idx]
+		for i := 0; i < k; i++ {
+			vi := at(row, i)
+			for j := i; j < k; j++ {
+				ata[i][j] += vi * at(row, j)
+			}
+			ata[i][k] += vi * y[idx]
+		}
+	}
+	// Mirror the upper triangle and add the ridge term.
+	for i := 0; i < k; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+		if i > 0 {
+			ata[i][i] += lambda
+		}
+	}
+
+	w, err := solve(ata, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Intercept: w[0], Weights: w[1:]}, nil
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// solve performs Gaussian elimination with partial pivoting on the k×(k+1)
+// augmented matrix m.
+func solve(m [][]float64, k int) ([]float64, error) {
+	for col := 0; col < k; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, errors.New("regress: singular system (features collinear; add ridge damping)")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Eliminate below.
+		for r := col + 1; r < k; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= k; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	// Back-substitute.
+	w := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		sum := m[i][k]
+		for j := i + 1; j < k; j++ {
+			sum -= m[i][j] * w[j]
+		}
+		w[i] = sum / m[i][i]
+	}
+	return w, nil
+}
+
+// Predict evaluates the model on one feature vector. Predictions are
+// clamped to [0, 1] since the target is an AVF.
+func (m *Model) Predict(x []float64) float64 {
+	if len(x) != len(m.Weights) {
+		panic(fmt.Sprintf("regress: feature vector has %d entries, model wants %d", len(x), len(m.Weights)))
+	}
+	y := m.Intercept
+	for i, w := range m.Weights {
+		y += w * x[i]
+	}
+	if y < 0 {
+		return 0
+	}
+	if y > 1 {
+		return 1
+	}
+	return y
+}
+
+// MeanAbsError evaluates the model over a test set.
+func (m *Model) MeanAbsError(X [][]float64, y []float64) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, row := range X {
+		sum += math.Abs(m.Predict(row) - y[i])
+	}
+	return sum / float64(len(X))
+}

@@ -1,0 +1,147 @@
+package regress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitExactLinear(t *testing.T) {
+	// y = 0.3 + 0.5*x0 - 0.2*x1, exactly; all targets within [0,1] so
+	// Predict's AVF clamp stays inactive.
+	X := [][]float64{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.25}, {0.2, 0.9},
+	}
+	y := make([]float64, len(X))
+	for i, r := range X {
+		y[i] = 0.3 + 0.5*r[0] - 0.2*r[1]
+	}
+	m, err := Fit(X, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-0.3) > 1e-9 ||
+		math.Abs(m.Weights[0]-0.5) > 1e-9 ||
+		math.Abs(m.Weights[1]+0.2) > 1e-9 {
+		t.Errorf("model = %+v", m)
+	}
+	if e := m.MeanAbsError(X, y); e > 1e-9 {
+		t.Errorf("train error = %v", e)
+	}
+}
+
+func TestFitNoisyStillClose(t *testing.T) {
+	// Deterministic pseudo-noise around y = 0.3 + 0.4*x.
+	X := make([][]float64, 200)
+	y := make([]float64, 200)
+	s := uint64(17)
+	rnd := func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s%1000)/1000 - 0.5
+	}
+	for i := range X {
+		x := float64(i) / 200
+		X[i] = []float64{x}
+		y[i] = 0.3 + 0.4*x + 0.02*rnd()
+	}
+	m, err := Fit(X, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-0.4) > 0.05 || math.Abs(m.Intercept-0.3) > 0.02 {
+		t.Errorf("model = %+v", m)
+	}
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	if _, err := Fit(nil, nil, 0); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Fit([][]float64{{1}, {1, 2}}, []float64{1, 2}, 0); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := Fit([][]float64{{}}, []float64{1}, 0); err == nil {
+		t.Error("zero features accepted")
+	}
+	if _, err := Fit([][]float64{{1}, {2}}, []float64{1, 2}, -1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+func TestFitSingularWithoutRidge(t *testing.T) {
+	// Two identical features: singular normal equations.
+	X := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	y := []float64{0.1, 0.2, 0.3}
+	if _, err := Fit(X, y, 0); err == nil {
+		t.Error("collinear features accepted without ridge")
+	}
+	// Ridge fixes it.
+	m, err := Fit(X, y, 1e-6)
+	if err != nil {
+		t.Fatalf("ridge fit failed: %v", err)
+	}
+	if e := m.MeanAbsError(X, y); e > 0.01 {
+		t.Errorf("ridge fit error = %v", e)
+	}
+}
+
+func TestPredictClamped(t *testing.T) {
+	m := &Model{Intercept: 2, Weights: []float64{1}}
+	if got := m.Predict([]float64{5}); got != 1 {
+		t.Errorf("Predict above 1 = %v", got)
+	}
+	m.Intercept = -3
+	if got := m.Predict([]float64{0}); got != 0 {
+		t.Errorf("Predict below 0 = %v", got)
+	}
+}
+
+func TestPredictPanicsOnWrongArity(t *testing.T) {
+	m := &Model{Weights: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestFitRecoversPlantedModelProperty(t *testing.T) {
+	// For random well-conditioned data generated from a planted linear
+	// model, Fit recovers predictions (not necessarily weights) well.
+	prop := func(seed uint16) bool {
+		s := uint64(seed) + 1
+		rnd := func() float64 {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return float64(s%10000) / 10000
+		}
+		// Coefficients chosen so every target stays within [0,1].
+		w0, w1, w2 := 0.3*rnd()+0.2, 0.3*(rnd()-0.5), 0.3*(rnd()-0.5)
+		X := make([][]float64, 50)
+		y := make([]float64, 50)
+		for i := range X {
+			X[i] = []float64{rnd(), rnd()}
+			y[i] = w0 + w1*X[i][0] + w2*X[i][1]
+		}
+		m, err := Fit(X, y, 0)
+		if err != nil {
+			return false
+		}
+		for i := range X {
+			if math.Abs(m.Predict(X[i])-y[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution function over observed
+// integer samples (e.g. error-propagation latencies in cycles, Figure 2).
+// The zero value is an empty, usable CDF.
+type CDF struct {
+	samples []int64
+	sorted  bool
+}
+
+// Add records one observation.
+func (c *CDF) Add(v int64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// N returns the number of observations.
+func (c *CDF) N() int { return len(c.samples) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Slice(c.samples, func(i, j int) bool { return c.samples[i] < c.samples[j] })
+		c.sorted = true
+	}
+}
+
+// At returns the fraction of observations <= v, in [0,1]. An empty CDF
+// returns 0.
+func (c *CDF) At(v int64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	idx := sort.Search(len(c.samples), func(i int) bool { return c.samples[i] > v })
+	return float64(idx) / float64(len(c.samples))
+}
+
+// Quantile returns the smallest observed value v such that At(v) >= q, for
+// q in (0,1]. An empty CDF returns 0.
+func (c *CDF) Quantile(q float64) int64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	idx := int(q*float64(len(c.samples))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.samples) {
+		idx = len(c.samples) - 1
+	}
+	return c.samples[idx]
+}
+
+// Points samples the CDF at n evenly spaced probability levels and returns
+// (value, cumulative-fraction) pairs suitable for plotting or printing.
+func (c *CDF) Points(n int) []CDFPoint {
+	if len(c.samples) == 0 || n < 1 {
+		return nil
+	}
+	c.ensureSorted()
+	out := make([]CDFPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		q := float64(i) / float64(n)
+		out = append(out, CDFPoint{Value: c.Quantile(q), Fraction: q})
+	}
+	return out
+}
+
+// CDFPoint is one plotted point of an empirical CDF.
+type CDFPoint struct {
+	Value    int64
+	Fraction float64
+}
+
+// Table renders the CDF at the given probability levels as an aligned text
+// table, one "P(X <= v) = q" row per level.
+func (c *CDF) Table(levels []float64) string {
+	var b strings.Builder
+	for _, q := range levels {
+		fmt.Fprintf(&b, "  q=%.2f  v<=%d\n", q, c.Quantile(q))
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.N() != 0 || c.At(10) != 0 || c.Quantile(0.5) != 0 {
+		t.Error("empty CDF misbehaves")
+	}
+	if pts := c.Points(5); pts != nil {
+		t.Errorf("empty CDF Points = %v", pts)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	var c CDF
+	for _, v := range []int64{10, 20, 30, 40} {
+		c.Add(v)
+	}
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	cases := []struct {
+		v    int64
+		want float64
+	}{
+		{5, 0}, {10, 0.25}, {25, 0.5}, {40, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.v); got != tc.want {
+			t.Errorf("At(%d) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+	if q := c.Quantile(0.5); q != 20 {
+		t.Errorf("Quantile(0.5) = %d, want 20", q)
+	}
+	if q := c.Quantile(1); q != 40 {
+		t.Errorf("Quantile(1) = %d, want 40", q)
+	}
+	if q := c.Quantile(0); q != 10 {
+		t.Errorf("Quantile(0) = %d, want 10", q)
+	}
+}
+
+func TestCDFInterleavedAddAndQuery(t *testing.T) {
+	var c CDF
+	c.Add(5)
+	if got := c.At(5); got != 1 {
+		t.Errorf("At(5) = %v", got)
+	}
+	c.Add(1) // forces a re-sort
+	if got := c.At(1); got != 0.5 {
+		t.Errorf("At(1) after second Add = %v", got)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	var c CDF
+	for i := int64(1); i <= 100; i++ {
+		c.Add(i)
+	}
+	pts := c.Points(4)
+	if len(pts) != 4 {
+		t.Fatalf("Points(4) gave %d", len(pts))
+	}
+	wantVals := []int64{25, 50, 75, 100}
+	for i, p := range pts {
+		if p.Value != wantVals[i] {
+			t.Errorf("point %d value = %d, want %d", i, p.Value, wantVals[i])
+		}
+	}
+	if tbl := c.Table([]float64{0.5, 0.9}); tbl == "" {
+		t.Error("Table produced nothing")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	prop := func(vals []int16) bool {
+		var c CDF
+		for _, v := range vals {
+			c.Add(int64(v))
+		}
+		prev := -1.0
+		for v := int64(-35000); v <= 35000; v += 500 {
+			f := c.At(v)
+			if f < prev || f < 0 || f > 1 {
+				return false
+			}
+			prev = f
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

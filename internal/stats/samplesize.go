@@ -1,0 +1,76 @@
+package stats
+
+import "math"
+
+// This file implements the sampling analysis of Section 3.3 (Figure 1).
+//
+// Each injection is a Bernoulli trial X with Pr(X=1) = AVF, so
+// sigma_X = sqrt(AVF*(1-AVF)) and the estimator mean of N i.i.d. samples
+// has sigma_Xbar = sigma_X / sqrt(N). Solving for N gives
+// N = AVF*(1-AVF) / sigma_Xbar^2, maximized at AVF = 0.5.
+
+// BernoulliStdDev returns sigma_X = sqrt(avf*(1-avf)) for avf in [0,1].
+func BernoulliStdDev(avf float64) float64 {
+	if avf < 0 || avf > 1 {
+		return math.NaN()
+	}
+	return math.Sqrt(avf * (1 - avf))
+}
+
+// SamplesNeeded returns the number of injection samples N required so the
+// AVF estimator's standard deviation is at most sigma, for a structure
+// whose true AVF is avf (Equation 1: N = sigma_X^2 / sigma_Xbar^2).
+// It returns 0 when the variance is zero (AVF of exactly 0 or 1).
+func SamplesNeeded(avf, sigma float64) int {
+	if sigma <= 0 {
+		return math.MaxInt32
+	}
+	sx := BernoulliStdDev(avf)
+	if math.IsNaN(sx) {
+		return 0
+	}
+	// The tiny epsilon absorbs float rounding so that symmetric AVFs
+	// (e.g. 0.1 and 0.9) yield identical N.
+	return int(math.Ceil(sx*sx/(sigma*sigma) - 1e-9))
+}
+
+// ConservativeSamplesNeeded returns the worst-case N over all AVF values
+// for a target estimator standard deviation, i.e. SamplesNeeded(0.5, sigma)
+// = 0.25/sigma^2. The paper uses this bound to justify N = 2500 for
+// sigma = 0.01 and N = 625 for sigma = 0.02.
+func ConservativeSamplesNeeded(sigma float64) int {
+	return SamplesNeeded(0.5, sigma)
+}
+
+// EstimatorStdDev returns the standard deviation of the AVF estimate for a
+// structure with true AVF avf after n samples: sqrt(avf*(1-avf)/n).
+func EstimatorStdDev(avf float64, n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return BernoulliStdDev(avf) / math.Sqrt(float64(n))
+}
+
+// SampleSizePoint is one point of a Figure 1 curve.
+type SampleSizePoint struct {
+	AVF float64
+	N   int
+}
+
+// SampleSizeCurve tabulates N(avf) for a fixed estimator precision sigma
+// over AVF in [0,1] with the given number of steps (Figure 1 plots one
+// curve per sigma). steps must be >= 1.
+func SampleSizeCurve(sigma float64, steps int) []SampleSizePoint {
+	if steps < 1 {
+		steps = 1
+	}
+	out := make([]SampleSizePoint, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		avf := float64(i) / float64(steps)
+		out = append(out, SampleSizePoint{AVF: avf, N: SamplesNeeded(avf, sigma)})
+	}
+	return out
+}
+
+// Figure1Sigmas are the estimator precisions plotted in Figure 1.
+var Figure1Sigmas = []float64{0.01, 0.02, 0.03, 0.05}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperSampleSizeNumbers(t *testing.T) {
+	// Section 3.3: "for the estimation standard deviation to be less than
+	// 0.01, we need N = 0.5^2/0.01^2 = 2500 samples. Similarly, for
+	// sigma < 0.02, we need 0.5^2/0.02^2 = 625 samples."
+	if got := ConservativeSamplesNeeded(0.01); got != 2500 {
+		t.Errorf("N(sigma=0.01) = %d, want 2500", got)
+	}
+	if got := ConservativeSamplesNeeded(0.02); got != 625 {
+		t.Errorf("N(sigma=0.02) = %d, want 625", got)
+	}
+}
+
+func TestSamplesNeededShape(t *testing.T) {
+	// N is maximized at AVF = 0.5 and symmetric about it.
+	nHalf := SamplesNeeded(0.5, 0.01)
+	for _, avf := range []float64{0, 0.1, 0.25, 0.4, 0.6, 0.9, 1} {
+		n := SamplesNeeded(avf, 0.01)
+		if n > nHalf {
+			t.Errorf("N(avf=%v)=%d exceeds N(0.5)=%d", avf, n, nHalf)
+		}
+		mirror := SamplesNeeded(1-avf, 0.01)
+		if n != mirror {
+			t.Errorf("asymmetry: N(%v)=%d vs N(%v)=%d", avf, n, 1-avf, mirror)
+		}
+	}
+	if SamplesNeeded(0, 0.01) != 0 || SamplesNeeded(1, 0.01) != 0 {
+		t.Error("zero-variance AVF should need 0 samples")
+	}
+}
+
+func TestSamplesNeededDegenerateSigma(t *testing.T) {
+	if got := SamplesNeeded(0.5, 0); got != math.MaxInt32 {
+		t.Errorf("sigma=0 should demand MaxInt32 samples, got %d", got)
+	}
+	if got := SamplesNeeded(-0.1, 0.01); got != 0 {
+		t.Errorf("invalid AVF should return 0, got %d", got)
+	}
+}
+
+func TestBernoulliStdDev(t *testing.T) {
+	if got := BernoulliStdDev(0.5); got != 0.5 {
+		t.Errorf("sigma(0.5) = %v, want 0.5", got)
+	}
+	if got := BernoulliStdDev(0); got != 0 {
+		t.Errorf("sigma(0) = %v", got)
+	}
+	if !math.IsNaN(BernoulliStdDev(1.5)) {
+		t.Error("sigma outside [0,1] should be NaN")
+	}
+}
+
+func TestEstimatorStdDev(t *testing.T) {
+	// With N=1000 (the paper's choice) and worst-case AVF=0.5, the
+	// estimator sigma is 0.5/sqrt(1000) ~ 0.0158.
+	got := EstimatorStdDev(0.5, 1000)
+	if !almostEqual(got, 0.5/math.Sqrt(1000), 1e-12) {
+		t.Errorf("EstimatorStdDev = %v", got)
+	}
+	if !math.IsInf(EstimatorStdDev(0.5, 0), 1) {
+		t.Error("n=0 should give +Inf")
+	}
+}
+
+func TestSampleSizeCurve(t *testing.T) {
+	curve := SampleSizeCurve(0.02, 10)
+	if len(curve) != 11 {
+		t.Fatalf("curve length = %d, want 11", len(curve))
+	}
+	if curve[0].AVF != 0 || curve[len(curve)-1].AVF != 1 {
+		t.Error("curve endpoints wrong")
+	}
+	// Peak at the midpoint.
+	mid := curve[5]
+	if mid.AVF != 0.5 || mid.N != 625 {
+		t.Errorf("curve midpoint = %+v, want AVF 0.5, N 625", mid)
+	}
+	if got := SampleSizeCurve(0.02, 0); len(got) != 2 {
+		t.Errorf("degenerate steps gives %d points", len(got))
+	}
+}
+
+func TestEstimatorStdDevConsistencyProperty(t *testing.T) {
+	// SamplesNeeded and EstimatorStdDev are inverses: running the needed
+	// number of samples achieves (at most) the requested sigma.
+	prop := func(a, s uint8) bool {
+		avf := float64(a%101) / 100
+		sigma := 0.005 + float64(s%50)/1000
+		n := SamplesNeeded(avf, sigma)
+		if n == 0 {
+			return BernoulliStdDev(avf) == 0
+		}
+		return EstimatorStdDev(avf, n) <= sigma+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

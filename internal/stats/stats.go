@@ -1,0 +1,131 @@
+// Package stats provides the small statistical toolkit the experiments
+// need: summary statistics matching the paper's reporting conventions
+// (mean / standard deviation / maximum-ignoring-top-k absolute errors),
+// empirical CDFs for propagation-latency distributions (Figure 2), and the
+// sample-size analysis behind Figure 1.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or 0 when
+// len(xs) < 2.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MaxIgnoringTop returns the largest value of xs after discarding the k
+// largest values, matching the paper's "maximum absolute error, ignoring
+// the top four errors to exclude unrepresentative outliers". If k >=
+// len(xs), it returns 0.
+func MaxIgnoringTop(xs []float64, k int) float64 {
+	if len(xs) == 0 || k >= len(xs) {
+		return 0
+	}
+	if k <= 0 {
+		return Max(xs)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)-1-k]
+}
+
+// Summary bundles the three per-application statistics reported in
+// Figure 3: mean, standard deviation, and outlier-trimmed maximum of a set
+// of per-interval errors.
+type Summary struct {
+	Mean   float64
+	StdDev float64
+	// Max is the maximum ignoring the top TrimmedOutliers values.
+	Max float64
+	// N is the number of samples summarized.
+	N int
+}
+
+// TrimmedOutliers is the number of top errors excluded from Summary.Max,
+// per the paper ("ignoring the top four errors").
+const TrimmedOutliers = 4
+
+// Summarize computes a Summary of xs using the paper's conventions.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Max:    MaxIgnoringTop(xs, TrimmedOutliers),
+		N:      len(xs),
+	}
+}
+
+// String renders the summary as "mean=… sd=… max=… (n=…)".
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.4f sd=%.4f max=%.4f (n=%d)", s.Mean, s.StdDev, s.Max, s.N)
+}
+
+// AbsErrors returns |est[i] - ref[i]| elementwise. The slices must have
+// equal length.
+func AbsErrors(est, ref []float64) []float64 {
+	if len(est) != len(ref) {
+		panic(fmt.Sprintf("stats: AbsErrors length mismatch %d != %d", len(est), len(ref)))
+	}
+	out := make([]float64, len(est))
+	for i := range est {
+		out[i] = math.Abs(est[i] - ref[i])
+	}
+	return out
+}
+
+// RelErrors returns |est[i]-ref[i]| / ref[i] elementwise, as used for the
+// right-hand charts of Figure 3. Intervals where ref[i] <= floor are
+// skipped (relative error is meaningless when the real AVF is ~0); the
+// paper notes large relative errors occur exactly where the real AVF is
+// small.
+func RelErrors(est, ref []float64, floor float64) []float64 {
+	if len(est) != len(ref) {
+		panic(fmt.Sprintf("stats: RelErrors length mismatch %d != %d", len(est), len(ref)))
+	}
+	out := make([]float64, 0, len(est))
+	for i := range est {
+		if ref[i] > floor {
+			out = append(out, math.Abs(est[i]-ref[i])/ref[i])
+		}
+	}
+	return out
+}

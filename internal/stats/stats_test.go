@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean([]float64{-1, 1}); got != 0 {
+		t.Errorf("Mean = %v, want 0", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev single = %v", got)
+	}
+	// Population stddev of {2,4,4,4,5,5,7,9} is exactly 2.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMaxAndTrimmedMax(t *testing.T) {
+	xs := []float64{0.1, 0.9, 0.3, 0.8, 0.7, 0.2, 0.6}
+	if got := Max(xs); got != 0.9 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := MaxIgnoringTop(xs, 0); got != 0.9 {
+		t.Errorf("MaxIgnoringTop(0) = %v", got)
+	}
+	if got := MaxIgnoringTop(xs, 2); got != 0.7 {
+		t.Errorf("MaxIgnoringTop(2) = %v, want 0.7", got)
+	}
+	if got := MaxIgnoringTop(xs, len(xs)); got != 0 {
+		t.Errorf("MaxIgnoringTop(all) = %v, want 0", got)
+	}
+	if got := Max(nil); got != 0 {
+		t.Errorf("Max(nil) = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 0.1 || xs[1] != 0.9 {
+		t.Error("MaxIgnoringTop mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.90}
+	s := Summarize(xs)
+	if s.N != 6 {
+		t.Errorf("N = %d", s.N)
+	}
+	// Trimming the top 4 leaves {0.01, 0.02} -> max 0.02.
+	if s.Max != 0.02 {
+		t.Errorf("trimmed max = %v, want 0.02", s.Max)
+	}
+	if !almostEqual(s.Mean, Mean(xs), 1e-15) {
+		t.Errorf("mean mismatch")
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestAbsErrors(t *testing.T) {
+	got := AbsErrors([]float64{0.1, 0.5}, []float64{0.2, 0.4})
+	if !almostEqual(got[0], 0.1, 1e-15) || !almostEqual(got[1], 0.1, 1e-15) {
+		t.Errorf("AbsErrors = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	AbsErrors([]float64{1}, []float64{1, 2})
+}
+
+func TestRelErrors(t *testing.T) {
+	est := []float64{0.12, 0.5, 0.1}
+	ref := []float64{0.10, 0.0, 0.2}
+	got := RelErrors(est, ref, 1e-6)
+	// The zero-reference interval is skipped.
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	if !almostEqual(got[0], 0.2, 1e-12) {
+		t.Errorf("rel[0] = %v, want 0.2", got[0])
+	}
+	if !almostEqual(got[1], 0.5, 1e-12) {
+		t.Errorf("rel[1] = %v, want 0.5", got[1])
+	}
+}
+
+func TestStdDevNonNegativeProperty(t *testing.T) {
+	prop := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip degenerate float inputs
+			}
+		}
+		return StdDev(xs) >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanBoundedProperty(t *testing.T) {
+	// The mean of values in [0,1] stays in [0,1].
+	prop := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) / 255
+		}
+		m := Mean(xs)
+		return m >= 0 && m <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

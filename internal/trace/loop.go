@@ -1,0 +1,34 @@
+package trace
+
+import "avfsim/internal/isa"
+
+// Loop replays a recorded instruction sequence endlessly. It turns a
+// finite trace (e.g. one decoded from a file) into the endless stream the
+// estimation experiments expect, modeling a program that re-runs its
+// recorded window.
+type Loop struct {
+	insts []isa.Inst
+	pos   int
+}
+
+// NewLoop returns an endless Source over insts. It panics on an empty
+// sequence (there would be nothing to replay).
+func NewLoop(insts []isa.Inst) *Loop {
+	if len(insts) == 0 {
+		panic("trace: cannot loop an empty instruction sequence")
+	}
+	return &Loop{insts: insts}
+}
+
+// Next implements Source; the stream never ends.
+func (l *Loop) Next() (isa.Inst, bool) {
+	in := l.insts[l.pos]
+	l.pos++
+	if l.pos == len(l.insts) {
+		l.pos = 0
+	}
+	return in, true
+}
+
+// Len returns the length of the replayed window.
+func (l *Loop) Len() int { return len(l.insts) }

@@ -1,0 +1,71 @@
+// Package trace defines the dynamic instruction stream the simulator
+// consumes: the Source interface, a deterministic parameterized synthetic
+// generator (the stand-in for the paper's SPEC CPU2000 Aria/MET traces),
+// and a compact binary trace-file format.
+package trace
+
+import "avfsim/internal/isa"
+
+// Source is a stream of dynamic instructions. Next returns the next
+// instruction and true, or a zero Inst and false when the stream is
+// exhausted. Sources are not safe for concurrent use.
+type Source interface {
+	Next() (isa.Inst, bool)
+}
+
+// SliceSource adapts a slice of instructions into a Source.
+type SliceSource struct {
+	insts []isa.Inst
+	pos   int
+}
+
+// NewSliceSource returns a Source that yields insts in order.
+func NewSliceSource(insts []isa.Inst) *SliceSource {
+	return &SliceSource{insts: insts}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (isa.Inst, bool) {
+	if s.pos >= len(s.insts) {
+		return isa.Inst{}, false
+	}
+	in := s.insts[s.pos]
+	s.pos++
+	return in, true
+}
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Limit wraps a Source and truncates it after n instructions.
+type Limit struct {
+	src  Source
+	left int64
+}
+
+// NewLimit returns a Source yielding at most n instructions from src.
+func NewLimit(src Source, n int64) *Limit {
+	return &Limit{src: src, left: n}
+}
+
+// Next implements Source.
+func (l *Limit) Next() (isa.Inst, bool) {
+	if l.left <= 0 {
+		return isa.Inst{}, false
+	}
+	l.left--
+	return l.src.Next()
+}
+
+// Collect drains up to max instructions from src into a slice.
+func Collect(src Source, max int) []isa.Inst {
+	out := make([]isa.Inst, 0, max)
+	for len(out) < max {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, in)
+	}
+	return out
+}

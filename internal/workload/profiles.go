@@ -1,0 +1,293 @@
+package workload
+
+import "avfsim/internal/trace"
+
+// Phase address-space layout: each phase of a profile occupies its own
+// code and data region, like distinct functions and data structures.
+const (
+	phasePCBase   = 0x0001_0000
+	phasePCStride = 0x0040_0000
+	phaseDataBase = 0x1000_0000
+	phaseDataStep = 0x1000_0000
+)
+
+// mkPhase assembles a Phase, assigning the address regions from the phase
+// index and a per-profile seed offset.
+func mkPhase(name string, idx int, insts int64, p trace.Params) Phase {
+	p.PCBase = phasePCBase + uint64(idx)*phasePCStride
+	p.DataBase = phaseDataBase + uint64(idx)*phaseDataStep
+	p.Seed += uint64(idx) * 1013
+	return Phase{Name: name, Params: p, Insts: insts}
+}
+
+// Mix shorthands. The weights are relative; trace.Params normalizes them.
+func intMix() trace.Mix {
+	return trace.Mix{IntALU: 0.46, IntMul: 0.02, IntDiv: 0.005, Load: 0.28, Store: 0.14, Nop: 0.02}
+}
+
+func fpMix() trace.Mix {
+	return trace.Mix{IntALU: 0.18, FPAdd: 0.18, FPMul: 0.16, FPDiv: 0.01, Load: 0.28, Store: 0.12, Nop: 0.02}
+}
+
+func fpMulHeavyMix() trace.Mix {
+	return trace.Mix{IntALU: 0.14, FPAdd: 0.12, FPMul: 0.26, FPDiv: 0.015, Load: 0.26, Store: 0.12, Nop: 0.02}
+}
+
+func memMix() trace.Mix {
+	return trace.Mix{IntALU: 0.22, FPAdd: 0.10, FPMul: 0.06, Load: 0.36, Store: 0.18, Nop: 0.02}
+}
+
+// base returns a Params skeleton with the common defaults; profiles tweak
+// the fields that define their character.
+func base(seed uint64) trace.Params {
+	return trace.Params{
+		Seed:        seed,
+		Blocks:      192,
+		BlockLen:    7,
+		Mix:         fpMix(),
+		DepDistMean: 4,
+		DeadFrac:    0.12,
+		WorkingSet:  256 << 10,
+		SeqFrac:     0.6,
+		TakenBias:   0.65,
+		BiasedFrac:  0.85,
+	}
+}
+
+// M is one million instructions — the unit for phase lengths. At full
+// scale (1M-cycle estimation intervals, IPC ~1–2), a 4M-instruction phase
+// spans a handful of intervals, which is what makes AVF phase behaviour
+// visible in Figure 4-style time series.
+const M = 1 << 20
+
+// profiles maps benchmark name to its builder. Builders construct fresh
+// Profile values so callers can scale or mutate them.
+var profiles = map[string]func() *Profile{
+	// ammp: FP molecular dynamics. Strongly phased — neighbor-list
+	// rebuilds (memory-bound, random) alternate with force computation
+	// (FP-dense, cache-resident). The paper's Figure 4 shows ammp's AVF
+	// swinging hard between intervals.
+	"ammp": func() *Profile {
+		force := base(0xa101)
+		force.Mix = fpMix()
+		force.WorkingSet = 96 << 10
+		force.DepDistMean = 5
+		force.DeadFrac = 0.08
+		rebuild := base(0xa102)
+		rebuild.Mix = memMix()
+		rebuild.WorkingSet = 8 << 20
+		rebuild.SeqFrac = 0.15
+		rebuild.DeadFrac = 0.25
+		rebuild.BiasedFrac = 0.6
+		update := base(0xa103)
+		update.Mix = fpMulHeavyMix()
+		update.WorkingSet = 512 << 10
+		update.DepDistMean = 7
+		return &Profile{Name: "ammp", Phases: []Phase{
+			mkPhase("force", 0, 3*M, force),
+			mkPhase("rebuild", 1, 2*M, rebuild),
+			mkPhase("update", 2, 4*M, update),
+		}}
+	},
+	// art: neural-network simulation; tiny kernel, brutally memory-bound
+	// scans of a large F1 layer array. Low IPC, flat behaviour.
+	"art": func() *Profile {
+		scan := base(0xa201)
+		scan.Mix = memMix()
+		scan.Blocks = 48
+		scan.BlockLen = 6
+		scan.WorkingSet = 16 << 20
+		scan.SeqFrac = 0.9
+		scan.DeadFrac = 0.10
+		scan.DepDistMean = 3
+		match := base(0xa202)
+		match.Mix = fpMix()
+		match.Blocks = 48
+		match.WorkingSet = 12 << 20
+		match.SeqFrac = 0.8
+		return &Profile{Name: "art", Phases: []Phase{
+			mkPhase("scan", 0, 6*M, scan),
+			mkPhase("match", 1, 2*M, match),
+		}}
+	},
+	// bzip2: integer compression. Data-dependent branches (hard to
+	// predict), moderate working set, distinct compress/huffman phases.
+	"bzip2": func() *Profile {
+		sortp := base(0xa301)
+		sortp.Mix = intMix()
+		sortp.WorkingSet = 4 << 20
+		sortp.SeqFrac = 0.35
+		sortp.BiasedFrac = 0.55
+		sortp.DeadFrac = 0.10
+		sortp.DepDistMean = 3
+		huff := base(0xa302)
+		huff.Mix = intMix()
+		huff.WorkingSet = 64 << 10
+		huff.SeqFrac = 0.7
+		huff.BiasedFrac = 0.5
+		huff.DepDistMean = 2.5
+		return &Profile{Name: "bzip2", Phases: []Phase{
+			mkPhase("blocksort", 0, 4*M, sortp),
+			mkPhase("huffman", 1, 3*M, huff),
+		}}
+	},
+	// equake: sparse-matrix earthquake solver; FP with irregular
+	// (pointer-chasing) accesses over a large mesh.
+	"equake": func() *Profile {
+		smvp := base(0xa401)
+		smvp.Mix = fpMix()
+		smvp.WorkingSet = 12 << 20
+		smvp.SeqFrac = 0.25
+		smvp.DeadFrac = 0.15
+		smvp.DepDistMean = 3.5
+		integ := base(0xa402)
+		integ.Mix = fpMulHeavyMix()
+		integ.WorkingSet = 1 << 20
+		integ.SeqFrac = 0.8
+		return &Profile{Name: "equake", Phases: []Phase{
+			mkPhase("smvp", 0, 5*M, smvp),
+			mkPhase("time-integration", 1, 2*M, integ),
+		}}
+	},
+	// facerec: image-processing FP; regular 2D streaming with a phased
+	// gallery-search stage.
+	"facerec": func() *Profile {
+		graph := base(0xa501)
+		graph.Mix = fpMix()
+		graph.WorkingSet = 2 << 20
+		graph.SeqFrac = 0.85
+		graph.DepDistMean = 5
+		search := base(0xa502)
+		search.Mix = intMix()
+		search.WorkingSet = 256 << 10
+		search.BiasedFrac = 0.7
+		search.DeadFrac = 0.22
+		return &Profile{Name: "facerec", Phases: []Phase{
+			mkPhase("graph", 0, 4*M, graph),
+			mkPhase("search", 1, 2*M, search),
+		}}
+	},
+	// lucas: Lucas-Lehmer FFT; FP with long arithmetic chains and large
+	// power-of-two strides that thrash the caches periodically.
+	"lucas": func() *Profile {
+		fft := base(0xa601)
+		fft.Mix = fpMulHeavyMix()
+		fft.WorkingSet = 8 << 20
+		fft.SeqFrac = 0.6
+		fft.DepDistMean = 8
+		fft.DeadFrac = 0.06
+		carry := base(0xa602)
+		carry.Mix = intMix()
+		carry.WorkingSet = 8 << 20
+		carry.SeqFrac = 0.95
+		return &Profile{Name: "lucas", Phases: []Phase{
+			mkPhase("fft", 0, 5*M, fft),
+			mkPhase("carry", 1, 1*M, carry),
+		}}
+	},
+	// mesa: software-rendered 3D graphics; a fairly even int/FP blend
+	// with stable behaviour (Figure 4 shows mesa's AVF as the steadier of
+	// the two detailed applications).
+	"mesa": func() *Profile {
+		xform := base(0xa701)
+		xform.Mix = fpMix()
+		xform.WorkingSet = 512 << 10
+		xform.SeqFrac = 0.75
+		raster := base(0xa702)
+		raster.Mix = intMix()
+		raster.WorkingSet = 1 << 20
+		raster.SeqFrac = 0.8
+		raster.DeadFrac = 0.18
+		return &Profile{Name: "mesa", Phases: []Phase{
+			mkPhase("transform", 0, 3*M, xform),
+			mkPhase("rasterize", 1, 3*M, raster),
+		}}
+	},
+	// perlbmk: Perl interpreter; integer, extremely branchy with poor
+	// predictability, short dependency chains, lots of dead work. The
+	// utilization proxy misses badly here in the paper (Figure 3c).
+	"perlbmk": func() *Profile {
+		interp := base(0xa801)
+		interp.Mix = intMix()
+		interp.Blocks = 320
+		interp.BlockLen = 5
+		interp.WorkingSet = 1 << 20
+		interp.SeqFrac = 0.3
+		interp.BiasedFrac = 0.4
+		interp.DeadFrac = 0.32
+		interp.DepDistMean = 2.5
+		gc := base(0xa802)
+		gc.Mix = memMix()
+		gc.WorkingSet = 6 << 20
+		gc.SeqFrac = 0.2
+		gc.DeadFrac = 0.28
+		return &Profile{Name: "perlbmk", Phases: []Phase{
+			mkPhase("interpret", 0, 5*M, interp),
+			mkPhase("gc", 1, 1*M, gc),
+		}}
+	},
+	// sixtrack: particle-accelerator tracking; FP-dense, cache-resident,
+	// long-latency divides, very regular.
+	"sixtrack": func() *Profile {
+		track := base(0xa901)
+		track.Mix = fpMulHeavyMix()
+		track.Mix.FPDiv = 0.03
+		track.WorkingSet = 48 << 10
+		track.SeqFrac = 0.95
+		track.DepDistMean = 10
+		track.DeadFrac = 0.03
+		return &Profile{Name: "sixtrack", Phases: []Phase{
+			mkPhase("track", 0, 6*M, track),
+		}}
+	},
+	// swim: shallow-water stencil; pure streaming over huge arrays, high
+	// load/store share, long memory stalls.
+	"swim": func() *Profile {
+		stencil := base(0xaa01)
+		stencil.Mix = memMix()
+		stencil.WorkingSet = 16 << 20
+		stencil.SeqFrac = 0.97
+		stencil.DepDistMean = 4
+		stencil.DeadFrac = 0.07
+		return &Profile{Name: "swim", Phases: []Phase{
+			mkPhase("stencil", 0, 6*M, stencil),
+		}}
+	},
+	// wupwise: lattice-QCD; FP multiply dominated, moderate working set,
+	// highly predictable control flow.
+	"wupwise": func() *Profile {
+		su3 := base(0xab01)
+		su3.Mix = fpMulHeavyMix()
+		su3.WorkingSet = 4 << 20
+		su3.SeqFrac = 0.85
+		su3.DepDistMean = 8
+		su3.DeadFrac = 0.06
+		su3.BiasedFrac = 0.95
+		gamma := base(0xab02)
+		gamma.Mix = fpMix()
+		gamma.WorkingSet = 512 << 10
+		gamma.SeqFrac = 0.8
+		return &Profile{Name: "wupwise", Phases: []Phase{
+			mkPhase("su3", 0, 4*M, su3),
+			mkPhase("gamma", 1, 2*M, gamma),
+		}}
+	},
+}
+
+// Scale returns a copy of p with every phase length multiplied by factor
+// (0 < factor <= 1), clamped to at least 1000 instructions per phase.
+// Experiments that shrink the estimation interval below the paper's 1M
+// cycles use this to shrink phase durations proportionally, preserving the
+// ratio of phase length to interval length.
+func Scale(p *Profile, factor float64) *Profile {
+	out := &Profile{Name: p.Name, Phases: make([]Phase, len(p.Phases))}
+	copy(out.Phases, p.Phases)
+	for i := range out.Phases {
+		n := int64(float64(out.Phases[i].Insts) * factor)
+		if n < 1000 {
+			n = 1000
+		}
+		out.Phases[i].Insts = n
+	}
+	return out
+}

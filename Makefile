@@ -1,0 +1,34 @@
+# Developer entry points. `make check` is the tier-1 gate plus the race
+# detector (the scheduler/server subsystem is concurrent; keep it clean).
+
+GO ?= go
+
+.PHONY: all build test vet race check bench report daemon clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+report:
+	$(GO) run ./cmd/avfreport
+
+daemon:
+	$(GO) run ./cmd/avfd
+
+clean:
+	$(GO) clean ./...

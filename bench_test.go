@@ -10,12 +10,15 @@
 package avfsim
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"avfsim/internal/config"
 	"avfsim/internal/experiment"
 	"avfsim/internal/pipeline"
 	"avfsim/internal/predict"
+	"avfsim/internal/sched"
 	"avfsim/internal/stats"
 	"avfsim/internal/workload"
 )
@@ -132,5 +135,47 @@ func BenchmarkFigure5Prediction(b *testing.B) {
 			}
 			_ = ev
 		}
+	}
+}
+
+// parallelGridConfigs is the benchmark × seed grid for
+// BenchmarkParallelGrid: every workload once, at the bench scale.
+func parallelGridConfigs() []experiment.RunConfig {
+	var cfgs []experiment.RunConfig
+	for _, bench := range workload.Names() {
+		cfgs = append(cfgs, experiment.RunConfig{
+			Benchmark: bench, Scale: benchSpec.Scale, Seed: 1,
+			M: benchSpec.M, N: benchSpec.N, Intervals: benchSpec.Intervals,
+		})
+	}
+	return cfgs
+}
+
+// BenchmarkParallelGrid compares the serial benchmark grid against the
+// sched.Pool fan-out used by avfreport -fig3/-fig5 and cmd/avfd. The
+// grid is embarrassingly parallel (independent simulations), so the
+// pooled wall-time approaches serial/worker-count on multi-core hosts;
+// see EXPERIMENTS.md for measured numbers.
+func BenchmarkParallelGrid(b *testing.B) {
+	cfgs := parallelGridConfigs()
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, rc := range cfgs {
+				if _, err := experiment.Run(rc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("pool-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pool := sched.New(sched.Options{Workers: workers, QueueCap: len(cfgs)})
+				if _, err := experiment.RunGrid(context.Background(), pool, cfgs); err != nil {
+					b.Fatal(err)
+				}
+				pool.Shutdown(context.Background())
+			}
+		})
 	}
 }

@@ -1,0 +1,83 @@
+// Command avfd is the online-AVF estimation daemon: an HTTP service
+// that runs benchmark × estimator simulations on a bounded worker pool
+// and streams per-interval AVF estimates to clients while each workload
+// executes — the paper's continuous-monitoring use case as a service.
+//
+// Usage:
+//
+//	avfd [-addr :8080] [-workers N] [-queue N] [-drain 30s]
+//
+// Quickstart (see README.md for more):
+//
+//	avfd &
+//	curl -s localhost:8080/v1/jobs -d '{"benchmark":"mesa","scale":0.05,"n":500,"intervals":20}'
+//	curl -N localhost:8080/v1/jobs/job-1/stream       # live NDJSON estimates
+//	curl -s localhost:8080/v1/jobs/job-1              # status + final series
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-1    # cancel
+//	curl -s localhost:8080/v1/stats                   # scheduler counters
+//
+// On SIGTERM/SIGINT the daemon stops accepting work and drains running
+// jobs for up to -drain, then cancels whatever is left and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"avfsim/internal/sched"
+	"avfsim/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
+	queue := flag.Int("queue", 64, "job queue capacity (submissions beyond it get 503)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	flag.Parse()
+
+	pool := sched.New(sched.Options{Workers: *workers, QueueCap: *queue})
+	srv := server.New(pool)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("avfd: listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("avfd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("avfd: shutting down, draining jobs for up to %v", *drain)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections first; in-flight streams follow the
+	// jobs they watch.
+	go httpSrv.Shutdown(drainCtx)
+	// If the deadline passes, cancel every remaining job so the pool's
+	// workers can come home.
+	go func() {
+		<-drainCtx.Done()
+		srv.CancelAll()
+	}()
+	if err := pool.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("avfd: pool shutdown: %v", err)
+	} else if errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("avfd: drain deadline hit; canceled remaining jobs")
+	}
+	httpSrv.Close()
+	fmt.Println("avfd: bye")
+}

@@ -7,27 +7,33 @@
 //
 // Usage:
 //
-//	avfreport [-scale quick|standard|paper] [-seed N] [-only table1|fig1|...|fig5]
+//	avfreport [-scale quick|standard|paper] [-seed N] [-parallel N] [-only table1|fig1|...|fig5]
 //
 // At -scale paper the run matches the paper's M = N = 1000 over 100–200
 // one-million-cycle intervals per benchmark and takes hours; -scale
 // standard (default) finishes in a few minutes with the same qualitative
-// results.
+// results. Benchmark-grid artifacts (fig3, fig4, fig5) fan their
+// independent simulations out over -parallel workers (default: all
+// cores); output is byte-identical to -parallel 1 at the same seed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"avfsim/internal/experiment"
+	"avfsim/internal/sched"
 )
 
 func main() {
 	scale := flag.String("scale", "standard", "experiment scale: quick, standard, or paper")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	only := flag.String("only", "", "render a single artifact: table1, fig1, fig2, fig3, fig4, fig5, ablate, baselines")
+	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "workers for benchmark-grid simulations (1 = serial)")
 	flag.Parse()
 
 	var spec experiment.ScaleSpec
@@ -44,9 +50,14 @@ func main() {
 	}
 
 	suite := experiment.NewSuite(spec, *seed)
+	if *workers > 1 {
+		pool := sched.New(sched.Options{Workers: *workers, QueueCap: 64})
+		defer pool.Shutdown(context.Background())
+		suite.SetPool(pool)
+	}
 	start := time.Now()
-	fmt.Printf("avfreport: scale=%s (phase scale %.2f, M=%d, N=%d, %d intervals)\n\n",
-		spec.Name, spec.Scale, spec.M, spec.N, spec.Intervals)
+	fmt.Printf("avfreport: scale=%s (phase scale %.2f, M=%d, N=%d, %d intervals, %d workers)\n\n",
+		spec.Name, spec.Scale, spec.M, spec.N, spec.Intervals, *workers)
 
 	var err error
 	switch *only {

@@ -42,6 +42,13 @@ type Options struct {
 	Seed uint64
 	// RecordLatency collects injection-to-failure latencies (Figure 2).
 	RecordLatency bool
+	// OnInterval, when non-nil, is invoked synchronously (from Tick)
+	// each time a per-interval estimate completes for any monitored
+	// structure, with Estimate.Structure identifying which. It lets a
+	// consumer stream estimates as they are produced instead of
+	// buffering the whole series; the batch accessors (Estimates,
+	// AVFSeries) are unaffected.
+	OnInterval func(Estimate)
 	// Multiplex emulates the true hardware cost model: a single error
 	// bit per value means only ONE emulated error may be live in the
 	// whole machine, so injections rotate across the monitored
@@ -79,6 +86,8 @@ func (o *Options) validate() error {
 
 // Estimate is one per-interval AVF estimate for one structure.
 type Estimate struct {
+	// Structure is the monitored structure this estimate belongs to.
+	Structure pipeline.Structure
 	// Interval is the 0-based estimation-interval index.
 	Interval int
 	// StartCycle and EndCycle delimit the interval.
@@ -217,18 +226,23 @@ func (e *Estimator) conclude(st *structState, cycle int64) {
 	e.p.ClearPlane(st.s)
 
 	if st.injections >= e.opt.N {
-		st.estimates = append(st.estimates, Estimate{
+		est := Estimate{
+			Structure:  st.s,
 			Interval:   st.intervalIdx,
 			StartCycle: st.startCycle,
 			EndCycle:   cycle,
 			AVF:        float64(st.failures) / float64(st.injections),
 			Failures:   st.failures,
 			Injections: st.injections,
-		})
+		}
+		st.estimates = append(st.estimates, est)
 		st.intervalIdx++
 		st.injections = 0
 		st.failures = 0
 		st.startCycle = cycle
+		if e.opt.OnInterval != nil {
+			e.opt.OnInterval(est)
+		}
 	}
 }
 

@@ -335,3 +335,56 @@ func TestEstimateCycleAccounting(t *testing.T) {
 		}
 	}
 }
+
+// TestOnIntervalStreams verifies the streaming hook fires once per
+// completed estimate, in order, carrying the same values the batch
+// accessors later report.
+func TestOnIntervalStreams(t *testing.T) {
+	var streamed []Estimate
+	p := newPipe(t, &loopTrace{})
+	e, err := NewEstimator(p, Options{
+		M: 10, N: 5,
+		Structures: []pipeline.Structure{pipeline.StructIQ, pipeline.StructReg},
+		OnInterval: func(est Estimate) { streamed = append(streamed, est) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Attach()
+	drive(p, e, 500)
+
+	var batch []Estimate
+	for _, s := range e.Structures() {
+		batch = append(batch, e.Estimates(s)...)
+	}
+	if len(streamed) == 0 {
+		t.Fatal("OnInterval never fired")
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed %d estimates, batch has %d", len(streamed), len(batch))
+	}
+	// The hook must deliver exactly the batch contents (order within a
+	// structure ascending by interval; Structure field set).
+	byStruct := map[pipeline.Structure][]Estimate{}
+	for _, est := range streamed {
+		if est.Structure != pipeline.StructIQ && est.Structure != pipeline.StructReg {
+			t.Fatalf("estimate carries wrong structure %v", est.Structure)
+		}
+		if n := len(byStruct[est.Structure]); n != est.Interval {
+			t.Fatalf("structure %v: got interval %d after %d estimates", est.Structure, est.Interval, n)
+		}
+		byStruct[est.Structure] = append(byStruct[est.Structure], est)
+	}
+	for _, s := range e.Structures() {
+		want := e.Estimates(s)
+		got := byStruct[s]
+		if len(got) != len(want) {
+			t.Fatalf("structure %v: streamed %d, batch %d", s, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("structure %v interval %d: streamed %+v != batch %+v", s, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"avfsim/internal/config"
 	"avfsim/internal/pipeline"
 	"avfsim/internal/predict"
+	"avfsim/internal/sched"
 	"avfsim/internal/stats"
 	"avfsim/internal/workload"
 )
@@ -61,6 +62,8 @@ type Suite struct {
 	Seed uint64
 
 	cache map[string]*Result
+	// pool, when set via SetPool, parallelizes grid sweeps (grid.go).
+	pool *sched.Pool
 }
 
 // NewSuite returns a Suite at the given scale.
@@ -68,10 +71,15 @@ func NewSuite(spec ScaleSpec, seed uint64) *Suite {
 	return &Suite{Spec: spec, Seed: seed, cache: map[string]*Result{}}
 }
 
+// cacheKey names one grid cell in the suite cache.
+func (s *Suite) cacheKey(c gridCell) string {
+	return fmt.Sprintf("%s/%d", c.bench, c.intervals)
+}
+
 // resultFor runs (or returns the cached run of) one benchmark with the
 // given interval count.
 func (s *Suite) resultFor(bench string, intervals int) (*Result, error) {
-	key := fmt.Sprintf("%s/%d", bench, intervals)
+	key := s.cacheKey(gridCell{bench: bench, intervals: intervals})
 	if r, ok := s.cache[key]; ok {
 		return r, nil
 	}
@@ -233,6 +241,9 @@ const relFloor = 1e-3
 // Figure3Data computes the Figure 3 aggregates for every benchmark and the
 // paper's four structures.
 func (s *Suite) Figure3Data() ([]Fig3Row, error) {
+	if err := s.prewarm(benchCells(workload.Names(), s.Spec.Intervals)); err != nil {
+		return nil, err
+	}
 	var rows []Fig3Row
 	for _, bench := range workload.Names() {
 		res, err := s.resultFor(bench, s.Spec.Intervals)
@@ -296,6 +307,9 @@ var Figure4Benchmarks = []string{"mesa", "ammp"}
 // utilization where applicable) for mesa and ammp.
 func (s *Suite) Figure4(w io.Writer) error {
 	fmt.Fprintln(w, "Figure 4: per-interval AVF time series (real = reference, est = online)")
+	if err := s.prewarm(benchCells(Figure4Benchmarks, s.Spec.DetailIntervals)); err != nil {
+		return err
+	}
 	for _, bench := range Figure4Benchmarks {
 		res, err := s.resultFor(bench, s.Spec.DetailIntervals)
 		if err != nil {
@@ -341,6 +355,9 @@ type Fig5Row struct {
 // Figure5Data evaluates the simple last-value predictor for every
 // benchmark × structure.
 func (s *Suite) Figure5Data() ([]Fig5Row, error) {
+	if err := s.prewarm(benchCells(workload.Names(), s.Spec.Intervals)); err != nil {
+		return nil, err
+	}
 	var rows []Fig5Row
 	for _, bench := range workload.Names() {
 		res, err := s.resultFor(bench, s.Spec.Intervals)
@@ -407,6 +424,9 @@ type PredictorRow struct {
 // each the online estimates (and, for the phase predictor, the interval
 // feature vectors) and scoring against the reference AVF.
 func (s *Suite) PredictorStudy() ([]PredictorRow, error) {
+	if err := s.prewarm(benchCells(workload.Names(), s.Spec.Intervals)); err != nil {
+		return nil, err
+	}
 	var rows []PredictorRow
 	for _, bench := range workload.Names() {
 		res, err := s.resultFor(bench, s.Spec.Intervals)

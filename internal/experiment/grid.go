@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"avfsim/internal/core"
+	"avfsim/internal/sched"
+)
+
+// RunGrid executes every RunConfig of a benchmark × parameter grid
+// through pool concurrently and returns the results in input order.
+// Each cell is an independent simulation (own pipeline, own RNG), so
+// the grid is embarrassingly parallel and the parallel results are
+// identical to running the cells serially at the same seeds.
+//
+// The first cell error cancels the remaining cells and is returned
+// (with its index); a ctx cancellation cancels everything.
+func RunGrid(ctx context.Context, pool *sched.Pool, cfgs []RunConfig) ([]*Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*Result, len(cfgs))
+	tasks := make([]*sched.Task, len(cfgs))
+	for i, rc := range cfgs {
+		i, rc := i, rc
+		task, err := pool.SubmitWait(ctx, func(jctx context.Context, progress func(any)) error {
+			if rc.OnInterval == nil {
+				rc.OnInterval = func(est core.Estimate) { progress(est) }
+			}
+			res, err := RunCtx(jctx, rc)
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		}, sched.WithLabel(fmt.Sprintf("grid[%d] %s", i, rc.Benchmark)))
+		if err != nil {
+			// Queue wait aborted: cancel what we already submitted.
+			cancel()
+			for _, t := range tasks[:i] {
+				t.Wait(context.Background())
+			}
+			return nil, err
+		}
+		tasks[i] = task
+	}
+	// sched.Task jobs end on cancellation, so joining in submit order
+	// (not completion order) loses nothing.
+	var firstErr error
+	for i, task := range tasks {
+		if err := task.Wait(context.Background()); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("experiment: grid cell %d (%s): %w", i, cfgs[i].Benchmark, err)
+			cancel() // stop the still-running cells; keep joining
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// SetPool switches the Suite to the parallel grid path: figure
+// generators that sweep the benchmark grid (Figure 3, Figure 4,
+// Figure 5, the predictor study) first fan the uncached benchmark runs
+// out over pool, then render from the cache. Output is byte-identical
+// to the serial path — each cell is deterministic at a fixed seed and
+// rendering order is unchanged. Pass nil to go back to serial.
+func (s *Suite) SetPool(p *sched.Pool) { s.pool = p }
+
+// gridCell names one cached run of the suite's grid.
+type gridCell struct {
+	bench     string
+	intervals int
+}
+
+// prewarm concurrently runs every not-yet-cached cell via the pool.
+// Without a pool it is a no-op (resultFor runs cells serially on
+// demand). Cache writes happen on the caller's goroutine only after
+// RunGrid has joined every worker.
+func (s *Suite) prewarm(cells []gridCell) error {
+	if s.pool == nil {
+		return nil
+	}
+	var missing []gridCell
+	var cfgs []RunConfig
+	for _, c := range cells {
+		if _, ok := s.cache[s.cacheKey(c)]; ok {
+			continue
+		}
+		missing = append(missing, c)
+		cfgs = append(cfgs, RunConfig{
+			Benchmark: c.bench,
+			Scale:     s.Spec.Scale,
+			Seed:      s.Seed,
+			M:         s.Spec.M,
+			N:         s.Spec.N,
+			Intervals: c.intervals,
+		})
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	results, err := RunGrid(context.Background(), s.pool, cfgs)
+	if err != nil {
+		return err
+	}
+	for i, c := range missing {
+		s.cache[s.cacheKey(c)] = results[i]
+	}
+	return nil
+}
+
+// benchCells builds the grid cells for every benchmark at one interval
+// count.
+func benchCells(benches []string, intervals int) []gridCell {
+	cells := make([]gridCell, len(benches))
+	for i, b := range benches {
+		cells[i] = gridCell{bench: b, intervals: intervals}
+	}
+	return cells
+}

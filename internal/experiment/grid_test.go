@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"avfsim/internal/core"
+	"avfsim/internal/sched"
+)
+
+// tinyGridSpec keeps the full-grid determinism tests in CI territory:
+// three intervals of 20k cycles per benchmark.
+var tinyGridSpec = ScaleSpec{
+	Name: "tiny", Scale: 0.02, M: 400, N: 50,
+	Intervals: 3, DetailIntervals: 4, Fig2M: 1000, Fig2Samples: 200,
+}
+
+func tinyConfig(bench string) RunConfig {
+	return RunConfig{
+		Benchmark: bench,
+		Scale:     tinyGridSpec.Scale,
+		Seed:      7,
+		M:         tinyGridSpec.M,
+		N:         tinyGridSpec.N,
+		Intervals: tinyGridSpec.Intervals,
+	}
+}
+
+// sameResult compares the observable outcome of two runs (the Estimator
+// handle is excluded: it holds live simulator state, not results).
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Series, b.Series) {
+		t.Fatalf("%s: series differ", label)
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("%s: pipeline stats differ:\n%+v\n%+v", label, a.Stats, b.Stats)
+	}
+	if !reflect.DeepEqual(a.IQOccupancy, b.IQOccupancy) || !reflect.DeepEqual(a.Features, b.Features) {
+		t.Fatalf("%s: baseline series differ", label)
+	}
+}
+
+// TestRunGridMatchesSerial checks that running grid cells through the
+// pool (>= 2 simulations concurrently) yields exactly the results of
+// running them one by one at the same seeds: no shared RNG, no mutable
+// package state between simultaneous runs.
+func TestRunGridMatchesSerial(t *testing.T) {
+	benches := []string{"bzip2", "mesa", "ammp", "swim"}
+	var cfgs []RunConfig
+	var serial []*Result
+	for _, b := range benches {
+		cfgs = append(cfgs, tinyConfig(b))
+		res, err := Run(tinyConfig(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, res)
+	}
+
+	pool := sched.New(sched.Options{Workers: 4, QueueCap: 8})
+	defer pool.Shutdown(context.Background())
+	parallel, err := RunGrid(context.Background(), pool, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("got %d results, want %d", len(parallel), len(serial))
+	}
+	for i, b := range benches {
+		if parallel[i].Benchmark != b {
+			t.Fatalf("result %d is %q, want %q (order must be preserved)", i, parallel[i].Benchmark, b)
+		}
+		sameResult(t, b, serial[i], parallel[i])
+	}
+}
+
+// TestParallelFigure3ByteIdentical renders Figure 3 from a serial suite
+// and from a pool-backed suite and requires byte-identical output.
+func TestParallelFigure3ByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid render")
+	}
+	var serialOut, parallelOut bytes.Buffer
+	if err := NewSuite(tinyGridSpec, 7).Figure3(&serialOut); err != nil {
+		t.Fatal(err)
+	}
+
+	pool := sched.New(sched.Options{Workers: 4, QueueCap: 16})
+	defer pool.Shutdown(context.Background())
+	suite := NewSuite(tinyGridSpec, 7)
+	suite.SetPool(pool)
+	if err := suite.Figure3(&parallelOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialOut.Bytes(), parallelOut.Bytes()) {
+		t.Fatalf("parallel Figure 3 differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serialOut.String(), parallelOut.String())
+	}
+}
+
+// TestRunCtxCancel checks a running simulation stops promptly — well
+// within one estimation interval — once its context is canceled.
+func TestRunCtxCancel(t *testing.T) {
+	rc := tinyConfig("mesa")
+	rc.Intervals = 1000 // far more work than the test will allow
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var streamed int
+	rc.OnInterval = func(core.Estimate) { streamed++ }
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunCtx(ctx, rc)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunCtx err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunCtx did not stop after cancellation")
+	}
+}
+
+// TestRunGridPropagatesCellErrors checks a bad cell fails the grid with
+// a located error and does not wedge the pool.
+func TestRunGridPropagatesCellErrors(t *testing.T) {
+	pool := sched.New(sched.Options{Workers: 2, QueueCap: 4})
+	defer pool.Shutdown(context.Background())
+	cfgs := []RunConfig{tinyConfig("bzip2"), tinyConfig("no-such-benchmark")}
+	if _, err := RunGrid(context.Background(), pool, cfgs); err == nil {
+		t.Fatal("RunGrid accepted an unknown benchmark")
+	}
+	// Pool still usable afterwards.
+	res, err := RunGrid(context.Background(), pool, []RunConfig{tinyConfig("bzip2")})
+	if err != nil || res[0] == nil {
+		t.Fatalf("pool wedged after cell error: %v", err)
+	}
+}

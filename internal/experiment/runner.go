@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -57,6 +58,10 @@ type RunConfig struct {
 	Multiplex bool
 	// Config overrides the processor configuration when non-nil.
 	Config *config.Config
+	// OnInterval, when non-nil, receives each online estimate as soon
+	// as the estimator completes it (see core.Options.OnInterval). It
+	// is called from the goroutine driving the run.
+	OnInterval func(core.Estimate)
 }
 
 func (c *RunConfig) defaults() error {
@@ -197,6 +202,18 @@ func (r *Result) SeriesFor(s pipeline.Structure) *StructSeries {
 // Run executes one benchmark under simultaneous online estimation,
 // reference analysis, and utilization sampling.
 func Run(rc RunConfig) (*Result, error) {
+	return RunCtx(context.Background(), rc)
+}
+
+// ctxCheckStride is how many cycles the drive loop simulates between
+// context checks. It is much finer than any estimation interval
+// (M*N >= 10^4 in practice), so cancellation lands well within one
+// interval while keeping the per-cycle overhead negligible.
+const ctxCheckStride = 2048
+
+// RunCtx is Run with cancellation: when ctx is done the simulation
+// stops within ctxCheckStride cycles and RunCtx returns ctx.Err().
+func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 	if err := rc.defaults(); err != nil {
 		return nil, err
 	}
@@ -243,6 +260,7 @@ func Run(rc RunConfig) (*Result, error) {
 		Seed:           rc.Seed,
 		RecordLatency:  rc.RecordLatency,
 		Multiplex:      rc.Multiplex,
+		OnInterval:     rc.OnInterval,
 	})
 	if err != nil {
 		return nil, err
@@ -292,7 +310,14 @@ func Run(rc RunConfig) (*Result, error) {
 	// settling margin for the reference's deferred attribution.
 	totalCycles := intervalCycles * int64(rc.Intervals)
 	nextSample := intervalCycles
+	nextCtxCheck := int64(ctxCheckStride)
 	for p.Cycle() < totalCycles+1 {
+		if p.Cycle() >= nextCtxCheck {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			nextCtxCheck = p.Cycle() + ctxCheckStride
+		}
 		if !p.Step() {
 			return nil, fmt.Errorf("experiment: trace ended after %d cycles (%d retired); profiles are cyclic so this indicates a bug",
 				p.Cycle(), p.Retired())

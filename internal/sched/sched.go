@@ -1,0 +1,411 @@
+// Package sched provides the job scheduler under cmd/avfd and the
+// parallel experiment grid: a bounded worker pool with a FIFO queue,
+// per-job cancellation, panic containment, progress reporting, and
+// atomic counters.
+//
+// Fault-injection campaigns are embarrassingly parallel across
+// independent runs — every benchmark × structure cell of the paper's
+// evaluation is its own simulation — so the pool is deliberately
+// generic: a Job is any func(ctx, progress) error, and callers decide
+// what "progress" means (the AVF runner reports one core.Estimate per
+// completed estimation interval).
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Func is the work a job performs. It must return promptly once ctx is
+// done (cancellation, pool shutdown). progress is never nil; jobs may
+// call it with per-interval updates, which are delivered synchronously
+// to the WithProgress callback.
+type Func func(ctx context.Context, progress func(v any)) error
+
+// Sentinel errors.
+var (
+	// ErrQueueFull is returned by Submit when the FIFO queue is at
+	// capacity (backpressure: the caller decides whether to retry,
+	// shed, or block via SubmitWait).
+	ErrQueueFull = errors.New("sched: queue full")
+	// ErrShutdown is returned by Submit/SubmitWait after Shutdown.
+	ErrShutdown = errors.New("sched: pool shut down")
+)
+
+// PanicError wraps a panic recovered from a job so the job fails
+// instead of the process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: job panicked: %v", e.Value)
+}
+
+// Options configures a Pool.
+type Options struct {
+	// Workers is the number of concurrent workers; default GOMAXPROCS.
+	Workers int
+	// QueueCap is the FIFO queue capacity (jobs waiting beyond the ones
+	// running); default 64. Submit rejects with ErrQueueFull beyond it.
+	QueueCap int
+}
+
+func (o *Options) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+}
+
+// State is a task's lifecycle stage.
+type State int32
+
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateCanceled
+)
+
+var stateNames = [...]string{"queued", "running", "done", "failed", "canceled"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Task is a submitted job's handle.
+type Task struct {
+	fn     Func
+	label  string
+	onProg func(v any)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	state atomic.Int32
+
+	submitted time.Time
+	started   time.Time // valid once running
+	finished  time.Time // valid once done
+
+	err  error
+	done chan struct{}
+}
+
+// SubmitOption customizes a Task at submission.
+type SubmitOption func(*Task)
+
+// WithProgress registers a callback invoked synchronously (from the
+// worker goroutine) for every progress value the job reports.
+func WithProgress(cb func(v any)) SubmitOption {
+	return func(t *Task) { t.onProg = cb }
+}
+
+// WithLabel attaches a display label to the task.
+func WithLabel(label string) SubmitOption {
+	return func(t *Task) { t.label = label }
+}
+
+// Label returns the task's label ("" if none).
+func (t *Task) Label() string { return t.label }
+
+// State returns the task's current lifecycle stage.
+func (t *Task) State() State { return State(t.state.Load()) }
+
+// Done is closed when the task reaches a terminal state.
+func (t *Task) Done() <-chan struct{} { return t.done }
+
+// Err returns the job's error (nil while not terminal or on success;
+// the ctx error on cancellation; a *PanicError on panic).
+func (t *Task) Err() error {
+	select {
+	case <-t.done:
+		return t.err
+	default:
+		return nil
+	}
+}
+
+// Cancel asks the job to stop. A queued task is marked canceled without
+// running; a running task's ctx is canceled and the job is expected to
+// return promptly. Safe to call multiple times and concurrently.
+func (t *Task) Cancel() { t.cancel() }
+
+// Wait blocks until the task is terminal or ctx is done. It returns the
+// task's error in the former case, ctx.Err() in the latter.
+func (t *Task) Wait(ctx context.Context) error {
+	select {
+	case <-t.done:
+		return t.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats is a snapshot of the pool's counters.
+type Stats struct {
+	// Workers and QueueCap echo the configuration.
+	Workers  int `json:"workers"`
+	QueueCap int `json:"queue_cap"`
+	// Queued and Running are current occupancy.
+	Queued  int64 `json:"queued"`
+	Running int64 `json:"running"`
+	// Submitted, Done, Failed, Canceled, Rejected are cumulative.
+	Submitted int64 `json:"submitted"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
+	// AvgQueueLatency / AvgRunLatency are means over completed waits
+	// and runs.
+	AvgQueueLatency time.Duration `json:"avg_queue_latency_ns"`
+	AvgRunLatency   time.Duration `json:"avg_run_latency_ns"`
+}
+
+// Pool is a bounded worker pool with a FIFO job queue.
+type Pool struct {
+	opts  Options
+	queue chan *Task
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	// Counters (atomics; the stats block of the issue).
+	queued, running                  atomic.Int64
+	submitted, nDone, nFail, nCancel atomic.Int64
+	rejected                         atomic.Int64
+	queueLatencyNS, runLatencyNS     atomic.Int64
+	queueLatencyN, runLatencyN       atomic.Int64
+}
+
+// New starts a pool. Callers must eventually Shutdown it.
+func New(opts Options) *Pool {
+	opts.defaults()
+	p := &Pool{opts: opts, queue: make(chan *Task, opts.QueueCap)}
+	p.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the configured worker count.
+func (p *Pool) Workers() int { return p.opts.Workers }
+
+func (p *Pool) newTask(fn Func, opts []SubmitOption) *Task {
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &Task{
+		fn:        fn,
+		ctx:       ctx,
+		cancel:    cancel,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Submit enqueues fn. It returns ErrQueueFull when the queue is at
+// capacity and ErrShutdown after Shutdown; otherwise the returned Task
+// tracks the job.
+func (p *Pool) Submit(fn Func, opts ...SubmitOption) (*Task, error) {
+	t := p.newTask(fn, opts)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		t.cancel()
+		return nil, ErrShutdown
+	}
+	select {
+	case p.queue <- t:
+		p.queued.Add(1)
+		p.submitted.Add(1)
+		p.mu.Unlock()
+		return t, nil
+	default:
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		t.cancel()
+		return nil, ErrQueueFull
+	}
+}
+
+// SubmitWait is Submit that blocks for queue space instead of rejecting
+// (the internal-grid path wants backpressure-by-blocking; the HTTP path
+// wants reject-when-full). It returns ctx.Err() if ctx is done first.
+func (p *Pool) SubmitWait(ctx context.Context, fn Func, opts ...SubmitOption) (*Task, error) {
+	for {
+		t, err := p.Submit(fn, opts...)
+		if err == nil || !errors.Is(err, ErrQueueFull) {
+			return t, err
+		}
+		// Queue full: wait for a slot to open (or give up with ctx).
+		// The queue drains at simulation speed, so poll coarsely.
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Shutdown stops accepting jobs and waits for queued and running work
+// to drain. If ctx expires first, all remaining tasks are canceled and
+// Shutdown keeps waiting for the workers to observe that and exit, then
+// returns ctx.Err(). Safe to call once.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrShutdown
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline passed: cancel everything still in flight. Workers mark
+	// the canceled tasks terminal as they get to them.
+	p.cancelAll()
+	<-drained
+	return ctx.Err()
+}
+
+// cancelAll cancels queued-but-unclaimed tasks (workers will drop them)
+// and signals running tasks through their contexts. Running tasks are
+// canceled via their own Task.Cancel by whoever holds the handle; here
+// we only reach tasks still in the queue, plus we rely on jobs honoring
+// ctx for the running ones — so also cancel those we can see.
+func (p *Pool) cancelAll() {
+	for {
+		select {
+		case t, ok := <-p.queue:
+			if !ok {
+				return
+			}
+			t.cancel()
+			p.finishTask(t, t.ctx.Err(), false)
+		default:
+			return
+		}
+	}
+}
+
+// worker is the run loop of one pool worker.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		p.runTask(t)
+	}
+}
+
+// runTask executes one task with panic containment.
+func (p *Pool) runTask(t *Task) {
+	p.queued.Add(-1)
+	// A task canceled while still queued never runs.
+	if t.ctx.Err() != nil {
+		p.finishTask(t, t.ctx.Err(), false)
+		return
+	}
+	t.started = time.Now()
+	p.queueLatencyNS.Add(int64(t.started.Sub(t.submitted)))
+	p.queueLatencyN.Add(1)
+	t.state.Store(int32(StateRunning))
+	p.running.Add(1)
+
+	err := p.invoke(t)
+	p.running.Add(-1)
+	p.finishTask(t, err, true)
+}
+
+// invoke calls the job function, converting a panic into a *PanicError
+// so a faulty job fails alone instead of taking the daemon down.
+func (p *Pool) invoke(t *Task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 8<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PanicError{Value: r, Stack: buf}
+		}
+	}()
+	progress := func(v any) {
+		if t.onProg != nil {
+			t.onProg(v)
+		}
+	}
+	return t.fn(t.ctx, progress)
+}
+
+// finishTask records the terminal state. ran reports whether the job
+// function actually executed (false for canceled-while-queued).
+func (p *Pool) finishTask(t *Task, err error, ran bool) {
+	if t.State() >= StateDone {
+		return
+	}
+	t.finished = time.Now()
+	if ran {
+		p.runLatencyNS.Add(int64(t.finished.Sub(t.started)))
+		p.runLatencyN.Add(1)
+	}
+	t.err = err
+	switch {
+	case err == nil:
+		t.state.Store(int32(StateDone))
+		p.nDone.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		t.state.Store(int32(StateCanceled))
+		p.nCancel.Add(1)
+	default:
+		t.state.Store(int32(StateFailed))
+		p.nFail.Add(1)
+	}
+	t.cancel() // release the ctx's resources
+	close(t.done)
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() Stats {
+	s := Stats{
+		Workers:   p.opts.Workers,
+		QueueCap:  p.opts.QueueCap,
+		Queued:    p.queued.Load(),
+		Running:   p.running.Load(),
+		Submitted: p.submitted.Load(),
+		Done:      p.nDone.Load(),
+		Failed:    p.nFail.Load(),
+		Canceled:  p.nCancel.Load(),
+		Rejected:  p.rejected.Load(),
+	}
+	if n := p.queueLatencyN.Load(); n > 0 {
+		s.AvgQueueLatency = time.Duration(p.queueLatencyNS.Load() / n)
+	}
+	if n := p.runLatencyN.Load(); n > 0 {
+		s.AvgRunLatency = time.Duration(p.runLatencyNS.Load() / n)
+	}
+	return s
+}

@@ -1,0 +1,491 @@
+// Package server implements the avfd HTTP API: submit AVF-estimation
+// jobs, watch per-interval estimates stream out live while the workload
+// executes (the paper's online-monitoring use case, §1), fetch final
+// series, cancel, and read scheduler stats.
+//
+// Routes (all JSON):
+//
+//	POST   /v1/jobs           submit a JobSpec; 202 + {"id": ...}
+//	GET    /v1/jobs           list job summaries
+//	GET    /v1/jobs/{id}      status + per-interval estimates (+ final series when done)
+//	GET    /v1/jobs/{id}/stream  NDJSON live stream, one line per estimate
+//	DELETE /v1/jobs/{id}      cancel (idempotent)
+//	GET    /v1/healthz        liveness
+//	GET    /v1/stats          scheduler counters + job-state census
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"avfsim/internal/core"
+	"avfsim/internal/experiment"
+	"avfsim/internal/pipeline"
+	"avfsim/internal/sched"
+	"avfsim/internal/workload"
+)
+
+// JobSpec is the wire shape of one estimation run — a JSON rendering of
+// experiment.RunConfig. Zero fields take the RunConfig defaults (the
+// paper's M = N = 1000, 10 intervals, the four paper structures).
+type JobSpec struct {
+	Benchmark      string   `json:"benchmark"`
+	Scale          float64  `json:"scale,omitempty"`
+	Seed           uint64   `json:"seed,omitempty"`
+	M              int64    `json:"m,omitempty"`
+	N              int      `json:"n,omitempty"`
+	Intervals      int      `json:"intervals,omitempty"`
+	Structures     []string `json:"structures,omitempty"`
+	Window         int      `json:"window,omitempty"`
+	RandomEntry    bool     `json:"random_entry,omitempty"`
+	RandomSchedule bool     `json:"random_schedule,omitempty"`
+	Multiplex      bool     `json:"multiplex,omitempty"`
+}
+
+// runConfig translates the spec, validating names early so submission
+// errors surface as 400s instead of failed jobs.
+func (js *JobSpec) runConfig() (experiment.RunConfig, error) {
+	rc := experiment.RunConfig{
+		Benchmark:      js.Benchmark,
+		Scale:          js.Scale,
+		Seed:           js.Seed,
+		M:              js.M,
+		N:              js.N,
+		Intervals:      js.Intervals,
+		Window:         js.Window,
+		RandomEntry:    js.RandomEntry,
+		RandomSchedule: js.RandomSchedule,
+		Multiplex:      js.Multiplex,
+	}
+	if _, err := workload.ByName(js.Benchmark); err != nil {
+		return rc, err
+	}
+	for _, name := range js.Structures {
+		s, err := pipeline.ParseStructure(name)
+		if err != nil {
+			return rc, err
+		}
+		rc.Structures = append(rc.Structures, s)
+	}
+	return rc, nil
+}
+
+// IntervalPoint is one streamed per-interval estimate.
+type IntervalPoint struct {
+	Structure  string  `json:"structure"`
+	Interval   int     `json:"interval"`
+	StartCycle int64   `json:"start_cycle"`
+	EndCycle   int64   `json:"end_cycle"`
+	AVF        float64 `json:"avf"`
+	Failures   int     `json:"failures"`
+	Injections int     `json:"injections"`
+}
+
+// StreamEvent is one NDJSON line of GET /v1/jobs/{id}/stream: "interval"
+// events carry an estimate; the final "end" event carries the terminal
+// job state.
+type StreamEvent struct {
+	Type     string         `json:"type"` // "interval" | "end"
+	Interval *IntervalPoint `json:"interval,omitempty"`
+	State    string         `json:"state,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// SeriesJSON is the final per-structure AVF series triple.
+type SeriesJSON struct {
+	Structure   string    `json:"structure"`
+	Online      []float64 `json:"online"`
+	Reference   []float64 `json:"reference"`
+	Utilization []float64 `json:"utilization,omitempty"`
+}
+
+// JobResult is the final outcome of a completed job.
+type JobResult struct {
+	Benchmark string       `json:"benchmark"`
+	M         int64        `json:"m"`
+	N         int          `json:"n"`
+	Intervals int          `json:"intervals"`
+	Series    []SeriesJSON `json:"series"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} response.
+type JobStatus struct {
+	ID        string          `json:"id"`
+	State     string          `json:"state"`
+	Benchmark string          `json:"benchmark"`
+	Submitted time.Time       `json:"submitted"`
+	Intervals []IntervalPoint `json:"intervals"`
+	Result    *JobResult      `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+// subCap buffers a stream subscriber; a client that falls this many
+// estimates behind is dropped rather than stalling the simulation.
+const subCap = 4096
+
+// job tracks one submitted run.
+type job struct {
+	id        string
+	spec      JobSpec
+	submitted time.Time
+	task      *sched.Task
+
+	mu     sync.Mutex
+	points []IntervalPoint
+	subs   map[chan IntervalPoint]struct{}
+	result *JobResult
+	errMsg string
+	ended  bool
+}
+
+// publish appends an estimate and fans it out to live subscribers.
+// Called from the worker goroutine driving the simulation.
+func (j *job) publish(pt IntervalPoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.points = append(j.points, pt)
+	for ch := range j.subs {
+		select {
+		case ch <- pt:
+		default: // subscriber too slow: drop it, never block the run
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// subscribe returns the estimates so far plus a channel of subsequent
+// ones; the channel is closed when the job ends (or nil if it already
+// has). cancelSub must be called when the consumer goes away.
+func (j *job) subscribe() (replay []IntervalPoint, ch chan IntervalPoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([]IntervalPoint(nil), j.points...)
+	if j.ended {
+		return replay, nil
+	}
+	ch = make(chan IntervalPoint, subCap)
+	j.subs[ch] = struct{}{}
+	return replay, ch
+}
+
+func (j *job) cancelSub(ch chan IntervalPoint) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.subs[ch]; ok {
+		delete(j.subs, ch)
+		close(ch)
+	}
+}
+
+// setResult records the final series (worker goroutine, before the task
+// goes terminal).
+func (j *job) setResult(res *experiment.Result) {
+	jr := &JobResult{
+		Benchmark: res.Benchmark,
+		M:         res.M,
+		N:         res.N,
+		Intervals: res.Intervals,
+	}
+	for _, ss := range res.Series {
+		jr.Series = append(jr.Series, SeriesJSON{
+			Structure:   ss.Structure.String(),
+			Online:      ss.Online,
+			Reference:   ss.Reference,
+			Utilization: ss.Utilization,
+		})
+	}
+	j.mu.Lock()
+	j.result = jr
+	j.mu.Unlock()
+}
+
+// end marks the job terminal and releases subscribers.
+func (j *job) end(errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.ended {
+		return
+	}
+	j.ended = true
+	j.errMsg = errMsg
+	for ch := range j.subs {
+		delete(j.subs, ch)
+		close(ch)
+	}
+}
+
+// status snapshots the job for the API.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:        j.id,
+		State:     j.task.State().String(),
+		Benchmark: j.spec.Benchmark,
+		Submitted: j.submitted,
+		Intervals: append([]IntervalPoint(nil), j.points...),
+		Result:    j.result,
+		Error:     j.errMsg,
+	}
+}
+
+// Server is the avfd HTTP API over a sched.Pool.
+type Server struct {
+	pool *sched.Pool
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  uint64
+}
+
+// New builds a Server submitting to pool.
+func New(pool *sched.Pool) *Server {
+	return &Server{pool: pool, jobs: map[string]*job{}}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// CancelAll cancels every non-terminal job (shutdown-deadline path).
+func (s *Server) CancelAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		j.task.Cancel()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) lookup(r *http.Request) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[r.PathValue("id")]
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	rc, err := spec.runConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("job-%d", s.seq),
+		spec:      spec,
+		submitted: time.Now(),
+		subs:      map[chan IntervalPoint]struct{}{},
+	}
+	s.mu.Unlock()
+
+	rc.OnInterval = func(est core.Estimate) {
+		j.publish(IntervalPoint{
+			Structure:  est.Structure.String(),
+			Interval:   est.Interval,
+			StartCycle: est.StartCycle,
+			EndCycle:   est.EndCycle,
+			AVF:        est.AVF,
+			Failures:   est.Failures,
+			Injections: est.Injections,
+		})
+	}
+	task, err := s.pool.Submit(func(ctx context.Context, _ func(any)) error {
+		res, err := experiment.RunCtx(ctx, rc)
+		if err != nil {
+			return err
+		}
+		j.setResult(res)
+		return nil
+	}, sched.WithLabel(j.id+" "+spec.Benchmark))
+	switch {
+	case errors.Is(err, sched.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "queue full (capacity %d), retry later", s.pool.Stats().QueueCap)
+		return
+	case errors.Is(err, sched.ErrShutdown):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "submit: %v", err)
+		return
+	}
+	j.task = task
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	// Release subscribers once the task is terminal, whatever the path
+	// (done, canceled while queued or running, failed, panicked).
+	go func() {
+		task.Wait(context.Background())
+		msg := ""
+		if err := task.Err(); err != nil {
+			msg = err.Error()
+		}
+		j.end(msg)
+	}()
+
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": task.State().String()})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]jobSummary, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.status()
+		out = append(out, jobSummary{ID: st.ID, State: st.State, Benchmark: st.Benchmark, Intervals: len(st.Intervals)})
+	}
+	sortSummaries(out)
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	j.task.Cancel()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": j.task.State().String()})
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	enc := json.NewEncoder(w)
+	emit := func(ev StreamEvent) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		flusher.Flush() // one line per estimate: the client watches AVF evolve live
+		return true
+	}
+
+	replay, ch := j.subscribe()
+	if ch != nil {
+		defer j.cancelSub(ch)
+	}
+	for _, pt := range replay {
+		if !emit(StreamEvent{Type: "interval", Interval: &pt}) {
+			return
+		}
+	}
+	if ch != nil {
+	stream:
+		for {
+			select {
+			case pt, ok := <-ch:
+				if !ok {
+					break stream
+				}
+				if !emit(StreamEvent{Type: "interval", Interval: &pt}) {
+					return
+				}
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+	st := j.status()
+	emit(StreamEvent{Type: "end", State: st.State, Error: st.Error})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	census := map[string]int{}
+	for _, j := range s.jobs {
+		census[j.task.State().String()]++
+	}
+	total := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"scheduler": s.pool.Stats(),
+		"jobs":      map[string]any{"total": total, "by_state": census},
+	})
+}
+
+// jobSummary is one row of GET /v1/jobs.
+type jobSummary struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Benchmark string `json:"benchmark"`
+	Intervals int    `json:"intervals_done"`
+}
+
+// sortSummaries orders job summaries by submission (ids are "job-N", so
+// shorter ids sort first, ties broken lexically — numeric order).
+func sortSummaries(xs []jobSummary) {
+	sort.Slice(xs, func(i, k int) bool {
+		a, b := xs[i].ID, xs[k].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench report daemon clean
+.PHONY: all build test vet race check cover bench report daemon clean
 
 all: check
 
@@ -20,6 +20,15 @@ race:
 	$(GO) test -race ./...
 
 check: build vet test race
+
+# cover gates the observability layer at >= 80% statement coverage: it is
+# the one subsystem whose breakage (a silent scrape regression) tests
+# elsewhere would not catch.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/obs/
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/obs coverage: $$total%"; \
+	awk "BEGIN {exit !($$total >= 80.0)}" || { echo "FAIL: internal/obs coverage $$total% < 80%"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -13,9 +13,12 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"avfsim/internal/config"
+	"avfsim/internal/core"
 	"avfsim/internal/experiment"
+	"avfsim/internal/obs"
 	"avfsim/internal/pipeline"
 	"avfsim/internal/predict"
 	"avfsim/internal/sched"
@@ -177,5 +180,101 @@ func BenchmarkParallelGrid(b *testing.B) {
 				pool.Shutdown(context.Background())
 			}
 		})
+	}
+}
+
+// obsBenchRun drives the Table 1 simulator plus estimator for a fixed
+// cycle count, with or without an observability sink attached, and
+// returns the estimator so callers can keep it live.
+func obsBenchRun(b *testing.B, cycles int, sink obs.Sink) *core.Estimator {
+	b.Helper()
+	prof, err := workload.ByName("mesa")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := config.Default()
+	p, err := pipeline.New(&cfg, prof.MustSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.NewEstimator(p, core.Options{M: 1000, N: 100, Sink: sink})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Attach()
+	for i := 0; i < cycles; i++ {
+		p.Step()
+		e.Tick()
+	}
+	return e
+}
+
+// BenchmarkEstimatorObs compares the estimator hot loop with
+// observability disabled (nil Sink — the default) against the full avfd
+// production path (JobTracer forwarding to per-structure Prometheus
+// counters). The "off" case is the one that must not regress vs a tree
+// without internal/obs; see EXPERIMENTS.md for recorded numbers.
+func BenchmarkEstimatorObs(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		obsBenchRun(b, b.N, nil)
+	})
+	b.Run("on", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		tr := obs.NewJobTracer(obs.NewInjectionCounters(reg), 0)
+		obsBenchRun(b, b.N, tr)
+	})
+}
+
+// TestObsOverheadUnderFivePercent is the regression gate for the
+// tentpole's "near-zero overhead" requirement: the full tracing path
+// must cost < 5% over the untraced estimator. Min-of-several timing
+// keeps the comparison robust on noisy single-CPU CI hosts.
+func TestObsOverheadUnderFivePercent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation multiplies atomic-op cost; the 5% budget is for production builds")
+	}
+	const cycles = 150_000
+	run := func(sink obs.Sink) time.Duration {
+		prof, err := workload.ByName("mesa")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := config.Default()
+		p, err := pipeline.New(&cfg, prof.MustSource(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.NewEstimator(p, core.Options{M: 1000, N: 100, Sink: sink})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Attach()
+		start := time.Now()
+		for i := 0; i < cycles; i++ {
+			p.Step()
+			e.Tick()
+		}
+		return time.Since(start)
+	}
+	min := func(sink func() obs.Sink) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			if d := run(sink()); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	off := min(func() obs.Sink { return nil })
+	on := min(func() obs.Sink {
+		return obs.NewJobTracer(obs.NewInjectionCounters(obs.NewRegistry()), 0)
+	})
+	overhead := float64(on-off) / float64(off)
+	t.Logf("obs-off %v, obs-on %v, overhead %.2f%%", off, on, overhead*100)
+	if overhead > 0.05 {
+		t.Errorf("observability overhead %.2f%% exceeds 5%% budget", overhead*100)
 	}
 }

@@ -6,15 +6,22 @@
 // Usage:
 //
 //	avfd [-addr :8080] [-workers N] [-queue N] [-drain 30s]
+//	     [-log-format text|json] [-log-level info] [-pprof]
 //
 // Quickstart (see README.md for more):
 //
 //	avfd &
 //	curl -s localhost:8080/v1/jobs -d '{"benchmark":"mesa","scale":0.05,"n":500,"intervals":20}'
 //	curl -N localhost:8080/v1/jobs/job-1/stream       # live NDJSON estimates
+//	curl -N localhost:8080/v1/jobs/job-1/trace        # per-injection lifecycle trace
 //	curl -s localhost:8080/v1/jobs/job-1              # status + final series
 //	curl -s -X DELETE localhost:8080/v1/jobs/job-1    # cancel
-//	curl -s localhost:8080/v1/stats                   # scheduler counters
+//	curl -s localhost:8080/v1/stats                   # scheduler counters + queue saturation
+//	curl -s localhost:8080/metrics                    # Prometheus text exposition
+//	curl -s localhost:8080/v1/metrics                 # the same registry as JSON
+//
+// With -pprof, the standard profiling endpoints are served under
+// /debug/pprof/ (CPU profile, heap, goroutines, execution trace).
 //
 // On SIGTERM/SIGINT the daemon stops accepting work and drains running
 // jobs for up to -drain, then cancels whatever is left and exits.
@@ -25,14 +32,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"avfsim/internal/obs"
 	"avfsim/internal/sched"
 	"avfsim/internal/server"
 )
@@ -42,25 +50,46 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
 	queue := flag.Int("queue", 64, "job queue capacity (submissions beyond it get 503)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	pool := sched.New(sched.Options{Workers: *workers, QueueCap: *queue})
-	srv := server.New(pool)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avfd: %v\n", err)
+		os.Exit(2)
+	}
+
+	reg := obs.NewRegistry()
+	pool := sched.New(sched.Options{Workers: *workers, QueueCap: *queue, Metrics: reg})
+	srv := server.New(pool, server.WithMetrics(reg), server.WithLogger(logger))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("avfd: listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "pprof", *pprofOn)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("avfd: %v", err)
+		logger.Error("serve failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Printf("avfd: shutting down, draining jobs for up to %v", *drain)
+	logger.Info("shutting down", "drain", *drain)
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -74,10 +103,10 @@ func main() {
 		srv.CancelAll()
 	}()
 	if err := pool.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("avfd: pool shutdown: %v", err)
+		logger.Error("pool shutdown failed", "error", err)
 	} else if errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("avfd: drain deadline hit; canceled remaining jobs")
+		logger.Warn("drain deadline hit; canceled remaining jobs")
 	}
 	httpSrv.Close()
-	fmt.Println("avfd: bye")
+	logger.Info("bye")
 }

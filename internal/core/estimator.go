@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 
+	"avfsim/internal/isa"
+	"avfsim/internal/obs"
 	"avfsim/internal/pipeline"
 	"avfsim/internal/stats"
 )
@@ -49,6 +51,13 @@ type Options struct {
 	// buffering the whole series; the batch accessors (Estimates,
 	// AVFSeries) are unaffected.
 	OnInterval func(Estimate)
+	// Sink, when non-nil, receives one obs.Injection lifecycle record
+	// per concluded injection (structure, entry, inject cycle, outcome,
+	// propagation latency, failure instruction class, live error-bit
+	// population). When nil — the default — the estimator records
+	// nothing and the hot path pays only nil checks; see
+	// TestTickAllocatesNothingObsDisabled.
+	Sink obs.Sink
 	// Multiplex emulates the true hardware cost model: a single error
 	// bit per value means only ONE emulated error may be live in the
 	// whole machine, so injections rotate across the monitored
@@ -105,11 +114,18 @@ type structState struct {
 
 	nextEntry   int   // round-robin cursor
 	injectedAt  int64 // cycle of the live injection, -1 if none
+	entry       int   // entry/unit index of the live injection
 	failed      bool  // live injection already reached a failure point
 	injections  int
 	failures    int
 	intervalIdx int
 	startCycle  int64
+
+	// Failure details for the lifecycle record (valid while failed,
+	// written only when a Sink is attached).
+	failCycle int64
+	failSeq   int64
+	failClass isa.Class
 
 	estimates []Estimate
 	latencies stats.CDF
@@ -160,7 +176,7 @@ func (e *Estimator) Attach() {
 
 // HandleFailure is the pipeline.Hooks.OnFailure sink: a failure-point
 // instruction retired carrying plane s's error bit.
-func (e *Estimator) HandleFailure(s pipeline.Structure, seq, cycle int64) {
+func (e *Estimator) HandleFailure(s pipeline.Structure, seq, cycle int64, class isa.Class) {
 	st := e.states[s]
 	if st == nil || st.injectedAt < 0 || st.failed {
 		return
@@ -168,6 +184,11 @@ func (e *Estimator) HandleFailure(s pipeline.Structure, seq, cycle int64) {
 	st.failed = true
 	if e.opt.RecordLatency {
 		st.latencies.Add(cycle - st.injectedAt)
+	}
+	if e.opt.Sink != nil {
+		st.failCycle = cycle
+		st.failSeq = seq
+		st.failClass = class
 	}
 }
 
@@ -221,6 +242,9 @@ func (e *Estimator) conclude(st *structState, cycle int64) {
 	if st.failed {
 		st.failures++
 	}
+	if e.opt.Sink != nil {
+		e.recordInjection(st, cycle)
+	}
 	st.injectedAt = -1
 	st.failed = false
 	e.p.ClearPlane(st.s)
@@ -246,6 +270,34 @@ func (e *Estimator) conclude(st *structState, cycle int64) {
 	}
 }
 
+// recordInjection emits the lifecycle record for st's live injection,
+// classifying the outcome: failure if a failure point retired with the
+// bit, otherwise masked (plane empty — execution discarded the error)
+// or pending (bits still live at M-expiry, the Section 4 undercount).
+// Called only with a Sink attached, before the plane is cleared.
+func (e *Estimator) recordInjection(st *structState, cycle int64) {
+	rec := obs.Injection{
+		Structure:     st.s,
+		Entry:         st.entry,
+		Interval:      st.intervalIdx,
+		InjectCycle:   st.injectedAt,
+		ConcludeCycle: cycle,
+		ErrBits:       e.p.PlanePopulation(st.s),
+	}
+	switch {
+	case st.failed:
+		rec.Outcome = obs.OutcomeFailure
+		rec.Latency = st.failCycle - st.injectedAt
+		rec.FailSeq = st.failSeq
+		rec.FailClass = st.failClass
+	case rec.ErrBits > 0:
+		rec.Outcome = obs.OutcomePending
+	default:
+		rec.Outcome = obs.OutcomeMasked
+	}
+	e.opt.Sink.RecordInjection(rec)
+}
+
 // inject sets the next error bit for st: round-robin (or random) across
 // entries for storage structures and units for logic structures.
 func (e *Estimator) inject(st *structState, cycle int64) {
@@ -261,6 +313,7 @@ func (e *Estimator) inject(st *structState, cycle int64) {
 	}
 	e.p.Inject(st.s, idx)
 	st.injectedAt = cycle
+	st.entry = idx
 }
 
 // Estimates returns the completed per-interval estimates for s (nil if s

@@ -3,10 +3,57 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"avfsim/internal/core"
+	"avfsim/internal/obs"
 	"avfsim/internal/sched"
 )
+
+// GridProgress tracks a grid sweep live: how many cells have started
+// and finished and how many per-interval estimates have streamed out.
+// All counters are atomics, safe to read from any goroutine while the
+// grid runs, and cumulative across sweeps so they register cleanly as
+// monotonic metrics.
+type GridProgress struct {
+	total, started, done, failed atomic.Int64
+	estimates                    atomic.Int64
+}
+
+// Total returns the cells submitted across all observed sweeps.
+func (g *GridProgress) Total() int64 { return g.total.Load() }
+
+// Started returns the cells whose simulation has begun.
+func (g *GridProgress) Started() int64 { return g.started.Load() }
+
+// Done returns the cells completed successfully.
+func (g *GridProgress) Done() int64 { return g.done.Load() }
+
+// Failed returns the cells that returned an error (including
+// cancellation).
+func (g *GridProgress) Failed() int64 { return g.failed.Load() }
+
+// Estimates returns the per-interval estimates produced so far.
+func (g *GridProgress) Estimates() int64 { return g.estimates.Load() }
+
+// Register publishes the progress counters in r.
+func (g *GridProgress) Register(r *obs.Registry) {
+	cells := r.CounterVec("avfd_grid_cells_total",
+		"Experiment-grid cells by stage (total submitted, started, done, failed).",
+		"stage")
+	for stage, src := range map[string]*atomic.Int64{
+		"total":   &g.total,
+		"started": &g.started,
+		"done":    &g.done,
+		"failed":  &g.failed,
+	} {
+		src := src
+		cells.WithFunc(func() int64 { return src.Load() }, stage)
+	}
+	r.CounterFunc("avfd_grid_estimates_total",
+		"Per-interval AVF estimates produced by grid cells.",
+		func() int64 { return g.estimates.Load() })
+}
 
 // RunGrid executes every RunConfig of a benchmark × parameter grid
 // through pool concurrently and returns the results in input order.
@@ -17,22 +64,47 @@ import (
 // The first cell error cancels the remaining cells and is returned
 // (with its index); a ctx cancellation cancels everything.
 func RunGrid(ctx context.Context, pool *sched.Pool, cfgs []RunConfig) ([]*Result, error) {
+	return RunGridObserved(ctx, pool, cfgs, nil)
+}
+
+// RunGridObserved is RunGrid with live progress counters; prog may be
+// nil (then it is exactly RunGrid).
+func RunGridObserved(ctx context.Context, pool *sched.Pool, cfgs []RunConfig, prog *GridProgress) ([]*Result, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	if prog != nil {
+		prog.total.Add(int64(len(cfgs)))
+	}
 	results := make([]*Result, len(cfgs))
 	tasks := make([]*sched.Task, len(cfgs))
 	for i, rc := range cfgs {
 		i, rc := i, rc
 		task, err := pool.SubmitWait(ctx, func(jctx context.Context, progress func(any)) error {
+			if prog != nil {
+				prog.started.Add(1)
+			}
 			if rc.OnInterval == nil {
 				rc.OnInterval = func(est core.Estimate) { progress(est) }
 			}
+			if prog != nil {
+				inner := rc.OnInterval
+				rc.OnInterval = func(est core.Estimate) {
+					prog.estimates.Add(1)
+					inner(est)
+				}
+			}
 			res, err := RunCtx(jctx, rc)
 			if err != nil {
+				if prog != nil {
+					prog.failed.Add(1)
+				}
 				return err
 			}
 			results[i] = res
+			if prog != nil {
+				prog.done.Add(1)
+			}
 			return nil
 		}, sched.WithLabel(fmt.Sprintf("grid[%d] %s", i, rc.Benchmark)))
 		if err != nil {

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"avfsim/internal/obs"
+	"avfsim/internal/sched"
+)
+
+// TestGridProgressCounters checks RunGridObserved accounts for every
+// cell — including failures — and counts streamed estimates, both via
+// the accessors and the registered Prometheus series.
+func TestGridProgressCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	prog := &GridProgress{}
+	prog.Register(reg)
+
+	pool := sched.New(sched.Options{Workers: 2, QueueCap: 4})
+	defer pool.Shutdown(context.Background())
+
+	good := []RunConfig{
+		{Benchmark: "mesa", Scale: 0.02, Seed: 1, M: 400, N: 20, Intervals: 2},
+		{Benchmark: "bzip2", Scale: 0.02, Seed: 1, M: 400, N: 20, Intervals: 2},
+	}
+	results, err := RunGridObserved(context.Background(), pool, good, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if prog.Total() != 2 || prog.Started() != 2 || prog.Done() != 2 || prog.Failed() != 0 {
+		t.Fatalf("total/started/done/failed = %d/%d/%d/%d, want 2/2/2/0",
+			prog.Total(), prog.Started(), prog.Done(), prog.Failed())
+	}
+	// 2 cells × 2 intervals × 4 paper structures.
+	if prog.Estimates() != 16 {
+		t.Fatalf("estimates = %d, want 16", prog.Estimates())
+	}
+
+	// A failing cell lands in the failed counter, same tracker.
+	bad := []RunConfig{{Benchmark: "no-such-benchmark"}}
+	if _, err := RunGridObserved(context.Background(), pool, bad, prog); err == nil {
+		t.Fatal("grid with a bad benchmark reported no error")
+	}
+	if prog.Total() != 3 || prog.Failed() != 1 {
+		t.Fatalf("total/failed = %d/%d after bad cell, want 3/1", prog.Total(), prog.Failed())
+	}
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	text := b.String()
+	for _, want := range []string{
+		`avfd_grid_cells_total{stage="total"} 3`,
+		`avfd_grid_cells_total{stage="done"} 2`,
+		`avfd_grid_cells_total{stage="failed"} 1`,
+		"avfd_grid_estimates_total 16",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, text)
+		}
+	}
+}

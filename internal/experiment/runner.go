@@ -12,6 +12,7 @@ import (
 
 	"avfsim/internal/config"
 	"avfsim/internal/core"
+	"avfsim/internal/obs"
 	"avfsim/internal/pipeline"
 	"avfsim/internal/softarch"
 	"avfsim/internal/trace"
@@ -62,6 +63,10 @@ type RunConfig struct {
 	// as the estimator completes it (see core.Options.OnInterval). It
 	// is called from the goroutine driving the run.
 	OnInterval func(core.Estimate)
+	// Sink, when non-nil, receives one lifecycle record per concluded
+	// injection (see core.Options.Sink) — the avfd trace endpoint and
+	// the per-structure outcome counters hang off it.
+	Sink obs.Sink
 }
 
 func (c *RunConfig) defaults() error {
@@ -261,6 +266,7 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 		RecordLatency:  rc.RecordLatency,
 		Multiplex:      rc.Multiplex,
 		OnInterval:     rc.OnInterval,
+		Sink:           rc.Sink,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics instruments an HTTP route table:
+//
+//	avfd_http_requests_total{route,code}  completed requests
+//	avfd_http_request_seconds{route}      handler latency histogram
+//	avfd_http_in_flight                   requests currently being served
+type HTTPMetrics struct {
+	reqs     *CounterVec
+	latency  *HistogramVec
+	inFlight *Gauge
+}
+
+// NewHTTPMetrics registers the HTTP families in r.
+func NewHTTPMetrics(r *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		reqs: r.CounterVec("avfd_http_requests_total",
+			"HTTP requests completed, by route pattern and status code.",
+			"route", "code"),
+		latency: r.HistogramVec("avfd_http_request_seconds",
+			"HTTP handler latency in seconds, by route pattern.",
+			DefSecondsBuckets, "route"),
+		inFlight: r.Gauge("avfd_http_in_flight",
+			"HTTP requests currently being served."),
+	}
+}
+
+// statusWriter captures the response code. It deliberately does not
+// implement http.Flusher; streaming routes wrap with flushWriter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// flushWriter adds Flush passthrough for streaming handlers (the
+// NDJSON stream type-asserts http.Flusher on its ResponseWriter).
+type flushWriter struct {
+	*statusWriter
+	f http.Flusher
+}
+
+func (w *flushWriter) Flush() { w.f.Flush() }
+
+// Wrap instruments h under the given route label. The label is the
+// registration pattern, not the raw URL, so per-job paths aggregate
+// into one series instead of one per job id.
+func (m *HTTPMetrics) Wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := m.latency.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.inFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		var out http.ResponseWriter = sw
+		if f, ok := w.(http.Flusher); ok {
+			out = &flushWriter{statusWriter: sw, f: f}
+		}
+		h(out, r)
+		hist.Observe(time.Since(start).Seconds())
+		m.reqs.With(route, strconv.Itoa(sw.code)).Inc()
+		m.inFlight.Add(-1)
+	}
+}

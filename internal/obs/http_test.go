@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHTTPMetricsWrap(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r)
+
+	var sawFlusher bool
+	h := m.Wrap("GET /v1/jobs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		_, sawFlusher = w.(http.Flusher)
+		if m.inFlight.Value() != 1 {
+			t.Errorf("in-flight = %v during handler, want 1", m.inFlight.Value())
+		}
+		w.WriteHeader(http.StatusNotFound)
+	})
+
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/v1/jobs/job-" + string(rune('1'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	if !sawFlusher {
+		t.Fatal("middleware lost http.Flusher — NDJSON streaming would 500")
+	}
+	// Distinct job ids aggregate under the route pattern label.
+	mustContain(t, expo(r),
+		`avfd_http_requests_total{route="GET /v1/jobs/{id}",code="404"} 3`,
+		`avfd_http_request_seconds_count{route="GET /v1/jobs/{id}"} 3`,
+	)
+	if m.inFlight.Value() != 0 {
+		t.Fatalf("in-flight = %v after requests, want 0", m.inFlight.Value())
+	}
+}
+
+func TestHTTPMetricsDefaultCode(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r)
+	h := m.Wrap("GET /v1/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte("ok")) // implicit 200, no WriteHeader call
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/v1/healthz", nil))
+	mustContain(t, expo(r), `avfd_http_requests_total{route="GET /v1/healthz",code="200"} 1`)
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a structured logger writing to w. format is "text"
+// (logfmt-ish, human-readable) or "json" (one object per line, for log
+// shippers); level is one of "debug", "info", "warn", "error".
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (have debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (have text, json)", format)
+	}
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hidden")
+	lg.Info("job done", "job", "job-1")
+	line := strings.TrimSpace(buf.String())
+	if strings.Contains(line, "hidden") {
+		t.Fatal("debug line emitted at info level")
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(line), &obj); err != nil {
+		t.Fatalf("json log line %q: %v", line, err)
+	}
+	if obj["msg"] != "job done" || obj["job"] != "job-1" {
+		t.Fatalf("log line = %v", obj)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("visible")
+	if !strings.Contains(buf.String(), "msg=visible") {
+		t.Fatalf("text log = %q", buf.String())
+	}
+
+	// Defaults: empty format/level mean text at info.
+	if _, err := NewLogger(&buf, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]string{{"xml", "info"}, {"text", "loud"}} {
+		if _, err := NewLogger(&buf, bad[0], bad[1]); err == nil {
+			t.Fatalf("NewLogger(%q, %q) accepted", bad[0], bad[1])
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func expo(r *Registry) string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+// mustContain asserts every want line is present in the exposition.
+func mustContain(t *testing.T, text string, wants ...string) {
+	t.Helper()
+	for _, w := range wants {
+		if !strings.Contains(text, w) {
+			t.Fatalf("exposition missing %q:\n%s", w, text)
+		}
+	}
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests served.")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	g := r.Gauge("test_depth", "Queue depth.")
+	g.Set(4)
+	g.Add(-1.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+	mustContain(t, expo(r),
+		"# HELP test_requests_total Requests served.\n",
+		"# TYPE test_requests_total counter\n",
+		"test_requests_total 3\n",
+		"# TYPE test_depth gauge\n",
+		"test_depth 2.5\n",
+	)
+}
+
+func TestGaugeMax(t *testing.T) {
+	g := &Gauge{}
+	g.Max(3)
+	g.Max(1)
+	if g.Value() != 3 {
+		t.Fatalf("hwm = %v, want 3", g.Value())
+	}
+	g.Max(7)
+	if g.Value() != 7 {
+		t.Fatalf("hwm = %v, want 7", g.Value())
+	}
+}
+
+func TestLabeledVecs(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_jobs_total", "Jobs.", "state")
+	cv.With("done").Add(5)
+	cv.With("failed").Inc()
+	// Same label values return the same cell.
+	cv.With("done").Inc()
+	gv := r.GaugeVec("test_hwm", "HWM.", "structure")
+	gv.With("iq").Set(12)
+	mustContain(t, expo(r),
+		`test_jobs_total{state="done"} 6`,
+		`test_jobs_total{state="failed"} 1`,
+		`test_hwm{structure="iq"} 12`,
+	)
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := int64(41)
+	r.CounterFunc("test_fn_total", "Sampled counter.", func() int64 { return n })
+	r.GaugeFunc("test_fn_gauge", "Sampled gauge.", func() float64 { return float64(n) / 2 })
+	v := r.CounterVec("test_fn_vec", "Sampled vec.", "state")
+	v.WithFunc(func() int64 { return n + 1 }, "queued")
+	n++
+	mustContain(t, expo(r),
+		"test_fn_total 42\n",
+		"test_fn_gauge 21\n",
+		`test_fn_vec{state="queued"} 43`,
+	)
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", h.Sum())
+	}
+	mustContain(t, expo(r),
+		"# TYPE test_seconds histogram\n",
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="10"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		"test_seconds_sum 56.05\n",
+		"test_seconds_count 5\n",
+	)
+}
+
+func TestHistogramBoundInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_incl", "le is inclusive.", []float64{1, 2})
+	h.Observe(1) // exactly on a bound: belongs to le="1"
+	mustContain(t, expo(r), `test_incl_bucket{le="1"} 1`)
+}
+
+func TestHistogramVecLabels(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("test_lat", "Latency.", []float64{1}, "route")
+	hv.With("/v1/jobs").Observe(0.5)
+	mustContain(t, expo(r),
+		`test_lat_bucket{route="/v1/jobs",le="1"} 1`,
+		`test_lat_bucket{route="/v1/jobs",le="+Inf"} 1`,
+		`test_lat_sum{route="/v1/jobs"} 0.5`,
+		`test_lat_count{route="/v1/jobs"} 1`,
+	)
+}
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_esc_total", "Line one\nwith \\ backslash.", "name")
+	cv.With("quote\"back\\slash\nnl").Inc()
+	mustContain(t, expo(r),
+		`# HELP test_esc_total Line one\nwith \\ backslash.`,
+		`test_esc_total{name="quote\"back\\slash\nnl"} 1`,
+	)
+}
+
+func TestSortedOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "Last.").Inc()
+	r.Counter("aa_total", "First.").Inc()
+	cv := r.CounterVec("mm_total", "Middle.", "k")
+	cv.With("b").Inc()
+	cv.With("a").Inc()
+	text := expo(r)
+	if strings.Index(text, "aa_total") > strings.Index(text, "zz_total") {
+		t.Fatalf("families not sorted:\n%s", text)
+	}
+	if strings.Index(text, `mm_total{k="a"}`) > strings.Index(text, `mm_total{k="b"}`) {
+		t.Fatalf("series not sorted:\n%s", text)
+	}
+}
+
+func TestReRegistrationIdempotentOrPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "Help.")
+	b := r.Counter("test_total", "Help.")
+	if a != b {
+		t.Fatal("same-shape re-registration returned a different cell")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape clash did not panic")
+		}
+	}()
+	r.Gauge("test_total", "Now a gauge.")
+}
+
+func TestLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_arity_total", "Help.", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	cv.With("only-one")
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 4, 4)
+	want := []float64{1, 4, 16, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad ExpBuckets args did not panic")
+		}
+	}()
+	ExpBuckets(0, 2, 3)
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_jobs_total", "Jobs.", "state").With("done").Add(2)
+	r.Gauge("test_depth", "Depth.").Set(1.5)
+	h := r.Histogram("test_seconds", "Latency.", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	snap := r.Snapshot()
+	byName := map[string]FamilySnapshot{}
+	for _, f := range snap {
+		byName[f.Name] = f
+	}
+	c := byName["test_jobs_total"]
+	if c.Type != "counter" || len(c.Series) != 1 || *c.Series[0].Value != 2 ||
+		c.Series[0].Labels["state"] != "done" {
+		t.Fatalf("counter snapshot = %+v", c)
+	}
+	g := byName["test_depth"]
+	if g.Type != "gauge" || *g.Series[0].Value != 1.5 {
+		t.Fatalf("gauge snapshot = %+v", g)
+	}
+	hs := byName["test_seconds"]
+	if hs.Type != "histogram" || *hs.Series[0].Count != 2 || *hs.Series[0].Sum != 2.5 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	// Per-bucket (non-cumulative) counts, +Inf last.
+	bk := hs.Series[0].Buckets
+	if len(bk) != 2 || bk[0].LE != "1" || bk[0].Count != 1 || bk[1].LE != "+Inf" || bk[1].Count != 1 {
+		t.Fatalf("buckets = %+v", bk)
+	}
+}
+
+func TestTextHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "Help.").Inc()
+	rec := httptest.NewRecorder()
+	r.TextHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+// TestConcurrentUpdates runs the registry under contention; go test
+// -race (part of make check) is the real assertion here.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_conc_total", "Concurrency.", "w")
+	g := r.Gauge("test_conc_gauge", "Concurrency.")
+	h := r.Histogram("test_conc_seconds", "Concurrency.", []float64{0.5})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := cv.With(string(rune('a' + w%2)))
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Max(float64(i))
+				h.Observe(float64(i) / 1000)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { // scrape while writers run
+		for i := 0; i < 50; i++ {
+			expo(r)
+			r.Snapshot()
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	a, b := cv.With("a").Value(), cv.With("b").Value()
+	if a+b != 8000 {
+		t.Fatalf("counters sum to %d, want 8000", a+b)
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"avfsim/internal/isa"
+	"avfsim/internal/pipeline"
+)
+
+func failureRec(s pipeline.Structure, interval int, latency int64) Injection {
+	return Injection{
+		Structure: s, Entry: 3, Interval: interval,
+		InjectCycle: 1000, ConcludeCycle: 2000,
+		Outcome: OutcomeFailure, Latency: latency,
+		FailSeq: 42, FailClass: isa.ClassStore, ErrBits: 2,
+	}
+}
+
+func TestOutcomeNames(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OutcomeFailure: "failure", OutcomeMasked: "masked", OutcomePending: "pending",
+	} {
+		if o.String() != want {
+			t.Fatalf("outcome %d = %q, want %q", o, o, want)
+		}
+	}
+	if !strings.Contains(Outcome(99).String(), "99") {
+		t.Fatalf("bad outcome string %q", Outcome(99))
+	}
+}
+
+func TestInjectionCountersAggregate(t *testing.T) {
+	r := NewRegistry()
+	ic := NewInjectionCounters(r)
+	ic.RecordInjection(failureRec(pipeline.StructIQ, 0, 37))
+	ic.RecordInjection(failureRec(pipeline.StructIQ, 0, 5))
+	ic.RecordInjection(Injection{Structure: pipeline.StructIQ, Outcome: OutcomeMasked})
+	ic.RecordInjection(Injection{Structure: pipeline.StructReg, Outcome: OutcomePending, ErrBits: 7})
+
+	if got := ic.Outcomes(pipeline.StructIQ, OutcomeFailure); got != 2 {
+		t.Fatalf("iq failures = %d, want 2", got)
+	}
+	text := expo(r)
+	mustContain(t, text,
+		`avfd_injections_total{structure="iq",outcome="failure"} 2`,
+		`avfd_injections_total{structure="iq",outcome="masked"} 1`,
+		`avfd_injections_total{structure="reg",outcome="pending"} 1`,
+		`avfd_errbit_population_hwm{structure="reg"} 7`,
+		`avfd_injection_latency_cycles_count{structure="iq"} 2`,
+	)
+	// Latency histogram only sees failures.
+	mustContain(t, text, `avfd_injection_latency_cycles_count{structure="reg"} 0`)
+}
+
+func TestJobTracerRecordsAndNDJSON(t *testing.T) {
+	tr := NewJobTracer(nil, 0)
+	tr.RecordInjection(failureRec(pipeline.StructFXU, 1, 12))
+	tr.RecordInjection(Injection{
+		Structure: pipeline.StructReg, Entry: 9, Interval: 0,
+		InjectCycle: 500, ConcludeCycle: 1500, Outcome: OutcomeMasked,
+	})
+
+	recs, dropped := tr.Snapshot()
+	if len(recs) != 2 || dropped != 0 {
+		t.Fatalf("snapshot = %d recs, %d dropped", len(recs), dropped)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var lines []TraceRecord
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, rec)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d NDJSON lines, want 2", len(lines))
+	}
+	f := lines[0]
+	if f.Structure != "fxu" || f.Outcome != "failure" || f.LatencyCycles != 12 ||
+		f.FailClass != "store" || f.FailSeq != 42 || f.Interval != 1 {
+		t.Fatalf("failure record = %+v", f)
+	}
+	m := lines[1]
+	if m.Structure != "reg" || m.Outcome != "masked" || m.LatencyCycles != 0 || m.FailClass != "" {
+		t.Fatalf("masked record = %+v", m)
+	}
+}
+
+func TestJobTracerCapAndDroppedLine(t *testing.T) {
+	tr := NewJobTracer(nil, 2)
+	for i := 0; i < 5; i++ {
+		tr.RecordInjection(Injection{Structure: pipeline.StructIQ, Outcome: OutcomeMasked})
+	}
+	recs, dropped := tr.Snapshot()
+	if len(recs) != 2 || dropped != 3 {
+		t.Fatalf("snapshot = %d recs, %d dropped; want 2, 3", len(recs), dropped)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 2 records + dropped summary", len(lines))
+	}
+	var tail map[string]int64
+	if err := json.Unmarshal([]byte(lines[2]), &tail); err != nil || tail["dropped"] != 3 {
+		t.Fatalf("dropped summary = %q (err %v)", lines[2], err)
+	}
+}
+
+func TestJobTracerForwardsToCounters(t *testing.T) {
+	r := NewRegistry()
+	ic := NewInjectionCounters(r)
+	tr := NewJobTracer(ic, 1) // cap of 1: aggregation must still see every record
+	tr.RecordInjection(failureRec(pipeline.StructFPU, 0, 3))
+	tr.RecordInjection(failureRec(pipeline.StructFPU, 0, 4))
+	if got := ic.Outcomes(pipeline.StructFPU, OutcomeFailure); got != 2 {
+		t.Fatalf("aggregated failures = %d, want 2 (cap must not drop aggregation)", got)
+	}
+}

@@ -37,7 +37,7 @@ type failureCollector struct {
 
 func newFailureCollector(p *Pipeline) *failureCollector {
 	fc := &failureCollector{count: map[Structure]int{}}
-	p.SetHooks(Hooks{OnFailure: func(s Structure, seq, cycle int64) { fc.count[s]++ }})
+	p.SetHooks(Hooks{OnFailure: func(s Structure, seq, cycle int64, class isa.Class) { fc.count[s]++ }})
 	return fc
 }
 

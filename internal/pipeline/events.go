@@ -58,8 +58,10 @@ type Hooks struct {
 	OnRetire func(ev *RetireEvent)
 	// OnFailure fires at most once per plane per retirement, when a
 	// failure-point instruction (load/store/branch) retires carrying the
-	// plane's error bit.
-	OnFailure func(s Structure, seq, cycle int64)
+	// plane's error bit. class is the retiring instruction's class —
+	// the failure mode (bad load value, corrupted store, control
+	// divergence) the injection-lifecycle trace attributes failures to.
+	OnFailure func(s Structure, seq, cycle int64, class isa.Class)
 	// OnRegWrite fires when a physical register is written (writeback).
 	OnRegWrite func(file RegFileID, phys int16, cycle, writerSeq int64)
 	// OnRegRead fires when a physical register is read (operand read at

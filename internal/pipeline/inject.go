@@ -112,6 +112,56 @@ func (p *Pipeline) ClearPlane(s Structure) {
 	}
 }
 
+// PlanePopulation counts the live error bits of structure s everywhere
+// they can reside — physical registers, in-flight ROB entries, TLB
+// entries, the fetch path, and an armed logic injection. The
+// observability layer samples it when an injection concludes to
+// distinguish masked errors (population 0: execution discarded the
+// error) from still-pending ones, and to track each plane's error-bit
+// high-water mark. The scan mirrors ClearPlane and runs once per M
+// cycles per structure, so its cost is amortized to noise.
+func (p *Pipeline) PlanePopulation(s Structure) int {
+	bit := s.Bit()
+	n := 0
+	for _, m := range p.intRF.err {
+		if m&bit != 0 {
+			n++
+		}
+	}
+	for _, m := range p.fpRF.err {
+		if m&bit != 0 {
+			n++
+		}
+	}
+	for i := 0; i < p.rob.len(); i++ {
+		if p.rob.at(i).errMask&bit != 0 {
+			n++
+		}
+	}
+	for _, m := range p.dtlbErr {
+		if m&bit != 0 {
+			n++
+		}
+	}
+	for _, m := range p.itlbErr {
+		if m&bit != 0 {
+			n++
+		}
+	}
+	if p.curLineErr&bit != 0 {
+		n++
+	}
+	for i := 0; i < p.instBuf.len(); i++ {
+		if p.instBuf.buf[(p.instBuf.head+i)%len(p.instBuf.buf)].errMask&bit != 0 {
+			n++
+		}
+	}
+	if int(s) < NumStructures && p.pendingLogic[s] != 0 {
+		n++
+	}
+	return n
+}
+
 // UnitKind returns the functional-unit kind monitored by a logic
 // structure.
 func UnitKind(s Structure) (FUKind, bool) {

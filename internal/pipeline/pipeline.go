@@ -274,7 +274,7 @@ func (p *Pipeline) retire() {
 				if u.errMask&s.Bit() != 0 {
 					p.failures[s]++
 					if p.hooks.OnFailure != nil {
-						p.hooks.OnFailure(s, u.seq, p.cycle)
+						p.hooks.OnFailure(s, u.seq, p.cycle, u.inst.Class)
 					}
 				}
 			}

@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"avfsim/internal/obs"
+)
+
+// TestPoolMetrics drives jobs through every terminal state with a
+// metrics registry attached and checks the scrape reflects them:
+// per-state job totals, queue depth/capacity gauges, and the
+// queue/run latency histograms.
+func TestPoolMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(Options{Workers: 1, QueueCap: 2, Metrics: reg})
+	defer p.Shutdown(context.Background())
+
+	fn, release := block()
+	running := mustSubmit(t, p, fn)
+	waitState(t, running, StateRunning)
+
+	// With the worker parked, a queued job raises the depth gauge.
+	queued := mustSubmit(t, p, func(ctx context.Context, _ func(any)) error { return nil })
+	text := scrape(reg)
+	mustHave(t, text,
+		"avfd_sched_queue_depth 1",
+		"avfd_sched_queue_capacity 2",
+		"avfd_sched_running 1",
+		"avfd_sched_workers 1",
+	)
+
+	failing := mustSubmit(t, p, func(ctx context.Context, _ func(any)) error {
+		return errors.New("boom")
+	})
+	release()
+	waitState(t, running, StateDone)
+	waitState(t, queued, StateDone)
+	waitState(t, failing, StateFailed)
+
+	fn2, release2 := block()
+	canceled := mustSubmit(t, p, fn2)
+	waitState(t, canceled, StateRunning)
+	canceled.Cancel()
+	release2()
+	waitState(t, canceled, StateCanceled)
+
+	text = scrape(reg)
+	mustHave(t, text,
+		`avfd_jobs_total{state="submitted"} 4`,
+		`avfd_jobs_total{state="done"} 2`,
+		`avfd_jobs_total{state="failed"} 1`,
+		`avfd_jobs_total{state="canceled"} 1`,
+		"avfd_sched_queue_depth 0",
+		`avfd_sched_job_seconds_count{phase="run"} 4`,
+		`avfd_sched_job_seconds_count{phase="queue"}`,
+	)
+}
+
+// TestPoolMetricsRejected checks queue-overflow rejections reach the
+// jobs_total counter.
+func TestPoolMetricsRejected(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(Options{Workers: 1, QueueCap: 1, Metrics: reg})
+	defer p.Shutdown(context.Background())
+
+	fn, release := block()
+	defer release()
+	waitState(t, mustSubmit(t, p, fn), StateRunning)
+	mustSubmit(t, p, func(ctx context.Context, _ func(any)) error { return nil })
+	if _, err := p.Submit(func(ctx context.Context, _ func(any)) error { return nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit err = %v, want ErrQueueFull", err)
+	}
+	mustHave(t, scrape(reg), `avfd_jobs_total{state="rejected"} 1`)
+}
+
+func scrape(r *obs.Registry) string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func mustHave(t *testing.T, text string, wants ...string) {
+	t.Helper()
+	for _, w := range wants {
+		if !strings.Contains(text, w) {
+			t.Fatalf("scrape missing %q:\n%s", w, text)
+		}
+	}
+}

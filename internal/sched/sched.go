@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"avfsim/internal/obs"
 )
 
 // Func is the work a job performs. It must return promptly once ctx is
@@ -55,6 +57,11 @@ type Options struct {
 	// QueueCap is the FIFO queue capacity (jobs waiting beyond the ones
 	// running); default 64. Submit rejects with ErrQueueFull beyond it.
 	QueueCap int
+	// Metrics, when non-nil, registers the pool's observability in the
+	// given registry: queue depth/capacity and running/workers gauges,
+	// avfd_jobs_total{state} counters, and queue-wait / run-time
+	// histograms. Registration happens in New, before any job runs.
+	Metrics *obs.Registry
 }
 
 func (o *Options) defaults() {
@@ -88,9 +95,10 @@ func (s State) String() string {
 
 // Task is a submitted job's handle.
 type Task struct {
-	fn     Func
-	label  string
-	onProg func(v any)
+	fn      Func
+	label   string
+	onProg  func(v any)
+	onStart func()
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -119,6 +127,12 @@ func WithLabel(label string) SubmitOption {
 	return func(t *Task) { t.label = label }
 }
 
+// WithOnStart registers a callback invoked from the worker goroutine
+// immediately before the job function runs (job-lifecycle logging).
+func WithOnStart(cb func()) SubmitOption {
+	return func(t *Task) { t.onStart = cb }
+}
+
 // Label returns the task's label ("" if none).
 func (t *Task) Label() string { return t.label }
 
@@ -143,6 +157,13 @@ func (t *Task) Err() error {
 // running; a running task's ctx is canceled and the job is expected to
 // return promptly. Safe to call multiple times and concurrently.
 func (t *Task) Cancel() { t.cancel() }
+
+// Timing returns the task's submit, start, and finish times (zero
+// values for phases that have not happened). Started and finished are
+// safe to read only after Done is closed.
+func (t *Task) Timing() (submitted, started, finished time.Time) {
+	return t.submitted, t.started, t.finished
+}
 
 // Wait blocks until the task is terminal or ctx is done. It returns the
 // task's error in the former case, ctx.Err() in the latter.
@@ -190,12 +211,56 @@ type Pool struct {
 	rejected                         atomic.Int64
 	queueLatencyNS, runLatencyNS     atomic.Int64
 	queueLatencyN, runLatencyN       atomic.Int64
+
+	// queueSeconds/runSeconds are the per-job latency histograms (nil
+	// without Options.Metrics).
+	queueSeconds, runSeconds *obs.Histogram
+}
+
+// registerMetrics publishes the pool's counters in r. The gauges and
+// counters sample the pool's existing atomics at scrape time — no
+// double accounting in the submit/finish paths — while the latency
+// histograms are explicit cells observed as jobs move through.
+func (p *Pool) registerMetrics(r *obs.Registry) {
+	r.GaugeFunc("avfd_sched_queue_depth",
+		"Jobs waiting in the scheduler's FIFO queue.",
+		func() float64 { return float64(p.queued.Load()) })
+	r.GaugeFunc("avfd_sched_queue_capacity",
+		"Capacity of the scheduler's FIFO queue (queue_depth/queue_capacity is saturation).",
+		func() float64 { return float64(p.opts.QueueCap) })
+	r.GaugeFunc("avfd_sched_running",
+		"Jobs currently executing on pool workers.",
+		func() float64 { return float64(p.running.Load()) })
+	r.GaugeFunc("avfd_sched_workers",
+		"Configured worker count.",
+		func() float64 { return float64(p.opts.Workers) })
+	jobs := r.CounterVec("avfd_jobs_total",
+		"Cumulative jobs by lifecycle state (submitted, done, failed, canceled, rejected).",
+		"state")
+	for state, src := range map[string]*atomic.Int64{
+		"submitted": &p.submitted,
+		"done":      &p.nDone,
+		"failed":    &p.nFail,
+		"canceled":  &p.nCancel,
+		"rejected":  &p.rejected,
+	} {
+		src := src
+		jobs.WithFunc(func() int64 { return src.Load() }, state)
+	}
+	phases := r.HistogramVec("avfd_sched_job_seconds",
+		"Job latency by phase: queue (submit to start) and run (start to finish).",
+		obs.ExpBuckets(0.001, 4, 12), "phase")
+	p.queueSeconds = phases.With("queue")
+	p.runSeconds = phases.With("run")
 }
 
 // New starts a pool. Callers must eventually Shutdown it.
 func New(opts Options) *Pool {
 	opts.defaults()
 	p := &Pool{opts: opts, queue: make(chan *Task, opts.QueueCap)}
+	if opts.Metrics != nil {
+		p.registerMetrics(opts.Metrics)
+	}
 	p.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go p.worker()
@@ -335,8 +400,14 @@ func (p *Pool) runTask(t *Task) {
 	t.started = time.Now()
 	p.queueLatencyNS.Add(int64(t.started.Sub(t.submitted)))
 	p.queueLatencyN.Add(1)
+	if p.queueSeconds != nil {
+		p.queueSeconds.Observe(t.started.Sub(t.submitted).Seconds())
+	}
 	t.state.Store(int32(StateRunning))
 	p.running.Add(1)
+	if t.onStart != nil {
+		t.onStart()
+	}
 
 	err := p.invoke(t)
 	p.running.Add(-1)
@@ -371,6 +442,9 @@ func (p *Pool) finishTask(t *Task, err error, ran bool) {
 	if ran {
 		p.runLatencyNS.Add(int64(t.finished.Sub(t.started)))
 		p.runLatencyN.Add(1)
+		if p.runSeconds != nil {
+			p.runSeconds.Observe(t.finished.Sub(t.started).Seconds())
+		}
 	}
 	t.err = err
 	switch {

@@ -1,0 +1,318 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"avfsim/internal/obs"
+)
+
+// parseExposition reads Prometheus text format into series -> value,
+// keyed by the full series name including labels, e.g.
+// `avfd_jobs_total{state="done"}`.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+func getMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseExposition(t, string(body))
+}
+
+// TestMetricsEndpointEndToEnd is the ISSUE acceptance check: after
+// driving one job through the full HTTP lifecycle, the /metrics scrape
+// must carry the HTTP, scheduler, and injection series with values that
+// match what actually happened.
+func TestMetricsEndpointEndToEnd(t *testing.T) {
+	ts, _, _ := newTestServer(t, 2, 8)
+	id, code := postJob(t, ts, tinyJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d", code)
+	}
+	st := waitTerminal(t, ts, id, 10*time.Second)
+	if st.State != "done" {
+		t.Fatalf("job state %q: %s", st.State, st.Error)
+	}
+
+	m := getMetrics(t, ts.URL)
+
+	if v := m[`avfd_http_requests_total{route="POST /v1/jobs",code="202"}`]; v != 1 {
+		t.Errorf("submit counter = %v, want 1", v)
+	}
+	// waitTerminal polls GET /v1/jobs/{id}; at least the terminal poll
+	// plus one in-flight poll hit the route.
+	if v := m[`avfd_http_requests_total{route="GET /v1/jobs/{id}",code="200"}`]; v < 1 {
+		t.Errorf("status counter = %v, want >= 1", v)
+	}
+	if v := m[`avfd_http_request_seconds_count{route="POST /v1/jobs"}`]; v != 1 {
+		t.Errorf("latency histogram count = %v, want 1", v)
+	}
+	if _, ok := m[`avfd_http_request_seconds_bucket{route="POST /v1/jobs",le="+Inf"}`]; !ok {
+		t.Error("latency histogram has no +Inf bucket")
+	}
+	if v, ok := m["avfd_sched_queue_depth"]; !ok || v != 0 {
+		t.Errorf("queue depth = %v (present %v), want 0", v, ok)
+	}
+	if v := m["avfd_sched_queue_capacity"]; v != 8 {
+		t.Errorf("queue capacity = %v, want 8", v)
+	}
+	if v := m[`avfd_jobs_total{state="done"}`]; v != 1 {
+		t.Errorf("jobs done = %v, want 1", v)
+	}
+	if v := m[`avfd_jobs_total{state="submitted"}`]; v != 1 {
+		t.Errorf("jobs submitted = %v, want 1", v)
+	}
+
+	// Injection outcomes: the tiny job injects 50 per interval × 3
+	// intervals × 4 structures (plus trailing partials); every one must
+	// land in exactly one outcome bucket.
+	var injections float64
+	for _, s := range []string{"iq", "reg", "fxu", "fpu"} {
+		for _, o := range []string{"failure", "masked", "pending"} {
+			injections += m[`avfd_injections_total{structure="`+s+`",outcome="`+o+`"}`]
+		}
+	}
+	if injections < 4*3*50 {
+		t.Errorf("injection outcome counters sum to %v, want >= %d", injections, 4*3*50)
+	}
+}
+
+// TestMetricsJSONEndpoint checks /v1/metrics serves the same registry
+// as machine-readable JSON.
+func TestMetricsJSONEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t, 1, 4)
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: %d", resp.StatusCode)
+	}
+	var out struct {
+		Metrics []obs.FamilySnapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]obs.FamilySnapshot{}
+	for _, f := range out.Metrics {
+		byName[f.Name] = f
+	}
+	for _, want := range []string{
+		"avfd_http_requests_total", "avfd_sched_queue_depth",
+		"avfd_jobs_total", "avfd_injections_total",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("JSON metrics missing family %q", want)
+		}
+	}
+	if f := byName["avfd_http_requests_total"]; f.Type != "counter" {
+		t.Errorf("requests family type = %q", f.Type)
+	}
+}
+
+// TestTraceReconcilesWithStatus is the ISSUE acceptance check for the
+// trace endpoint: per-structure failure counts in the NDJSON export
+// must exactly reconcile with the job's final failures and N (the
+// injection count) for every complete interval.
+func TestTraceReconcilesWithStatus(t *testing.T) {
+	ts, _, _ := newTestServer(t, 1, 4)
+	id, code := postJob(t, ts, tinyJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d", code)
+	}
+	st := waitTerminal(t, ts, id, 10*time.Second)
+	if st.State != "done" {
+		t.Fatalf("job state %q: %s", st.State, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace content-type = %q", ct)
+	}
+
+	type cell struct {
+		structure string
+		interval  int
+	}
+	count := map[cell]int{}
+	failures := map[cell]int{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var rec obs.TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		if rec.Structure == "" {
+			continue // {"dropped": n} summary line
+		}
+		c := cell{rec.Structure, rec.Interval}
+		count[c]++
+		if rec.Outcome == "failure" {
+			failures[c]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(st.Intervals) == 0 {
+		t.Fatal("terminal job has no interval points")
+	}
+	for _, pt := range st.Intervals {
+		c := cell{pt.Structure, pt.Interval}
+		if count[c] != pt.Injections {
+			t.Errorf("%s interval %d: %d trace records, status says %d injections",
+				pt.Structure, pt.Interval, count[c], pt.Injections)
+		}
+		if failures[c] != pt.Failures {
+			t.Errorf("%s interval %d: %d trace failures, status says %d",
+				pt.Structure, pt.Interval, failures[c], pt.Failures)
+		}
+	}
+
+	// Unknown jobs 404.
+	resp404, err := http.Get(ts.URL + "/v1/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp404.Body.Close()
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace for unknown job: %d, want 404", resp404.StatusCode)
+	}
+}
+
+// TestStreamClientDisconnect checks a client dropping mid-stream does
+// not leak its subscriber channel or wedge the running job: the
+// server-side subscription is reaped and estimates keep flowing.
+func TestStreamClientDisconnect(t *testing.T) {
+	ts, srv, _ := newTestServer(t, 1, 4)
+	id, code := postJob(t, ts, longJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d", code)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+id+"/stream", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one live estimate so the subscription is demonstrably active.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no stream line before disconnect: %v", sc.Err())
+	}
+
+	subscribers := func() int {
+		srv.mu.Lock()
+		j := srv.jobs[id]
+		srv.mu.Unlock()
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return len(j.subs)
+	}
+	if subscribers() != 1 {
+		t.Fatalf("subscribers = %d mid-stream, want 1", subscribers())
+	}
+
+	cancel() // client vanishes mid-stream
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("leaked %d subscribers after client disconnect", subscribers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The job must keep producing estimates — OnInterval publishing must
+	// not block on the dead subscriber.
+	before := len(getStatus(t, ts, id).Intervals)
+	deadline = time.Now().Add(10 * time.Second)
+	for len(getStatus(t, ts, id).Intervals) <= before {
+		if time.Now().After(deadline) {
+			t.Fatal("job stopped producing estimates after subscriber disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStatsQueueBlock checks /v1/stats reports queue depth alongside
+// capacity (the ISSUE satellite: saturation must be computable from one
+// response).
+func TestStatsQueueBlock(t *testing.T) {
+	ts, _, _ := newTestServer(t, 1, 4)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Queue struct {
+			Depth      *int     `json:"depth"`
+			Capacity   *int     `json:"capacity"`
+			Saturation *float64 `json:"saturation"`
+		} `json:"queue"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Queue.Depth == nil || out.Queue.Capacity == nil || out.Queue.Saturation == nil {
+		t.Fatalf("stats queue block incomplete: %+v", out.Queue)
+	}
+	if *out.Queue.Capacity != 4 {
+		t.Fatalf("queue capacity = %d, want 4", *out.Queue.Capacity)
+	}
+	if *out.Queue.Depth != 0 || *out.Queue.Saturation != 0 {
+		t.Fatalf("idle queue depth/saturation = %d/%v, want 0/0",
+			*out.Queue.Depth, *out.Queue.Saturation)
+	}
+}

@@ -9,9 +9,12 @@
 //	GET    /v1/jobs           list job summaries
 //	GET    /v1/jobs/{id}      status + per-interval estimates (+ final series when done)
 //	GET    /v1/jobs/{id}/stream  NDJSON live stream, one line per estimate
+//	GET    /v1/jobs/{id}/trace   NDJSON injection-lifecycle trace (needs WithMetrics)
 //	DELETE /v1/jobs/{id}      cancel (idempotent)
 //	GET    /v1/healthz        liveness
-//	GET    /v1/stats          scheduler counters + job-state census
+//	GET    /v1/stats          scheduler counters + queue saturation + job-state census
+//	GET    /metrics           Prometheus text exposition (needs WithMetrics)
+//	GET    /v1/metrics        same registry as JSON (needs WithMetrics)
 package server
 
 import (
@@ -19,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
@@ -26,6 +30,7 @@ import (
 
 	"avfsim/internal/core"
 	"avfsim/internal/experiment"
+	"avfsim/internal/obs"
 	"avfsim/internal/pipeline"
 	"avfsim/internal/sched"
 	"avfsim/internal/workload"
@@ -135,6 +140,8 @@ type job struct {
 	spec      JobSpec
 	submitted time.Time
 	task      *sched.Task
+	// tracer records the injection lifecycle (nil without WithMetrics).
+	tracer *obs.JobTracer
 
 	mu     sync.Mutex
 	points []IntervalPoint
@@ -239,27 +246,76 @@ func (j *job) status() JobStatus {
 // Server is the avfd HTTP API over a sched.Pool.
 type Server struct {
 	pool *sched.Pool
+	log  *slog.Logger
+
+	// Observability (nil without WithMetrics): the shared registry, the
+	// HTTP middleware, the per-structure injection-outcome counters
+	// every job's tracer aggregates into, and the streamed-point
+	// counter.
+	reg            *obs.Registry
+	httpm          *obs.HTTPMetrics
+	injc           *obs.InjectionCounters
+	streamedPoints *obs.Counter
 
 	mu   sync.Mutex
 	jobs map[string]*job
 	seq  uint64
 }
 
-// New builds a Server submitting to pool.
-func New(pool *sched.Pool) *Server {
-	return &Server{pool: pool, jobs: map[string]*job{}}
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithMetrics wires the server's observability into r: HTTP middleware
+// on every route, the /metrics and /v1/metrics expositions, and
+// per-job injection-lifecycle tracing (the /v1/jobs/{id}/trace
+// endpoint plus avfd_injections_total{structure,outcome}).
+func WithMetrics(r *obs.Registry) Option {
+	return func(s *Server) {
+		s.reg = r
+		s.httpm = obs.NewHTTPMetrics(r)
+		s.injc = obs.NewInjectionCounters(r)
+		s.streamedPoints = r.Counter("avfd_http_streamed_points_total",
+			"Per-interval estimate events written to NDJSON stream clients.")
+	}
 }
 
-// Handler returns the route table.
+// WithLogger sets the job-lifecycle logger (default slog.Default()).
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
+// New builds a Server submitting to pool.
+func New(pool *sched.Pool, opts ...Option) *Server {
+	s := &Server{pool: pool, jobs: map[string]*job{}, log: slog.Default()}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Handler returns the route table, instrumented per-route when the
+// server was built WithMetrics (route labels are the patterns below,
+// so per-job paths aggregate into one series each).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	handle := func(pattern string, h http.HandlerFunc) {
+		if s.httpm != nil {
+			h = s.httpm.Wrap(pattern, h)
+		}
+		mux.HandleFunc(pattern, h)
+	}
+	handle("POST /v1/jobs", s.handleSubmit)
+	handle("GET /v1/jobs", s.handleList)
+	handle("GET /v1/jobs/{id}", s.handleStatus)
+	handle("GET /v1/jobs/{id}/stream", s.handleStream)
+	handle("GET /v1/jobs/{id}/trace", s.handleTrace)
+	handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	handle("GET /v1/healthz", s.handleHealthz)
+	handle("GET /v1/stats", s.handleStats)
+	if s.reg != nil {
+		handle("GET /metrics", s.reg.TextHandler().ServeHTTP)
+		handle("GET /v1/metrics", s.handleMetricsJSON)
+	}
 	return mux
 }
 
@@ -325,6 +381,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			Injections: est.Injections,
 		})
 	}
+	if s.injc != nil {
+		j.tracer = obs.NewJobTracer(s.injc, 0)
+		rc.Sink = j.tracer
+	}
 	task, err := s.pool.Submit(func(ctx context.Context, _ func(any)) error {
 		res, err := experiment.RunCtx(ctx, rc)
 		if err != nil {
@@ -332,7 +392,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		j.setResult(res)
 		return nil
-	}, sched.WithLabel(j.id+" "+spec.Benchmark))
+	}, sched.WithLabel(j.id+" "+spec.Benchmark),
+		sched.WithOnStart(func() {
+			s.log.Info("job started", "job", j.id, "benchmark", spec.Benchmark)
+		}))
 	switch {
 	case errors.Is(err, sched.ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -359,8 +422,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			msg = err.Error()
 		}
 		j.end(msg)
+
+		state := task.State().String()
+		submitted, started, finished := task.Timing()
+		attrs := []any{"job", j.id, "benchmark", spec.Benchmark, "state", state,
+			"total", finished.Sub(submitted).Round(time.Millisecond)}
+		if !started.IsZero() {
+			attrs = append(attrs, "run", finished.Sub(started).Round(time.Millisecond))
+		}
+		switch {
+		case msg == "":
+			s.log.Info("job done", attrs...)
+		case task.State() == sched.StateCanceled:
+			s.log.Info("job canceled", attrs...)
+		default:
+			s.log.Warn("job failed", append(attrs, "error", msg)...)
+		}
 	}()
 
+	s.log.Info("job submitted", "job", j.id, "benchmark", spec.Benchmark, "state", task.State().String())
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": task.State().String()})
 }
 
@@ -420,6 +500,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return false
 		}
 		flusher.Flush() // one line per estimate: the client watches AVF evolve live
+		if ev.Type == "interval" && s.streamedPoints != nil {
+			s.streamedPoints.Inc()
+		}
 		return true
 	}
 
@@ -452,6 +535,30 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	emit(StreamEvent{Type: "end", State: st.State, Error: st.Error})
 }
 
+// handleTrace serves the job's injection-lifecycle trace as NDJSON:
+// one record per concluded injection (structure, entry, inject cycle,
+// outcome, propagation latency, failure instruction class). The trace
+// is a snapshot — safe to fetch while the job still runs.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if j.tracer == nil {
+		writeError(w, http.StatusNotFound, "injection tracing disabled (server built without metrics)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	j.tracer.WriteNDJSON(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"metrics": s.reg.Snapshot()})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -464,9 +571,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	total := len(s.jobs)
 	s.mu.Unlock()
+	ps := s.pool.Stats()
+	var saturation float64
+	if ps.QueueCap > 0 {
+		saturation = float64(ps.Queued) / float64(ps.QueueCap)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"scheduler": s.pool.Stats(),
-		"jobs":      map[string]any{"total": total, "by_state": census},
+		"scheduler": ps,
+		// Queue depth AND capacity, explicitly paired so clients can
+		// compute saturation without digging through scheduler fields.
+		"queue": map[string]any{
+			"depth":      ps.Queued,
+			"capacity":   ps.QueueCap,
+			"saturation": saturation,
+		},
+		"jobs": map[string]any{"total": total, "by_state": census},
 	})
 }
 

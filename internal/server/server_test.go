@@ -7,12 +7,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"avfsim/internal/obs"
 	"avfsim/internal/sched"
 )
 
@@ -24,8 +26,10 @@ const longJob = `{"benchmark":"mesa","scale":0.02,"seed":3,"m":400,"n":50,"inter
 
 func newTestServer(t *testing.T, workers, queueCap int) (*httptest.Server, *Server, *sched.Pool) {
 	t.Helper()
-	pool := sched.New(sched.Options{Workers: workers, QueueCap: queueCap})
-	srv := New(pool)
+	reg := obs.NewRegistry()
+	pool := sched.New(sched.Options{Workers: workers, QueueCap: queueCap, Metrics: reg})
+	srv := New(pool, WithMetrics(reg),
+		WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()

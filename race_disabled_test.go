@@ -1,0 +1,5 @@
+//go:build !race
+
+package avfsim
+
+const raceEnabled = false

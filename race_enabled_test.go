@@ -1,0 +1,7 @@
+//go:build race
+
+package avfsim
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-sensitive assertions skip themselves when it does.
+const raceEnabled = true

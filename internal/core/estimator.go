@@ -80,9 +80,9 @@ func (o *Options) validate() error {
 	if len(o.Structures) == 0 {
 		o.Structures = append([]pipeline.Structure(nil), pipeline.PaperStructures...)
 	}
-	seen := map[pipeline.Structure]bool{}
+	var seen [pipeline.NumStructures]bool
 	for _, s := range o.Structures {
-		if int(s) >= pipeline.NumStructures {
+		if int(s) < 0 || int(s) >= pipeline.NumStructures {
 			return fmt.Errorf("core: invalid structure %d", s)
 		}
 		if seen[s] {

@@ -135,6 +135,8 @@ var FeatureNames = []string{
 type featureSampler struct {
 	p *pipeline.Pipeline
 
+	nUnits [pipeline.NumFUKinds]int64 // unit counts, fixed at construction
+
 	lastCycle, lastRetired, lastOcc int64
 	lastBusy                        [pipeline.NumFUKinds]int64
 	lastL1DAcc, lastL1DMiss         int64
@@ -142,10 +144,16 @@ type featureSampler struct {
 	lastBrPred, lastBrMis           int64
 
 	rows [][]float64
+	flat []float64 // chunked backing for rows: one allocation per 64 intervals
 }
 
 func newFeatureSampler(p *pipeline.Pipeline) *featureSampler {
-	return &featureSampler{p: p}
+	f := &featureSampler{p: p}
+	cfg := p.Config()
+	f.nUnits[pipeline.FUInt] = int64(cfg.NumIntUnits)
+	f.nUnits[pipeline.FUFP] = int64(cfg.NumFPUnits)
+	f.nUnits[pipeline.FULS] = int64(cfg.NumLSUnits)
+	return f
 }
 
 func rate(num, den int64) float64 {
@@ -163,27 +171,23 @@ func (f *featureSampler) Sample() {
 	cycle := p.Cycle()
 	dc := cycle - f.lastCycle
 
-	units := func(k pipeline.FUKind) int64 {
-		switch k {
-		case pipeline.FUInt:
-			return int64(p.Config().NumIntUnits)
-		case pipeline.FUFP:
-			return int64(p.Config().NumFPUnits)
-		default:
-			return int64(p.Config().NumLSUnits)
-		}
+	nf := len(FeatureNames)
+	if len(f.flat)+nf > cap(f.flat) {
+		f.flat = make([]float64, 0, 64*nf)
 	}
-	row := []float64{
+	at := len(f.flat)
+	f.flat = append(f.flat,
 		rate(p.Retired()-f.lastRetired, dc),
 		rate(p.IQOccupancySum()-f.lastOcc, dc*int64(p.StructureEntries(pipeline.StructIQ))),
-		rate(p.BusyUnitCycles(pipeline.FUInt)-f.lastBusy[pipeline.FUInt], dc*units(pipeline.FUInt)),
-		rate(p.BusyUnitCycles(pipeline.FUFP)-f.lastBusy[pipeline.FUFP], dc*units(pipeline.FUFP)),
-		rate(p.BusyUnitCycles(pipeline.FULS)-f.lastBusy[pipeline.FULS], dc*units(pipeline.FULS)),
+		rate(p.BusyUnitCycles(pipeline.FUInt)-f.lastBusy[pipeline.FUInt], dc*f.nUnits[pipeline.FUInt]),
+		rate(p.BusyUnitCycles(pipeline.FUFP)-f.lastBusy[pipeline.FUFP], dc*f.nUnits[pipeline.FUFP]),
+		rate(p.BusyUnitCycles(pipeline.FULS)-f.lastBusy[pipeline.FULS], dc*f.nUnits[pipeline.FULS]),
 		rate(h.L1D.Misses()-f.lastL1DMiss, h.L1D.Accesses()-f.lastL1DAcc),
 		rate(h.L2.Misses()-f.lastL2Miss, h.L2.Accesses()-f.lastL2Acc),
 		rate(br.Mispredicts()-f.lastBrMis, br.Predictions()-f.lastBrPred),
-	}
-	f.rows = append(f.rows, row)
+	)
+	// Full-cap subslice: later appends to flat can never alias this row.
+	f.rows = append(f.rows, f.flat[at:at+nf:at+nf])
 
 	f.lastCycle, f.lastRetired, f.lastOcc = cycle, p.Retired(), p.IQOccupancySum()
 	for k := 0; k < pipeline.NumFUKinds; k++ {

@@ -11,6 +11,12 @@ type TLB struct {
 	clock     int64
 	mru       int // index of the last hit: consecutive same-page accesses skip the scan
 
+	// index maps a resident page to its entry, replacing the
+	// fully-associative linear probe on the hit path. Valid pages are
+	// unique (a page is only inserted on a miss), so the map is an exact
+	// mirror of the entries array.
+	index map[uint64]int
+
 	accesses int64
 	misses   int64
 }
@@ -27,6 +33,7 @@ func NewTLB(entries int, pageBytes int) *TLB {
 		entries:   make([]uint64, entries),
 		valid:     make([]bool, entries),
 		stamps:    make([]int64, entries),
+		index:     make(map[uint64]int, entries),
 	}
 }
 
@@ -48,13 +55,15 @@ func (t *TLB) LookupEntry(addr uint64) (hit bool, entry int) {
 		t.stamps[t.mru] = t.clock
 		return true, t.mru
 	}
+	if i, ok := t.index[page]; ok {
+		t.stamps[i] = t.clock
+		t.mru = i
+		return true, i
+	}
+	// Miss: pick the LRU victim (an invalid entry wins outright; ties on
+	// the scan order match the original linear probe exactly).
 	victim, victimStamp := 0, int64(1<<62)
 	for i := range t.entries {
-		if t.valid[i] && t.entries[i] == page {
-			t.stamps[i] = t.clock
-			t.mru = i
-			return true, i
-		}
 		if !t.valid[i] {
 			victim, victimStamp = i, -1
 		} else if t.stamps[i] < victimStamp {
@@ -62,10 +71,14 @@ func (t *TLB) LookupEntry(addr uint64) (hit bool, entry int) {
 		}
 	}
 	t.misses++
+	if t.valid[victim] {
+		delete(t.index, t.entries[victim])
+	}
 	t.entries[victim] = page
 	t.valid[victim] = true
 	t.stamps[victim] = t.clock
 	t.mru = victim
+	t.index[page] = victim
 	return false, victim
 }
 

@@ -80,6 +80,7 @@ func (p *Pipeline) Inject(s Structure, idx int) bool {
 		return true
 	case StructFXU, StructFPU, StructLSU:
 		p.pendingLogic[s] = idx + 1
+		p.logicArmed = true
 		return true
 	default:
 		panic(fmt.Sprintf("pipeline: unknown structure %v", s))
@@ -94,8 +95,12 @@ func (p *Pipeline) ClearPlane(s Structure) {
 	bit := s.Bit()
 	p.intRF.clearPlane(bit)
 	p.fpRF.clearPlane(bit)
-	for i := 0; i < p.rob.len(); i++ {
-		p.rob.at(i).errMask &^= bit
+	robA, robB := p.rob.spans()
+	for _, u := range robA {
+		u.errMask &^= bit
+	}
+	for _, u := range robB {
+		u.errMask &^= bit
 	}
 	for i := range p.dtlbErr {
 		p.dtlbErr[i] &^= bit
@@ -104,8 +109,12 @@ func (p *Pipeline) ClearPlane(s Structure) {
 		p.itlbErr[i] &^= bit
 	}
 	p.curLineErr &^= bit
-	for i := 0; i < p.instBuf.len(); i++ {
-		p.instBuf.buf[(p.instBuf.head+i)%len(p.instBuf.buf)].errMask &^= bit
+	ibA, ibB := p.instBuf.spans()
+	for i := range ibA {
+		ibA[i].errMask &^= bit
+	}
+	for i := range ibB {
+		ibB[i].errMask &^= bit
 	}
 	if int(s) < NumStructures {
 		p.pendingLogic[s] = 0
@@ -133,8 +142,14 @@ func (p *Pipeline) PlanePopulation(s Structure) int {
 			n++
 		}
 	}
-	for i := 0; i < p.rob.len(); i++ {
-		if p.rob.at(i).errMask&bit != 0 {
+	robA, robB := p.rob.spans()
+	for _, u := range robA {
+		if u.errMask&bit != 0 {
+			n++
+		}
+	}
+	for _, u := range robB {
+		if u.errMask&bit != 0 {
 			n++
 		}
 	}
@@ -151,8 +166,14 @@ func (p *Pipeline) PlanePopulation(s Structure) int {
 	if p.curLineErr&bit != 0 {
 		n++
 	}
-	for i := 0; i < p.instBuf.len(); i++ {
-		if p.instBuf.buf[(p.instBuf.head+i)%len(p.instBuf.buf)].errMask&bit != 0 {
+	ibA, ibB := p.instBuf.spans()
+	for _, f := range ibA {
+		if f.errMask&bit != 0 {
+			n++
+		}
+	}
+	for _, f := range ibB {
+		if f.errMask&bit != 0 {
 			n++
 		}
 	}

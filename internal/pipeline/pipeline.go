@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math/bits"
 
 	"avfsim/internal/branch"
 	"avfsim/internal/config"
@@ -32,9 +33,14 @@ type uop struct {
 	execStart     int64
 	doneCycle     int64
 
-	issued       bool
 	done         bool
 	mispredicted bool
+
+	// waitCount is the number of not-yet-produced sources; the uop sits
+	// in its producers' waiter lists until it reaches zero, at which
+	// point its queue slot is flagged issue-ready (event-driven wakeup —
+	// issue never re-polls operand readiness).
+	waitCount int8
 
 	errMask ErrMask
 }
@@ -50,67 +56,119 @@ type fetched struct {
 	errMask ErrMask
 }
 
-// ring is a bounded FIFO.
+// ring is a bounded FIFO. The backing array is rounded up to a power of
+// two so every index computation is a mask instead of a modulo; the
+// logical capacity stays exactly what the caller asked for (the ROB holds
+// 100 instructions, not 128).
 type ring[T any] struct {
-	buf  []T
+	buf  []T // len(buf) is a power of two >= capacity
+	mask int
 	head int
 	size int
+	cap  int // logical capacity
 }
 
-func newRing[T any](capacity int) *ring[T] { return &ring[T]{buf: make([]T, capacity)} }
+func newRing[T any](capacity int) *ring[T] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &ring[T]{buf: make([]T, n), mask: n - 1, cap: capacity}
+}
 
-func (r *ring[T]) full() bool  { return r.size == len(r.buf) }
+func (r *ring[T]) full() bool  { return r.size == r.cap }
 func (r *ring[T]) empty() bool { return r.size == 0 }
 func (r *ring[T]) len() int    { return r.size }
-func (r *ring[T]) space() int  { return len(r.buf) - r.size }
+func (r *ring[T]) space() int  { return r.cap - r.size }
 
 func (r *ring[T]) push(v T) {
 	if r.full() {
 		panic("pipeline: ring overflow")
 	}
-	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.buf[(r.head+r.size)&r.mask] = v
 	r.size++
 }
 
 func (r *ring[T]) front() T { return r.buf[r.head] }
 
+// pop leaves the vacated slot untouched: only [head, head+size) is ever
+// read, and the pipeline's element types are either pointer-free values
+// or pooled *uops that stay reachable through the pool anyway, so there
+// is nothing to zero for the GC's sake.
 func (r *ring[T]) pop() T {
 	if r.empty() {
 		panic("pipeline: ring underflow")
 	}
 	v := r.buf[r.head]
-	var zero T
-	r.buf[r.head] = zero
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = (r.head + 1) & r.mask
 	r.size--
 	return v
 }
 
 // at returns the i-th element from the front without removing it.
-func (r *ring[T]) at(i int) T { return r.buf[(r.head+i)%len(r.buf)] }
+func (r *ring[T]) at(i int) T { return r.buf[(r.head+i)&r.mask] }
 
-// issueQueue is a fixed set of reservation slots.
+// spans returns the live contents, oldest first, as up to two linear
+// slices — the allocation-free way to scan the whole ring (ClearPlane,
+// PlanePopulation) without per-element index arithmetic.
+func (r *ring[T]) spans() (a, b []T) {
+	end := r.head + r.size
+	if end <= len(r.buf) {
+		return r.buf[r.head:end], nil
+	}
+	return r.buf[r.head:], r.buf[:end&r.mask]
+}
+
+// issueQueue is a fixed set of reservation slots. An occupancy bitmap
+// mirrors slots so allocation and the per-cycle wakeup scan touch only
+// occupied entries instead of walking every slot.
 type issueQueue struct {
 	slots []*uop
+	occ   []uint64 // bit i set <=> slots[i] != nil
+	// ready has a bit per slot whose occupant has all sources produced
+	// and is waiting for a functional unit. Set by the wakeup path,
+	// cleared when the op issues; the per-cycle issue scan walks only
+	// these bits.
+	ready []uint64
 	count int
+}
+
+func (q *issueQueue) init(n int) {
+	q.slots = make([]*uop, n)
+	q.occ = make([]uint64, (n+63)/64)
+	q.ready = make([]uint64, (n+63)/64)
 }
 
 func (q *issueQueue) hasSpace() bool { return q.count < len(q.slots) }
 
+// alloc claims the lowest free slot. Valid slot bits precede the unused
+// tail bits of the last word, so when hasSpace holds the first zero bit
+// is always a real slot.
 func (q *issueQueue) alloc(u *uop) int {
-	for i, s := range q.slots {
-		if s == nil {
-			q.slots[i] = u
-			q.count++
-			return i
+	for wi, w := range q.occ {
+		if w == ^uint64(0) {
+			continue
 		}
+		b := bits.TrailingZeros64(^w)
+		i := wi<<6 + b
+		q.occ[wi] |= 1 << uint(b)
+		q.slots[i] = u
+		q.count++
+		return i
 	}
 	panic("pipeline: issue queue overflow")
 }
 
 func (q *issueQueue) free(i int) {
+	q.occ[i>>6] &^= 1 << (uint(i) & 63)
+	q.ready[i>>6] &^= 1 << (uint(i) & 63)
 	q.slots[i] = nil
 	q.count--
+}
+
+// markReady flags slot i as issue-ready.
+func (q *issueQueue) markReady(i int) {
+	q.ready[i>>6] |= 1 << (uint(i) & 63)
 }
 
 // Pipeline is the simulated processor.
@@ -125,7 +183,8 @@ type Pipeline struct {
 	retired int64
 
 	// Fetch state.
-	pending         *fetched // next instruction not yet in the buffer
+	pending         fetched // next instruction not yet in the buffer
+	havePending     bool
 	srcDone         bool
 	instBuf         *ring[fetched]
 	fetchStallUntil int64
@@ -134,6 +193,7 @@ type Pipeline struct {
 	curFetchLine    uint64
 	haveFetchLine   bool
 	curLineErr      ErrMask // iTLB error bits of the current fetch line
+	lineMask        uint64  // ^(L1I line size - 1), hoisted out of fetch
 
 	// Rename / registers.
 	intRF, fpRF *regFile
@@ -145,9 +205,17 @@ type Pipeline struct {
 	// Execution.
 	executing []*uop
 	inflight  [NumFUKinds][]int // per unit: ops in flight
+	// activeUnits tracks, per kind, how many units currently have at
+	// least one op in flight — the busy-unit-cycle statistic accumulated
+	// incrementally instead of rescanning inflight every cycle.
+	activeUnits [NumFUKinds]int64
 
-	// Error-bit machinery.
+	// Error-bit machinery. logicArmed gates every per-cycle touch of
+	// pendingLogic: between injections (the overwhelmingly common case)
+	// issue and accountCycle pay one bool check instead of per-structure
+	// loads and a clearing loop.
 	pendingLogic [NumStructures]int // unit index + 1; 0 = no injection pending
+	logicArmed   bool
 	dtlbErr      []ErrMask
 	itlbErr      []ErrMask
 
@@ -159,8 +227,12 @@ type Pipeline struct {
 	iqOccupancySum int64
 	failures       [NumStructures]int64
 
-	// Scratch buffers reused across cycles.
-	candBuf []*uop
+	// Scratch buffers reused across cycles. retireEv is the single
+	// RetireEvent passed (by pointer, valid only during the callback) to
+	// OnRetire — a literal here would escape and cost one heap
+	// allocation per retired instruction.
+	candBuf  []*uop
+	retireEv RetireEvent
 
 	// uop free pool.
 	pool []*uop
@@ -185,11 +257,12 @@ func New(cfg *config.Config, src trace.Source) (*Pipeline, error) {
 		fpRF:    newRegFile(FPFile, cfg.FPRegs),
 		rob:     newRing[*uop](cfg.ROBEntries()),
 	}
+	p.lineMask = ^uint64(cfg.L1I.LineBytes - 1)
 	p.dtlbErr = make([]ErrMask, cfg.DTLBEntries)
 	p.itlbErr = make([]ErrMask, cfg.ITLBEntries)
-	p.queues[QFXU].slots = make([]*uop, cfg.FXUQueueEntries)
-	p.queues[QFPU].slots = make([]*uop, cfg.FPUQueueEntries)
-	p.queues[QBr].slots = make([]*uop, cfg.BrQueueEntries)
+	p.queues[QFXU].init(cfg.FXUQueueEntries)
+	p.queues[QFPU].init(cfg.FPUQueueEntries)
+	p.queues[QBr].init(cfg.BrQueueEntries)
 	p.inflight[FUInt] = make([]int, cfg.NumIntUnits)
 	p.inflight[FUFP] = make([]int, cfg.NumFPUnits)
 	p.inflight[FULS] = make([]int, cfg.NumLSUnits)
@@ -215,11 +288,14 @@ func (p *Pipeline) Predictor() *branch.Predictor { return p.pred }
 // Config returns the processor configuration.
 func (p *Pipeline) Config() *config.Config { return p.cfg }
 
+// getUop returns a pooled uop. The struct is NOT zeroed: dispatch
+// initializes every field that is read before being written (the fields
+// guarded by srcPhys/dstPhys sentinels are only read when their guard
+// was set alongside them).
 func (p *Pipeline) getUop() *uop {
 	if n := len(p.pool); n > 0 {
 		u := p.pool[n-1]
 		p.pool = p.pool[:n-1]
-		*u = uop{}
 		return u
 	}
 	return &uop{}
@@ -256,7 +332,7 @@ func (p *Pipeline) Run(maxCycles int64) int64 {
 }
 
 func (p *Pipeline) done() bool {
-	return p.srcDone && p.pending == nil && p.instBuf.empty() && p.rob.empty()
+	return p.srcDone && !p.havePending && p.instBuf.empty() && p.rob.empty()
 }
 
 // retire commits up to one dispatch group per cycle, in order.
@@ -270,17 +346,18 @@ func (p *Pipeline) retire() {
 		p.retired++
 
 		if u.errMask != 0 && u.inst.Class.IsFailurePoint() {
-			for s := Structure(0); int(s) < NumStructures; s++ {
-				if u.errMask&s.Bit() != 0 {
-					p.failures[s]++
-					if p.hooks.OnFailure != nil {
-						p.hooks.OnFailure(s, u.seq, p.cycle, u.inst.Class)
-					}
+			// Walk only the set bits, ascending (same order as the old
+			// per-structure scan).
+			for m := uint32(u.errMask); m != 0; m &= m - 1 {
+				s := Structure(bits.TrailingZeros32(m))
+				p.failures[s]++
+				if p.hooks.OnFailure != nil {
+					p.hooks.OnFailure(s, u.seq, p.cycle, u.inst.Class)
 				}
 			}
 		}
 		if p.hooks.OnRetire != nil {
-			ev := RetireEvent{
+			p.retireEv = RetireEvent{
 				Seq:           u.seq,
 				Class:         u.inst.Class,
 				PC:            u.inst.PC,
@@ -298,7 +375,7 @@ func (p *Pipeline) retire() {
 				Err:           u.errMask,
 				Mispredicted:  u.mispredicted,
 			}
-			p.hooks.OnRetire(&ev)
+			p.hooks.OnRetire(&p.retireEv)
 		}
 		if u.dstPhys >= 0 {
 			rf := p.fileFor(u.dstFile)
@@ -327,12 +404,23 @@ func (p *Pipeline) complete() {
 			continue
 		}
 		u.done = true
-		p.inflight[u.fu][u.unit]--
+		if p.inflight[u.fu][u.unit]--; p.inflight[u.fu][u.unit] == 0 {
+			p.activeUnits[u.fu]--
+		}
 		if u.dstPhys >= 0 {
 			rf := p.fileFor(u.dstFile)
 			rf.ready[u.dstPhys] = true
 			rf.err[u.dstPhys] = u.errMask
 			rf.writer[u.dstPhys] = u.seq
+			// Wake the consumers blocked on this value.
+			if ws := rf.waiters[u.dstPhys]; len(ws) > 0 {
+				for _, w := range ws {
+					if w.waitCount--; w.waitCount == 0 {
+						p.queues[w.queue].markReady(w.qEntry)
+					}
+				}
+				rf.waiters[u.dstPhys] = ws[:0]
+			}
 			if p.hooks.OnRegWrite != nil {
 				p.hooks.OnRegWrite(u.dstFile, u.dstPhys, p.cycle, u.seq)
 			}
@@ -362,18 +450,13 @@ func (p *Pipeline) issue() {
 		if queue.count == 0 {
 			continue
 		}
-		// Gather ready candidates; stop once every occupant was seen.
+		// Gather the slots the wakeup path flagged issue-ready (slot
+		// order; the seq sort below makes gather order irrelevant).
 		cands := p.candBuf[:0]
-		seen := 0
-		for _, u := range queue.slots {
-			if u == nil {
-				continue
-			}
-			if p.ready(u) {
-				cands = append(cands, u)
-			}
-			if seen++; seen == queue.count {
-				break
+		for wi, w := range queue.ready {
+			base := wi << 6
+			for ; w != 0; w &= w - 1 {
+				cands = append(cands, queue.slots[base+bits.TrailingZeros64(w)])
 			}
 		}
 		// Oldest first (insertion sort; candidate lists are tiny).
@@ -395,19 +478,6 @@ func (p *Pipeline) issue() {
 	}
 }
 
-// ready reports whether all of u's sources have been produced.
-func (p *Pipeline) ready(u *uop) bool {
-	for i := 0; i < 2; i++ {
-		if u.srcPhys[i] < 0 {
-			continue
-		}
-		if !p.fileFor(u.srcFile[i]).ready[u.srcPhys[i]] {
-			return false
-		}
-	}
-	return true
-}
-
 // pickUnit chooses the unit instance for this issue slot: units fill in
 // order within a cycle (avail counts down).
 func (p *Pipeline) pickUnit(k FUKind, avail int) int {
@@ -418,11 +488,13 @@ func (p *Pipeline) pickUnit(k FUKind, avail int) int {
 // bits OR in), a pending logic injection on this unit lands, and the
 // completion time is scheduled.
 func (p *Pipeline) start(u *uop, unit int) {
-	u.issued = true
 	u.issueCycle = p.cycle
 	u.execStart = p.cycle
 	u.unit = unit
 
+	// Nil-hook fast path hoisted out of the source loop: a run without
+	// observers attached pays no per-operand callback check.
+	onRead := p.hooks.OnRegRead
 	for i := 0; i < 2; i++ {
 		if u.srcPhys[i] < 0 {
 			continue
@@ -430,22 +502,27 @@ func (p *Pipeline) start(u *uop, unit int) {
 		rf := p.fileFor(u.srcFile[i])
 		u.errMask |= rf.err[u.srcPhys[i]]
 		u.srcProducers[i] = rf.writer[u.srcPhys[i]]
-		if p.hooks.OnRegRead != nil {
-			p.hooks.OnRegRead(u.srcFile[i], u.srcPhys[i], p.cycle, u.seq)
+		if onRead != nil {
+			onRead(u.srcFile[i], u.srcPhys[i], p.cycle, u.seq)
 		}
 	}
 
 	// A pending single-cycle logic injection corrupts the op starting on
-	// the chosen unit this cycle.
-	if ls := logicStructure(u.fu); int(ls) < NumStructures {
-		if p.pendingLogic[ls] == unit+1 {
-			u.errMask |= ls.Bit()
-			p.pendingLogic[ls] = 0 // consumed
+	// the chosen unit this cycle. logicArmed is false except during the
+	// one cycle following an Inject on a logic structure.
+	if p.logicArmed {
+		if ls := logicStructure(u.fu); int(ls) < NumStructures {
+			if p.pendingLogic[ls] == unit+1 {
+				u.errMask |= ls.Bit()
+				p.pendingLogic[ls] = 0 // consumed
+			}
 		}
 	}
 
 	u.doneCycle = p.cycle + p.latency(u)
-	p.inflight[u.fu][unit]++
+	if p.inflight[u.fu][unit]++; p.inflight[u.fu][unit] == 1 {
+		p.activeUnits[u.fu]++
+	}
 	p.initiations[u.fu]++
 	p.executing = append(p.executing, u)
 }
@@ -513,6 +590,9 @@ func (p *Pipeline) dispatch() {
 		}
 		p.instBuf.pop()
 
+		// Full (re-)initialization of the pooled uop; getUop does not
+		// zero. srcFile/dstFile/oldDst are only read under their
+		// srcPhys/dstPhys >= 0 guards, set together below.
 		u := p.getUop()
 		u.inst = f.inst
 		u.seq = f.seq
@@ -523,9 +603,12 @@ func (p *Pipeline) dispatch() {
 		u.dispatchCycle = p.cycle
 		u.issueCycle = -1
 		u.execStart = -1
+		u.doneCycle = -1
 		u.dstPhys = -1
 		u.srcPhys = [2]int16{-1, -1}
 		u.srcProducers = [2]int64{-1, -1}
+		u.done = false
+		u.waitCount = 0
 		u.mispredicted = f.mispred
 		u.errMask = f.errMask
 
@@ -542,12 +625,25 @@ func (p *Pipeline) dispatch() {
 			file, idx := fileOf(f.inst.Dst)
 			u.dstFile = file
 			u.dstPhys, u.oldDst = rf.alloc(idx)
-			_ = file
 		}
 
 		p.rob.push(u)
 		if q != QNone {
 			u.qEntry = p.queues[q].alloc(u)
+			// Subscribe to unproduced sources; a uop with all sources
+			// ready is issue-ready immediately.
+			for i := 0; i < 2; i++ {
+				if s := u.srcPhys[i]; s >= 0 {
+					srf := p.fileFor(u.srcFile[i])
+					if !srf.ready[s] {
+						srf.waiters[s] = append(srf.waiters[s], u)
+						u.waitCount++
+					}
+				}
+			}
+			if u.waitCount == 0 {
+				p.queues[q].markReady(u.qEntry)
+			}
 		} else {
 			// Nops bypass the queues and complete immediately.
 			u.done = true
@@ -563,21 +659,21 @@ func (p *Pipeline) fetch() {
 	if p.fetchHalted || p.cycle < p.fetchStallUntil {
 		return
 	}
-	lineMask := ^uint64(p.cfg.L1I.LineBytes - 1)
 	for n := 0; n < p.cfg.FetchWidth && !p.instBuf.full(); n++ {
-		if p.pending == nil {
+		if !p.havePending {
 			in, ok := p.src.Next()
 			if !ok {
 				p.srcDone = true
 				return
 			}
-			p.pending = &fetched{inst: in, seq: p.seq}
+			p.pending = fetched{inst: in, seq: p.seq}
+			p.havePending = true
 			p.seq++
 		}
-		f := p.pending
+		f := &p.pending
 		// New cache line: probe the I-side hierarchy; a miss stalls the
 		// front end until the line arrives.
-		line := f.inst.PC & lineMask
+		line := f.inst.PC & p.lineMask
 		if !p.haveFetchLine || line != p.curFetchLine {
 			acc := p.hier.InstAccess(f.inst.PC)
 			p.curFetchLine = line
@@ -606,7 +702,7 @@ func (p *Pipeline) fetch() {
 			f.mispred = p.pred.Resolve(f.inst.PC, f.inst.Taken, f.inst.Target)
 		}
 		p.instBuf.push(*f)
-		p.pending = nil
+		p.havePending = false
 
 		if f.inst.Class == isa.ClassBranch {
 			if f.mispred {
@@ -627,16 +723,15 @@ func (p *Pipeline) fetch() {
 // accountCycle updates per-cycle statistics.
 func (p *Pipeline) accountCycle() {
 	for k := 0; k < NumFUKinds; k++ {
-		for _, n := range p.inflight[k] {
-			if n > 0 {
-				p.busyUnitCycles[k]++
-			}
-		}
+		p.busyUnitCycles[k] += p.activeUnits[k]
 	}
 	p.iqOccupancySum += int64(p.queues[QFXU].count + p.queues[QFPU].count + p.queues[QBr].count)
 	// Unconsumed single-cycle logic injections are masked (unit idle).
-	for s := range p.pendingLogic {
-		p.pendingLogic[s] = 0
+	if p.logicArmed {
+		for s := range p.pendingLogic {
+			p.pendingLogic[s] = 0
+		}
+		p.logicArmed = false
 	}
 }
 

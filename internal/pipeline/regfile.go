@@ -13,16 +13,25 @@ type regFile struct {
 	err    []ErrMask
 	writer []int64 // Seq of the producing instruction, -1 for initial state
 
+	// waiters[phys] holds the queued uops blocked on phys being
+	// produced. Writeback drains the list (waking each entry); slices
+	// keep their capacity, so the steady state allocates nothing. A
+	// register is only released after every program-order-earlier
+	// consumer has retired (and therefore issued), so a non-empty list
+	// can never be dropped by release/alloc.
+	waiters [][]*uop
+
 	rmap [32]int16 // architectural -> physical
 	free []int16   // free list (LIFO)
 }
 
 func newRegFile(id RegFileID, physRegs int) *regFile {
 	rf := &regFile{
-		id:     id,
-		ready:  make([]bool, physRegs),
-		err:    make([]ErrMask, physRegs),
-		writer: make([]int64, physRegs),
+		id:      id,
+		ready:   make([]bool, physRegs),
+		err:     make([]ErrMask, physRegs),
+		writer:  make([]int64, physRegs),
+		waiters: make([][]*uop, physRegs),
 	}
 	for i := 0; i < 32; i++ {
 		rf.rmap[i] = int16(i)

@@ -330,13 +330,25 @@ func (a *Analyzer) HandleRegRead(file pipeline.RegFileID, phys int16, cycle, rea
 	seg.reads = append(seg.reads, readRec{cycle: cycle, seq: readerSeq})
 }
 
+// readBufChunk is how many read buffers one slab allocation yields. The
+// settlement queue keeps up to a Window's worth of closed segments (and
+// their buffers) in flight, so refilling the pool one buffer at a time
+// costs one allocation per segment; a slab cuts that by 64x.
+const readBufChunk = 64
+
 func (a *Analyzer) getReadBuf() []readRec {
 	if n := len(a.readPool); n > 0 {
 		b := a.readPool[n-1]
 		a.readPool = a.readPool[:n-1]
 		return b[:0]
 	}
-	return make([]readRec, 0, 4)
+	// Carve a slab into full-capacity slices; appending past cap 4
+	// reallocates that buffer independently, leaving its siblings alone.
+	slab := make([]readRec, readBufChunk*4)
+	for i := readBufChunk - 1; i > 0; i-- {
+		a.readPool = append(a.readPool, slab[i*4:i*4:(i+1)*4])
+	}
+	return slab[0:0:4]
 }
 
 // closeSegment finalizes or queues a finished segment. A segment with no

@@ -3,12 +3,17 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check cover bench report daemon clean
+# Profile-guided optimization: when the committed profile exists, build
+# every binary with it. Regenerate with `make pgo` after hot-path changes.
+PGOFILE := default.pgo
+GOFLAGS_PGO := $(if $(wildcard $(PGOFILE)),-pgo=$(abspath $(PGOFILE)),)
+
+.PHONY: all build test vet race check cover bench bench-json pgo report daemon clean
 
 all: check
 
 build:
-	$(GO) build ./...
+	$(GO) build $(GOFLAGS_PGO) ./...
 
 test:
 	$(GO) test ./...
@@ -32,6 +37,17 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json appends the next BENCH_<n>.json performance report at the
+# repo root and prints regressions against the previous one.
+bench-json:
+	$(GO) run $(GOFLAGS_PGO) ./cmd/avfbench
+
+# pgo regenerates the committed PGO profile from a standard avfreport
+# run (fig3 exercises the full fused pipeline+softarch+estimator path).
+pgo:
+	$(GO) run ./cmd/avfreport -scale quick -seed 1 -parallel 1 -only fig3 -cpuprofile $(PGOFILE) >/dev/null
+	@echo "wrote $(PGOFILE)"
 
 report:
 	$(GO) run ./cmd/avfreport

@@ -1,0 +1,213 @@
+// Command avfbench measures the simulator's cycle-loop performance under
+// four standardized scenarios and appends a machine-readable report
+// (BENCH_<n>.json) to the repo's benchmark history:
+//
+//	bare       pipeline.Step alone — the raw timing-simulator hot loop
+//	softarch   + the offline reference analyzer on the pipeline hooks
+//	estimator  + the online AVF estimator (inject/propagate/conclude)
+//	fused      + both, wired exactly like internal/experiment.Run
+//
+// Each scenario simulates the same workload for a fixed cycle budget
+// after a warm-up, reporting ns/cycle, cycles/sec and allocation rates.
+// When a previous BENCH_<n>.json exists the new report is compared
+// against it and regressions beyond -threshold are listed;
+// -fail-on-regress turns them into a non-zero exit for CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"avfsim/internal/config"
+	"avfsim/internal/core"
+	"avfsim/internal/perfstat"
+	"avfsim/internal/pipeline"
+	"avfsim/internal/softarch"
+	"avfsim/internal/workload"
+)
+
+// Estimation parameters for the estimator/fused scenarios. They match
+// BenchmarkFigure3ErrorStats-scale runs: one injection every M cycles,
+// N injections per estimate.
+const (
+	benchM = 1000
+	benchN = 100
+)
+
+type scenarioDef struct {
+	name      string
+	softarch  bool
+	estimator bool
+}
+
+var scenarios = []scenarioDef{
+	{name: "bare"},
+	{name: "softarch", softarch: true},
+	{name: "estimator", estimator: true},
+	{name: "fused", softarch: true, estimator: true},
+}
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "reduced cycle budget for CI smoke runs")
+		cycles    = flag.Int64("cycles", 2_000_000, "measured cycles per scenario")
+		warmup    = flag.Int64("warmup", 200_000, "warm-up cycles before measuring")
+		bench     = flag.String("workload", "mesa", "workload profile to drive")
+		seed      = flag.Uint64("seed", 0, "workload trace seed")
+		outDir    = flag.String("out", ".", "directory holding BENCH_<n>.json history")
+		threshold = flag.Float64("threshold", 0.20, "regression threshold vs previous report")
+		failRegr  = flag.Bool("fail-on-regress", false, "exit nonzero when a regression is flagged")
+	)
+	flag.Parse()
+	if *quick {
+		*cycles = 300_000
+		*warmup = 50_000
+	}
+
+	rep := &perfstat.Report{
+		Schema:    perfstat.SchemaVersion,
+		Benchmark: *bench,
+		Quick:     *quick,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	fmt.Printf("avfbench: %s, %d cycles/scenario (+%d warm-up), %s %s/%s\n",
+		*bench, *cycles, *warmup, rep.GoVersion, rep.GOOS, rep.GOARCH)
+	fmt.Printf("%-10s %12s %14s %12s %12s %8s\n",
+		"scenario", "ns/cycle", "cycles/sec", "allocs/cyc", "bytes/cyc", "ipc")
+	for _, def := range scenarios {
+		sc, err := runScenario(def, *bench, *seed, *warmup, *cycles)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfbench: %s: %v\n", def.name, err)
+			os.Exit(1)
+		}
+		rep.Scenarios = append(rep.Scenarios, *sc)
+		fmt.Printf("%-10s %12.1f %14.0f %12.4f %12.1f %8.4f\n",
+			sc.Name, sc.NsPerCycle, sc.CyclesPerSec,
+			sc.AllocsPerCycle, sc.BytesPerCycle, sc.IPC)
+	}
+
+	// Find the comparison baseline BEFORE writing the new report so the
+	// fresh file cannot match itself.
+	prev, prevRep, err := perfstat.LastMatching(*outDir, *bench, *quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avfbench: %v\n", err)
+		os.Exit(1)
+	}
+	next, _, err := perfstat.NextPath(*outDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avfbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := perfstat.Write(next, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "avfbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("avfbench: wrote %s\n", next)
+
+	if prevRep == nil {
+		fmt.Println("avfbench: no comparable previous report; nothing to compare")
+		return
+	}
+	regs := perfstat.Compare(prevRep, rep, *threshold)
+	if len(regs) == 0 {
+		fmt.Printf("avfbench: no regressions vs %s (threshold %.0f%%)\n",
+			prev, *threshold*100)
+		return
+	}
+	fmt.Printf("avfbench: %d regression(s) vs %s:\n", len(regs), prev)
+	for _, r := range regs {
+		fmt.Printf("  %s\n", r)
+	}
+	if *failRegr {
+		os.Exit(1)
+	}
+}
+
+// runScenario builds a fresh pipeline for def, warms it up, and measures
+// the steady-state cycle loop.
+func runScenario(def scenarioDef, bench string, seed uint64, warmup, cycles int64) (*perfstat.Scenario, error) {
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	cfg := config.Default()
+	p, err := pipeline.New(&cfg, prof.MustSource(seed))
+	if err != nil {
+		return nil, err
+	}
+
+	var est *core.Estimator
+	var ref *softarch.Analyzer
+	hooks := pipeline.Hooks{}
+	if def.estimator {
+		est, err = core.NewEstimator(p, core.Options{M: benchM, N: benchN})
+		if err != nil {
+			return nil, err
+		}
+		hooks.OnFailure = est.HandleFailure
+	}
+	if def.softarch {
+		ref, err = softarch.NewAnalyzer(p, softarch.Options{
+			IntervalCycles: benchM * benchN,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rh := ref.Hooks()
+		hooks.OnRetire = rh.OnRetire
+		hooks.OnRegWrite = rh.OnRegWrite
+		hooks.OnRegRead = rh.OnRegRead
+		hooks.OnTLBAccess = rh.OnTLBAccess
+	}
+	if def.estimator || def.softarch {
+		p.SetHooks(hooks)
+	}
+
+	step := func() error {
+		if !p.Step() {
+			return fmt.Errorf("trace ended at cycle %d", p.Cycle())
+		}
+		if est != nil {
+			est.Tick()
+		}
+		return nil
+	}
+	for i := int64(0); i < warmup; i++ {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	retired0 := p.Retired()
+	start := time.Now()
+	for i := int64(0); i < cycles; i++ {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	sc := &perfstat.Scenario{
+		Name:           def.name,
+		Cycles:         cycles,
+		WallNs:         wall.Nanoseconds(),
+		NsPerCycle:     float64(wall.Nanoseconds()) / float64(cycles),
+		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / float64(cycles),
+		BytesPerCycle:  float64(after.TotalAlloc-before.TotalAlloc) / float64(cycles),
+		IPC:            float64(p.Retired()-retired0) / float64(cycles),
+	}
+	if sc.NsPerCycle > 0 {
+		sc.CyclesPerSec = 1e9 / sc.NsPerCycle
+	}
+	return sc, nil
+}

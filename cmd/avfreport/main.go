@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"avfsim/internal/experiment"
@@ -34,7 +35,24 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	only := flag.String("only", "", "render a single artifact: table1, fig1, fig2, fig3, fig4, fig5, ablate, baselines")
 	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "workers for benchmark-grid simulations (1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (source for make pgo)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfreport: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "avfreport: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	var spec experiment.ScaleSpec
 	switch *scale {

@@ -1,0 +1,228 @@
+// Package perfstat defines the machine-readable benchmark report emitted
+// by cmd/avfbench (BENCH_<n>.json at the repo root) and the comparison
+// logic that flags performance regressions between consecutive reports.
+//
+// Reports are append-only: each avfbench run writes the next numbered
+// file so a repo accumulates a performance history that CI (and humans)
+// can diff without re-running old commits.
+package perfstat
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Scenario is one measured workload configuration.
+type Scenario struct {
+	// Name identifies the scenario ("bare", "softarch", "estimator",
+	// "fused").
+	Name string `json:"name"`
+	// Cycles is the number of simulated cycles measured (after warm-up).
+	Cycles int64 `json:"cycles"`
+	// WallNs is the total wall-clock time of the measured region.
+	WallNs int64 `json:"wall_ns"`
+	// NsPerCycle is WallNs / Cycles.
+	NsPerCycle float64 `json:"ns_per_cycle"`
+	// CyclesPerSec is the simulation rate, 1e9 / NsPerCycle.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// AllocsPerCycle is heap allocations per simulated cycle (from
+	// runtime.MemStats deltas around the measured region).
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	// BytesPerCycle is heap bytes allocated per simulated cycle.
+	BytesPerCycle float64 `json:"bytes_per_cycle"`
+	// IPC is retired instructions per cycle — a fingerprint that the
+	// scenario simulated the same work, not a performance metric.
+	IPC float64 `json:"ipc"`
+}
+
+// Report is one avfbench run.
+type Report struct {
+	// Schema versions the JSON layout.
+	Schema int `json:"schema"`
+	// Benchmark is the workload driven through every scenario.
+	Benchmark string `json:"benchmark"`
+	// Quick records whether the run used the reduced -quick cycle budget.
+	Quick bool `json:"quick"`
+	// GoVersion, GOOS, GOARCH and NumCPU describe the measuring host.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Scenarios holds the four standardized measurements in run order.
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// SchemaVersion is the current Report.Schema value.
+const SchemaVersion = 1
+
+// Scenario returns the named scenario, or nil.
+func (r *Report) Scenario(name string) *Scenario {
+	for i := range r.Scenarios {
+		if r.Scenarios[i].Name == name {
+			return &r.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// History lists the BENCH_<n>.json files in dir in ascending numeric
+// order.
+func History(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var files []numbered
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		m := benchFileRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		files = append(files, numbered{n, filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].n < files[j].n })
+	paths := make([]string, len(files))
+	for i, f := range files {
+		paths[i] = f.path
+	}
+	return paths, nil
+}
+
+// NextPath returns the path the next report should be written to
+// (BENCH_<max+1>.json, starting at BENCH_1.json) and the path of the most
+// recent existing report ("" if none).
+func NextPath(dir string) (next, prev string, err error) {
+	hist, err := History(dir)
+	if err != nil {
+		return "", "", err
+	}
+	n := 0
+	if len(hist) > 0 {
+		prev = hist[len(hist)-1]
+		m := benchFileRe.FindStringSubmatch(filepath.Base(prev))
+		n, _ = strconv.Atoi(m[1])
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n+1)), prev, nil
+}
+
+// LastMatching returns the most recent report in dir that is comparable
+// to a run of benchmark with the given quick setting — reports taken at
+// a different cycle budget measure a different phase of the trace, so
+// their ns/cycle are not commensurable. Returns ("", nil, nil) when no
+// comparable report exists. Unreadable history files are skipped.
+func LastMatching(dir, benchmark string, quick bool) (string, *Report, error) {
+	hist, err := History(dir)
+	if err != nil {
+		return "", nil, err
+	}
+	for i := len(hist) - 1; i >= 0; i-- {
+		r, err := Load(hist[i])
+		if err != nil {
+			continue
+		}
+		if r.Benchmark == benchmark && r.Quick == quick {
+			return hist[i], r, nil
+		}
+	}
+	return "", nil, nil
+}
+
+// Load reads a report from path.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perfstat: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Write marshals the report to path with a trailing newline.
+func Write(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Regression is one scenario whose cost grew beyond the threshold
+// relative to the previous report.
+type Regression struct {
+	Scenario string
+	// Metric names what regressed ("ns_per_cycle" or "allocs_per_cycle").
+	Metric string
+	// Prev and Cur are the compared values.
+	Prev, Cur float64
+	// Ratio is Cur/Prev.
+	Ratio float64
+}
+
+func (g Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx)",
+		g.Scenario, g.Metric, g.Prev, g.Cur, g.Ratio)
+}
+
+// Compare flags scenarios in cur that regressed versus prev by more than
+// threshold (0.20 = 20% slower). Time is compared as a ratio; allocations
+// regress when a previously allocation-free scenario starts allocating,
+// or when the rate grows beyond the same threshold. Scenarios missing
+// from either report are skipped — comparison only makes sense for
+// matched configurations.
+func Compare(prev, cur *Report, threshold float64) []Regression {
+	var regs []Regression
+	for i := range cur.Scenarios {
+		c := &cur.Scenarios[i]
+		p := prev.Scenario(c.Name)
+		if p == nil {
+			continue
+		}
+		if p.NsPerCycle > 0 && c.NsPerCycle > p.NsPerCycle*(1+threshold) {
+			regs = append(regs, Regression{
+				Scenario: c.Name, Metric: "ns_per_cycle",
+				Prev: p.NsPerCycle, Cur: c.NsPerCycle,
+				Ratio: c.NsPerCycle / p.NsPerCycle,
+			})
+		}
+		// Allocation regressions: zero-alloc scenarios must stay
+		// zero-alloc (with a tiny epsilon for runtime background noise);
+		// allocating ones obey the ratio threshold.
+		const eps = 1e-3
+		switch {
+		case p.AllocsPerCycle <= eps && c.AllocsPerCycle > eps:
+			regs = append(regs, Regression{
+				Scenario: c.Name, Metric: "allocs_per_cycle",
+				Prev: p.AllocsPerCycle, Cur: c.AllocsPerCycle,
+				Ratio: 0,
+			})
+		case p.AllocsPerCycle > eps && c.AllocsPerCycle > p.AllocsPerCycle*(1+threshold):
+			regs = append(regs, Regression{
+				Scenario: c.Name, Metric: "allocs_per_cycle",
+				Prev: p.AllocsPerCycle, Cur: c.AllocsPerCycle,
+				Ratio: c.AllocsPerCycle / p.AllocsPerCycle,
+			})
+		}
+	}
+	return regs
+}

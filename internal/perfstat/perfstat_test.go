@@ -1,0 +1,123 @@
+package perfstat
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func report(nsBare, nsFused, allocsFused float64) *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		Benchmark: "mesa",
+		Scenarios: []Scenario{
+			{Name: "bare", NsPerCycle: nsBare, AllocsPerCycle: 0},
+			{Name: "fused", NsPerCycle: nsFused, AllocsPerCycle: allocsFused},
+		},
+	}
+}
+
+func TestNextPathNumbering(t *testing.T) {
+	dir := t.TempDir()
+	next, prev, err := NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev != "" || filepath.Base(next) != "BENCH_1.json" {
+		t.Fatalf("empty dir: next=%s prev=%s", next, prev)
+	}
+	if err := Write(next, report(300, 600, 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	next2, prev2, err := NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(next2) != "BENCH_2.json" || filepath.Base(prev2) != "BENCH_1.json" {
+		t.Fatalf("after one report: next=%s prev=%s", next2, prev2)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := report(288.5, 610, 0.02)
+	path := filepath.Join(dir, "BENCH_1.json")
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != want.Schema || len(got.Scenarios) != 2 ||
+		got.Scenarios[0].NsPerCycle != 288.5 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestCompareFlagsTimeRegression(t *testing.T) {
+	prev := report(300, 600, 0.01)
+	// bare 10% slower: under threshold. fused 50% slower: flagged.
+	cur := report(330, 900, 0.01)
+	regs := Compare(prev, cur, 0.20)
+	if len(regs) != 1 || regs[0].Scenario != "fused" || regs[0].Metric != "ns_per_cycle" {
+		t.Fatalf("want one fused ns_per_cycle regression, got %v", regs)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	prev := report(300, 600, 0.01)
+	cur := report(300, 600, 0.01)
+	cur.Scenario("bare").AllocsPerCycle = 0.5 // zero-alloc scenario now allocates
+	regs := Compare(prev, cur, 0.20)
+	if len(regs) != 1 || regs[0].Scenario != "bare" || regs[0].Metric != "allocs_per_cycle" {
+		t.Fatalf("want one bare allocs_per_cycle regression, got %v", regs)
+	}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	prev := report(300, 600, 0.01)
+	cur := report(290, 650, 0.011) // fused +8.3%, allocs +10%: both under 20%
+	if regs := Compare(prev, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("want no regressions, got %v", regs)
+	}
+}
+
+func TestLastMatchingSkipsIncomparable(t *testing.T) {
+	dir := t.TempDir()
+	full := report(300, 600, 0.01)
+	quick := report(450, 800, 0.01)
+	quick.Quick = true
+	if err := Write(filepath.Join(dir, "BENCH_1.json"), full); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(filepath.Join(dir, "BENCH_2.json"), quick); err != nil {
+		t.Fatal(err)
+	}
+	// A quick run must compare against BENCH_2, skipping the full BENCH_3
+	// slot... there is none; and a full run must find BENCH_1.
+	path, rep, err := LastMatching(dir, "mesa", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_2.json" || !rep.Quick {
+		t.Fatalf("quick baseline: got %s %+v", path, rep)
+	}
+	path, rep, err = LastMatching(dir, "mesa", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_1.json" || rep.Quick {
+		t.Fatalf("full baseline: got %s %+v", path, rep)
+	}
+	if path, rep, _ := LastMatching(dir, "bzip2", false); rep != nil {
+		t.Fatalf("different workload must not match, got %s", path)
+	}
+}
+
+func TestCompareSkipsUnmatchedScenarios(t *testing.T) {
+	prev := report(300, 600, 0.01)
+	cur := &Report{Scenarios: []Scenario{{Name: "new-scenario", NsPerCycle: 9999}}}
+	if regs := Compare(prev, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("unmatched scenarios must be skipped, got %v", regs)
+	}
+}

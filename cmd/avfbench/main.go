@@ -7,8 +7,13 @@
 //	estimator  + the online AVF estimator (inject/propagate/conclude)
 //	fused      + both, wired exactly like internal/experiment.Run
 //
+// With -flight two more scenarios measure the flight recorder's
+// marginal cost: estimator+flight and fused+flight.
+//
 // Each scenario simulates the same workload for a fixed cycle budget
 // after a warm-up, reporting ns/cycle, cycles/sec and allocation rates.
+// Reports are stamped with the build's VCS revision (when present) so
+// history entries attribute to commits.
 // When a previous BENCH_<n>.json exists the new report is compared
 // against it and regressions beyond -threshold are listed;
 // -fail-on-regress turns them into a non-zero exit for CI.
@@ -23,6 +28,7 @@ import (
 
 	"avfsim/internal/config"
 	"avfsim/internal/core"
+	"avfsim/internal/flight"
 	"avfsim/internal/perfstat"
 	"avfsim/internal/pipeline"
 	"avfsim/internal/softarch"
@@ -41,6 +47,7 @@ type scenarioDef struct {
 	name      string
 	softarch  bool
 	estimator bool
+	flight    bool
 }
 
 var scenarios = []scenarioDef{
@@ -48,6 +55,15 @@ var scenarios = []scenarioDef{
 	{name: "softarch", softarch: true},
 	{name: "estimator", estimator: true},
 	{name: "fused", softarch: true, estimator: true},
+}
+
+// flightScenarios measure the flight recorder's marginal cost over the
+// matching base scenarios. Only run with -flight so the default report
+// shape (and its regression comparison) stays stable; perfstat.Compare
+// skips scenarios absent from either report.
+var flightScenarios = []scenarioDef{
+	{name: "estimator+flight", estimator: true, flight: true},
+	{name: "fused+flight", softarch: true, estimator: true, flight: true},
 }
 
 func main() {
@@ -60,6 +76,7 @@ func main() {
 		outDir    = flag.String("out", ".", "directory holding BENCH_<n>.json history")
 		threshold = flag.Float64("threshold", 0.20, "regression threshold vs previous report")
 		failRegr  = flag.Bool("fail-on-regress", false, "exit nonzero when a regression is flagged")
+		doFlight  = flag.Bool("flight", false, "also measure estimator/fused with the flight recorder attached")
 	)
 	flag.Parse()
 	if *quick {
@@ -76,18 +93,30 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 	}
+	rep.VCSRevision, rep.VCSTime, rep.VCSModified = perfstat.BuildVCS()
 	fmt.Printf("avfbench: %s, %d cycles/scenario (+%d warm-up), %s %s/%s\n",
 		*bench, *cycles, *warmup, rep.GoVersion, rep.GOOS, rep.GOARCH)
-	fmt.Printf("%-10s %12s %14s %12s %12s %8s\n",
+	if rep.VCSRevision != "" {
+		dirty := ""
+		if rep.VCSModified {
+			dirty = " (dirty)"
+		}
+		fmt.Printf("avfbench: revision %s%s %s\n", rep.VCSRevision, dirty, rep.VCSTime)
+	}
+	defs := scenarios
+	if *doFlight {
+		defs = append(append([]scenarioDef(nil), scenarios...), flightScenarios...)
+	}
+	fmt.Printf("%-16s %12s %14s %12s %12s %8s\n",
 		"scenario", "ns/cycle", "cycles/sec", "allocs/cyc", "bytes/cyc", "ipc")
-	for _, def := range scenarios {
+	for _, def := range defs {
 		sc, err := runScenario(def, *bench, *seed, *warmup, *cycles)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "avfbench: %s: %v\n", def.name, err)
 			os.Exit(1)
 		}
 		rep.Scenarios = append(rep.Scenarios, *sc)
-		fmt.Printf("%-10s %12.1f %14.0f %12.4f %12.1f %8.4f\n",
+		fmt.Printf("%-16s %12.1f %14.0f %12.4f %12.1f %8.4f\n",
 			sc.Name, sc.NsPerCycle, sc.CyclesPerSec,
 			sc.AllocsPerCycle, sc.BytesPerCycle, sc.IPC)
 	}
@@ -167,6 +196,11 @@ func runScenario(def scenarioDef, bench string, seed uint64, warmup, cycles int6
 	}
 	if def.estimator || def.softarch {
 		p.SetHooks(hooks)
+	}
+	if def.flight {
+		// A large ring so steady-state recording (not drop-chasing)
+		// dominates the measurement.
+		p.SetRecorder(flight.New(1 << 20))
 	}
 
 	step := func() error {

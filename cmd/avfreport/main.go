@@ -15,6 +15,11 @@
 // results. Benchmark-grid artifacts (fig3, fig4, fig5) fan their
 // independent simulations out over -parallel workers (default: all
 // cores); output is byte-identical to -parallel 1 at the same seed.
+//
+// With -flight <path> the command instead runs one flight-recorded
+// estimation of -flight-benchmark at the chosen scale and dumps the
+// reconstructed error-propagation traces as NDJSON — the offline
+// counterpart of avfd's GET /v1/jobs/{id}/flight.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"time"
 
 	"avfsim/internal/experiment"
+	"avfsim/internal/flight"
 	"avfsim/internal/sched"
 )
 
@@ -36,6 +42,8 @@ func main() {
 	only := flag.String("only", "", "render a single artifact: table1, fig1, fig2, fig3, fig4, fig5, ablate, baselines")
 	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "workers for benchmark-grid simulations (1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (source for make pgo)")
+	flightOut := flag.String("flight", "", "dump flight-recorder propagation traces (NDJSON) to this file and exit")
+	flightBench := flag.String("flight-benchmark", "mesa", "benchmark for the -flight dump")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -65,6 +73,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "avfreport: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+
+	if *flightOut != "" {
+		if err := flightDump(spec, *flightBench, *seed, *flightOut); err != nil {
+			fmt.Fprintf(os.Stderr, "avfreport: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	suite := experiment.NewSuite(spec, *seed)
@@ -106,4 +122,44 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\navfreport: done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// flightDump runs one flight-recorded estimation and writes the
+// reconstructed propagation traces as NDJSON.
+func flightDump(spec experiment.ScaleSpec, benchmark string, seed uint64, path string) error {
+	rec := flight.New(1 << 20)
+	start := time.Now()
+	res, err := experiment.Run(experiment.RunConfig{
+		Benchmark: benchmark,
+		Scale:     spec.Scale,
+		Seed:      seed,
+		M:         spec.M, N: spec.N, Intervals: spec.Intervals,
+		Recorder: rec,
+	})
+	if err != nil {
+		return err
+	}
+	traces := rec.Traces()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := traces.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	out := traces.Outcomes()
+	fmt.Printf("avfreport: %s @ %s: %d traces (%d failure, %d masked, %d pending, %d open) -> %s\n",
+		benchmark, spec.Name, len(traces.Traces),
+		out[flight.OutcomeFailure], out[flight.OutcomeMasked], out[flight.OutcomePending], out[flight.OutcomeOpen],
+		path)
+	if traces.Dropped > 0 || traces.Orphans > 0 {
+		fmt.Printf("avfreport: ring dropped %d events (%d orphaned); raise the cap for lossless traces\n",
+			traces.Dropped, traces.Orphans)
+	}
+	fmt.Printf("avfreport: %d retired in %v\n", res.Stats.Retired, time.Since(start).Round(time.Millisecond))
+	return nil
 }

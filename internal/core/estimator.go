@@ -13,6 +13,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"avfsim/internal/isa"
 	"avfsim/internal/obs"
@@ -105,6 +106,19 @@ type Estimate struct {
 	AVF float64
 	// Failures and Injections are the raw counters.
 	Failures, Injections int
+}
+
+// StdErr returns the binomial standard error of the estimate,
+// sqrt(p·(1-p)/n): each interval is n independent injections each
+// failing with probability ≈ AVF, so this is the sampling noise an
+// estimate carries before any real workload shift — the noise floor
+// downstream consumers (the drift detector) must not alarm on.
+func (e Estimate) StdErr() float64 {
+	if e.Injections <= 0 {
+		return 0
+	}
+	p := e.AVF
+	return math.Sqrt(p * (1 - p) / float64(e.Injections))
 }
 
 // structState is the per-structure Algorithm 1 state.

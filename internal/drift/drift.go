@@ -1,0 +1,371 @@
+// Package drift detects level shifts in the per-interval AVF series the
+// estimator emits. The paper's output is a stream: one AVF estimate per
+// structure every M×N cycles. A workload phase change (Figure 3's mesa
+// spikes), a misconfigured estimator, or a diverging
+// estimator-vs-reference pair all show up as a *shift of the stream's
+// mean* long before a human reads a report — so the service watches
+// every stream online with two classical, complementary control charts:
+//
+//   - an EWMA chart (exponentially weighted moving average against
+//     control limits L·σ·sqrt(λ/(2-λ))), fast on large sudden shifts;
+//   - a two-sided standardized CUSUM (slack K, threshold H, in σ
+//     units), which accumulates evidence and catches small sustained
+//     shifts the EWMA smooths over.
+//
+// Each stream learns its baseline (mean, σ) from its first Warmup
+// observations (Welford), then freezes it; after an alarm the detector
+// re-warms on the new level, so a legitimate phase change produces one
+// alarm and then silence, not a siren. σ is floored by the
+// per-observation sampling noise the caller supplies (for AVF
+// estimates: the binomial standard error sqrt(p(1-p)/N)), so a stream
+// whose genuine variance is tiny does not alarm on sampling jitter.
+package drift
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Config tunes a Detector. Zero values take the defaults.
+type Config struct {
+	// Lambda is the EWMA weight of the newest observation (default 0.25
+	// — responsive; classical charts use 0.05–0.25).
+	Lambda float64
+	// L is the EWMA control-limit width in multiples of the asymptotic
+	// EWMA σ (default 3).
+	L float64
+	// K is the CUSUM slack in σ units — shifts below 2K are ignored
+	// (default 0.5, tuned to detect 1σ shifts).
+	K float64
+	// H is the CUSUM alarm threshold in σ units (default 5).
+	H float64
+	// Warmup is how many observations establish the baseline before the
+	// charts arm (default 8, minimum 2).
+	Warmup int
+	// MinSigma floors the baseline σ (default 1e-9) so constant streams
+	// don't divide by zero. Per-observation noise floors are passed to
+	// Observe instead.
+	MinSigma float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lambda <= 0 || c.Lambda > 1 {
+		c.Lambda = 0.25
+	}
+	if c.L <= 0 {
+		c.L = 3
+	}
+	if c.K <= 0 {
+		c.K = 0.5
+	}
+	if c.H <= 0 {
+		c.H = 5
+	}
+	if c.Warmup < 2 {
+		c.Warmup = 8
+	}
+	if c.MinSigma <= 0 {
+		c.MinSigma = 1e-9
+	}
+	return c
+}
+
+// AlarmKind says which chart fired.
+type AlarmKind string
+
+// Alarm kinds.
+const (
+	AlarmEWMA  AlarmKind = "ewma"
+	AlarmCUSUM AlarmKind = "cusum"
+)
+
+// Alarm is one detected shift.
+type Alarm struct {
+	Kind AlarmKind `json:"kind"`
+	// Index is the 0-based observation number that fired.
+	Index int64 `json:"index"`
+	// Value is the observation; Mean/Sigma the frozen baseline it
+	// violated; Stat the chart statistic at firing (EWMA value, or the
+	// larger CUSUM sum in σ units).
+	Value float64 `json:"value"`
+	Mean  float64 `json:"mean"`
+	Sigma float64 `json:"sigma"`
+	Stat  float64 `json:"stat"`
+	// Up is the shift direction.
+	Up bool `json:"up"`
+}
+
+// Detector watches one series. Not safe for concurrent use; Monitor
+// adds locking.
+type Detector struct {
+	cfg Config
+
+	n int64 // observations seen
+
+	// Welford accumulators during warmup; warmNoise is the largest
+	// per-observation noise floor seen while warming.
+	warmN     int
+	warmMean  float64
+	warmM2    float64
+	warmNoise float64
+
+	armed bool
+	mean  float64
+	sigma float64
+
+	ewma    float64
+	cusumHi float64
+	cusumLo float64
+}
+
+// NewDetector builds a detector with cfg (zero fields defaulted).
+func NewDetector(cfg Config) *Detector {
+	return &Detector{cfg: cfg.withDefaults()}
+}
+
+// Armed reports whether the baseline is frozen and the charts active.
+func (d *Detector) Armed() bool { return d.armed }
+
+// Baseline returns the frozen (mean, sigma); zeros while warming.
+func (d *Detector) Baseline() (mean, sigma float64) { return d.mean, d.sigma }
+
+// State returns the current chart statistics (EWMA level, CUSUM sums).
+func (d *Detector) State() (ewma, cusumHi, cusumLo float64) {
+	return d.ewma, d.cusumHi, d.cusumLo
+}
+
+// Count returns the number of observations seen.
+func (d *Detector) Count() int64 { return d.n }
+
+// reset drops the baseline and re-warms (called after an alarm so the
+// detector adapts to the new level instead of alarming forever).
+func (d *Detector) reset() {
+	d.armed = false
+	d.warmN, d.warmMean, d.warmM2, d.warmNoise = 0, 0, 0, 0
+	d.cusumHi, d.cusumLo = 0, 0
+}
+
+// Observe feeds one observation. noise is the per-observation sampling
+// standard error (0 if unknown); the baseline σ is floored by the
+// largest warmup noise so sampling jitter alone cannot alarm. The
+// returned alarms (usually none, at most one per chart) fire on the
+// observation that crossed a limit; after any alarm the detector
+// re-warms on subsequent observations.
+func (d *Detector) Observe(x, noise float64) []Alarm {
+	idx := d.n
+	d.n++
+
+	if !d.armed {
+		d.warmN++
+		delta := x - d.warmMean
+		d.warmMean += delta / float64(d.warmN)
+		d.warmM2 += delta * (x - d.warmMean)
+		// Track noise floors during warmup via a running max — the
+		// conservative choice for heterogeneous windows.
+		if noise > d.warmNoise {
+			d.warmNoise = noise
+		}
+		if d.warmN >= d.cfg.Warmup {
+			d.mean = d.warmMean
+			// Inflate the sample σ for small-sample uncertainty: with
+			// only Warmup observations both σ and the mean are noisy
+			// estimates, and a chart run against them raw false-alarms
+			// at several times its nominal rate. The 1 + 1.5/sqrt(n)
+			// factor (~1.5x at n=8, ->1 as n grows) restores the
+			// nominal ARL at the cost of slightly later detection.
+			sample := math.Sqrt(d.warmM2 / float64(d.warmN-1))
+			sample *= 1 + 1.5/math.Sqrt(float64(d.warmN))
+			d.sigma = math.Max(math.Max(sample, d.warmNoise), d.cfg.MinSigma)
+			d.ewma = d.mean
+			d.cusumHi, d.cusumLo = 0, 0
+			d.armed = true
+		}
+		return nil
+	}
+
+	sigma := math.Max(d.sigma, noise)
+	var alarms []Alarm
+
+	// EWMA chart.
+	lambda := d.cfg.Lambda
+	d.ewma = lambda*x + (1-lambda)*d.ewma
+	limit := d.cfg.L * sigma * math.Sqrt(lambda/(2-lambda))
+	if dev := d.ewma - d.mean; math.Abs(dev) > limit {
+		alarms = append(alarms, Alarm{
+			Kind: AlarmEWMA, Index: idx, Value: x,
+			Mean: d.mean, Sigma: sigma, Stat: d.ewma, Up: dev > 0,
+		})
+	}
+
+	// Two-sided standardized CUSUM.
+	z := (x - d.mean) / sigma
+	d.cusumHi = math.Max(0, d.cusumHi+z-d.cfg.K)
+	d.cusumLo = math.Max(0, d.cusumLo-z-d.cfg.K)
+	if d.cusumHi > d.cfg.H || d.cusumLo > d.cfg.H {
+		up := d.cusumHi > d.cusumLo
+		stat := d.cusumHi
+		if !up {
+			stat = d.cusumLo
+		}
+		alarms = append(alarms, Alarm{
+			Kind: AlarmCUSUM, Index: idx, Value: x,
+			Mean: d.mean, Sigma: sigma, Stat: stat, Up: up,
+		})
+	}
+
+	if len(alarms) > 0 {
+		d.reset()
+	}
+	return alarms
+}
+
+// StreamAlarm is an alarm tagged with its stream name, for the monitor
+// log and the alerts feed.
+type StreamAlarm struct {
+	Stream string `json:"stream"`
+	Alarm
+}
+
+// StreamState is one stream's snapshot for /v1/drift.
+type StreamState struct {
+	Stream  string  `json:"stream"`
+	Count   int64   `json:"count"`
+	Armed   bool    `json:"armed"`
+	Mean    float64 `json:"mean"`
+	Sigma   float64 `json:"sigma"`
+	EWMA    float64 `json:"ewma"`
+	CUSUMHi float64 `json:"cusum_hi"`
+	CUSUMLo float64 `json:"cusum_lo"`
+	Last    float64 `json:"last"`
+	Alarms  int64   `json:"alarms"`
+}
+
+// Snapshot is the monitor's full state for /v1/drift.
+type Snapshot struct {
+	Streams []StreamState `json:"streams"`
+	// Alarms is the retained alarm log, oldest first.
+	Alarms []StreamAlarm `json:"alarms"`
+	// TotalAlarms counts every alarm ever fired (the log is bounded).
+	TotalAlarms int64 `json:"total_alarms"`
+}
+
+// DefaultAlarmLog bounds the monitor's retained alarm history.
+const DefaultAlarmLog = 256
+
+// Monitor multiplexes named streams ("avf/iq", "divergence/reg", ...)
+// over per-stream detectors, keeps a bounded alarm log, and snapshots
+// for the HTTP layer. Safe for concurrent use.
+type Monitor struct {
+	cfg     Config
+	logCap  int
+	onAlarm func(StreamAlarm)
+
+	mu      sync.Mutex
+	streams map[string]*stream
+	alarms  []StreamAlarm
+	total   int64
+}
+
+type stream struct {
+	det    *Detector
+	last   float64
+	alarms int64
+}
+
+// MonitorOption configures a Monitor.
+type MonitorOption func(*Monitor)
+
+// WithConfig sets the per-stream detector config.
+func WithConfig(cfg Config) MonitorOption {
+	return func(m *Monitor) { m.cfg = cfg }
+}
+
+// WithAlarmLog sets the retained alarm-log size.
+func WithAlarmLog(n int) MonitorOption {
+	return func(m *Monitor) {
+		if n > 0 {
+			m.logCap = n
+		}
+	}
+}
+
+// OnAlarm registers a callback invoked (synchronously, outside the
+// monitor lock) for every alarm — the obs-metrics and SSE bridges.
+func OnAlarm(fn func(StreamAlarm)) MonitorOption {
+	return func(m *Monitor) { m.onAlarm = fn }
+}
+
+// NewMonitor builds an empty monitor.
+func NewMonitor(opts ...MonitorOption) *Monitor {
+	m := &Monitor{
+		cfg:     Config{}.withDefaults(),
+		logCap:  DefaultAlarmLog,
+		streams: map[string]*stream{},
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Observe feeds one observation into the named stream (created on first
+// use) and returns any alarms, tagged.
+func (m *Monitor) Observe(name string, x, noise float64) []StreamAlarm {
+	m.mu.Lock()
+	st := m.streams[name]
+	if st == nil {
+		st = &stream{det: NewDetector(m.cfg)}
+		m.streams[name] = st
+	}
+	st.last = x
+	alarms := st.det.Observe(x, noise)
+	var tagged []StreamAlarm
+	for _, a := range alarms {
+		sa := StreamAlarm{Stream: name, Alarm: a}
+		tagged = append(tagged, sa)
+		st.alarms++
+		m.total++
+		if len(m.alarms) >= m.logCap {
+			copy(m.alarms, m.alarms[1:])
+			m.alarms = m.alarms[:len(m.alarms)-1]
+		}
+		m.alarms = append(m.alarms, sa)
+	}
+	cb := m.onAlarm
+	m.mu.Unlock()
+	if cb != nil {
+		for _, a := range tagged {
+			cb(a)
+		}
+	}
+	return tagged
+}
+
+// Snapshot returns the full monitor state, streams sorted by name.
+func (m *Monitor) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := Snapshot{TotalAlarms: m.total}
+	for name, st := range m.streams {
+		mean, sigma := st.det.Baseline()
+		ewma, hi, lo := st.det.State()
+		snap.Streams = append(snap.Streams, StreamState{
+			Stream: name, Count: st.det.Count(), Armed: st.det.Armed(),
+			Mean: mean, Sigma: sigma, EWMA: ewma, CUSUMHi: hi, CUSUMLo: lo,
+			Last: st.last, Alarms: st.alarms,
+		})
+	}
+	sort.Slice(snap.Streams, func(i, j int) bool {
+		return snap.Streams[i].Stream < snap.Streams[j].Stream
+	})
+	snap.Alarms = append([]StreamAlarm(nil), m.alarms...)
+	return snap
+}
+
+// TotalAlarms returns the count of alarms ever fired.
+func (m *Monitor) TotalAlarms() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}

@@ -1,0 +1,203 @@
+package drift
+
+import (
+	"math"
+	"testing"
+)
+
+// lcg is a tiny deterministic noise source (tests must not use
+// math/rand's global state).
+type lcg uint64
+
+func (r *lcg) next() float64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return float64(*r>>11) / float64(1<<53)
+}
+
+// gauss returns an approximately normal variate (Irwin–Hall sum).
+func (r *lcg) gauss() float64 {
+	s := 0.0
+	for i := 0; i < 12; i++ {
+		s += r.next()
+	}
+	return s - 6
+}
+
+// TestStationaryNoAlarm: a stationary AVF-like series must not alarm
+// over many observations.
+func TestStationaryNoAlarm(t *testing.T) {
+	d := NewDetector(Config{})
+	r := lcg(42)
+	for i := 0; i < 500; i++ {
+		x := 0.05 + 0.004*r.gauss()
+		if alarms := d.Observe(x, 0); len(alarms) > 0 {
+			t.Fatalf("stationary series alarmed at %d: %+v", i, alarms)
+		}
+	}
+	if !d.Armed() {
+		t.Error("detector never armed")
+	}
+}
+
+// TestSuddenShiftAlarms drives a synthetic AVF shift (the acceptance
+// scenario): a stable level followed by a step change must fire, and
+// fire soon after the step.
+func TestSuddenShiftAlarms(t *testing.T) {
+	d := NewDetector(Config{})
+	r := lcg(7)
+	level := func(mu float64) float64 { return mu + 0.003*r.gauss() }
+	for i := 0; i < 50; i++ {
+		if alarms := d.Observe(level(0.04), 0); len(alarms) > 0 {
+			t.Fatalf("pre-shift alarm at %d: %+v", i, alarms)
+		}
+	}
+	fired := -1
+	var kind AlarmKind
+	for i := 0; i < 20; i++ {
+		if alarms := d.Observe(level(0.12), 0); len(alarms) > 0 {
+			fired = i
+			kind = alarms[0].Kind
+			if !alarms[0].Up {
+				t.Errorf("upward shift reported as Up=false: %+v", alarms[0])
+			}
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("0.04 -> 0.12 shift never alarmed")
+	}
+	if fired > 5 {
+		t.Errorf("shift detected only after %d observations (kind %s); want fast", fired, kind)
+	}
+}
+
+// TestSmallSustainedShiftCUSUM: a 1.5σ sustained shift — too small for
+// the EWMA to catch quickly — must still trip the CUSUM.
+func TestSmallSustainedShiftCUSUM(t *testing.T) {
+	d := NewDetector(Config{})
+	r := lcg(99)
+	sigma := 0.004
+	for i := 0; i < 100; i++ {
+		if a := d.Observe(0.05+sigma*r.gauss(), 0); len(a) > 0 {
+			t.Fatalf("baseline alarmed at %d", i)
+		}
+	}
+	fired := false
+	for i := 0; i < 40 && !fired; i++ {
+		for _, a := range d.Observe(0.05+1.5*sigma+sigma*r.gauss(), 0) {
+			fired = true
+			if a.Kind != AlarmCUSUM && a.Kind != AlarmEWMA {
+				t.Errorf("unexpected alarm kind %s", a.Kind)
+			}
+		}
+	}
+	if !fired {
+		t.Error("1.5-sigma sustained shift never detected")
+	}
+}
+
+// TestRewarmAfterAlarm: after an alarm the detector re-baselines on the
+// new level and goes quiet — a phase change is one alarm, not a siren.
+func TestRewarmAfterAlarm(t *testing.T) {
+	d := NewDetector(Config{Warmup: 8})
+	r := lcg(3)
+	for i := 0; i < 30; i++ {
+		d.Observe(0.04+0.002*r.gauss(), 0)
+	}
+	total := 0
+	for i := 0; i < 60; i++ {
+		total += len(d.Observe(0.12+0.002*r.gauss(), 0))
+	}
+	if total == 0 {
+		t.Fatal("shift never alarmed")
+	}
+	if total > 2 {
+		t.Errorf("shift alarmed %d times; re-warmup should silence the new level", total)
+	}
+	if !d.Armed() {
+		t.Error("detector did not re-arm on the new level")
+	}
+}
+
+// TestNoiseFloorSuppressesSamplingJitter: with a per-observation
+// binomial stderr supplied, jitter of exactly that scale must not alarm
+// even if the warmup happened to see less variance.
+func TestNoiseFloorSuppressesSamplingJitter(t *testing.T) {
+	d := NewDetector(Config{})
+	r := lcg(11)
+	p, n := 0.05, 1000.0
+	stderr := math.Sqrt(p * (1 - p) / n) // ~0.0069
+	for i := 0; i < 300; i++ {
+		x := p + stderr*r.gauss()
+		if alarms := d.Observe(x, stderr); len(alarms) > 0 {
+			t.Fatalf("binomial jitter alarmed at %d: %+v", i, alarms)
+		}
+	}
+}
+
+// TestConstantSeriesNoAlarm: a perfectly constant stream (sample σ = 0)
+// must arm without dividing by zero and stay silent.
+func TestConstantSeriesNoAlarm(t *testing.T) {
+	d := NewDetector(Config{})
+	for i := 0; i < 100; i++ {
+		if alarms := d.Observe(0.25, 0); len(alarms) > 0 {
+			t.Fatalf("constant series alarmed: %+v", alarms)
+		}
+	}
+	if !d.Armed() {
+		t.Error("never armed")
+	}
+}
+
+// TestMonitorStreamsAndLog: streams are independent, alarms are tagged,
+// logged boundedly, and surfaced through Snapshot and OnAlarm.
+func TestMonitorStreamsAndLog(t *testing.T) {
+	var cbAlarms []StreamAlarm
+	m := NewMonitor(
+		WithConfig(Config{Warmup: 4}),
+		WithAlarmLog(2),
+		OnAlarm(func(a StreamAlarm) { cbAlarms = append(cbAlarms, a) }),
+	)
+	r := lcg(5)
+	// Stream A stays flat; stream B shifts repeatedly.
+	shift := 0.05
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 12; i++ {
+			m.Observe("avf/iq", 0.06+0.002*r.gauss(), 0)
+			m.Observe("avf/reg", shift+0.002*r.gauss(), 0)
+		}
+		shift += 0.1
+	}
+	snap := m.Snapshot()
+	if len(snap.Streams) != 2 {
+		t.Fatalf("got %d streams, want 2", len(snap.Streams))
+	}
+	if snap.Streams[0].Stream != "avf/iq" || snap.Streams[1].Stream != "avf/reg" {
+		t.Errorf("streams not sorted: %+v", snap.Streams)
+	}
+	if snap.Streams[0].Alarms != 0 {
+		t.Errorf("flat stream alarmed %d times", snap.Streams[0].Alarms)
+	}
+	if snap.Streams[1].Alarms == 0 || snap.TotalAlarms == 0 {
+		t.Error("shifting stream never alarmed")
+	}
+	if len(snap.Alarms) > 2 {
+		t.Errorf("alarm log grew past cap: %d", len(snap.Alarms))
+	}
+	if int64(len(cbAlarms)) != snap.TotalAlarms {
+		t.Errorf("callback saw %d alarms, monitor counted %d", len(cbAlarms), snap.TotalAlarms)
+	}
+	for _, a := range cbAlarms {
+		if a.Stream != "avf/reg" {
+			t.Errorf("alarm on wrong stream: %+v", a)
+		}
+	}
+}
+
+// TestConfigDefaults: zero config must produce sane armed parameters.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Lambda != 0.25 || c.L != 3 || c.K != 0.5 || c.H != 5 || c.Warmup != 8 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+}

@@ -67,6 +67,11 @@ type RunConfig struct {
 	// injection (see core.Options.Sink) — the avfd trace endpoint and
 	// the per-structure outcome counters hang off it.
 	Sink obs.Sink
+	// Recorder, when non-nil, attaches a flight recorder to the pipeline
+	// (see pipeline.SetRecorder): every error-bit event of the run is
+	// streamed to it for propagation-trace reconstruction. Recording is
+	// observation only and does not perturb results.
+	Recorder pipeline.ErrRecorder
 }
 
 func (c *RunConfig) defaults() error {
@@ -259,6 +264,9 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 	p, err := pipeline.New(&cfg, src)
 	if err != nil {
 		return nil, err
+	}
+	if rc.Recorder != nil {
+		p.SetRecorder(rc.Recorder)
 	}
 
 	est, err := core.NewEstimator(p, core.Options{

@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -51,4 +53,54 @@ func TestHTTPMetricsDefaultCode(t *testing.T) {
 	rec := httptest.NewRecorder()
 	h(rec, httptest.NewRequest("GET", "/v1/healthz", nil))
 	mustContain(t, expo(r), `avfd_http_requests_total{route="GET /v1/healthz",code="200"} 1`)
+}
+
+// TestTextHandlerContentType: /metrics must advertise the Prometheus
+// text format version so scrapers pick the right parser.
+func TestTextHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_scrapes_total", "Scrapes served.").Inc()
+	srv := httptest.NewServer(r.TextHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	const want = "text/plain; version=0.0.4; charset=utf-8"
+	if ct := resp.Header.Get("Content-Type"); ct != want {
+		t.Errorf("content-type %q, want %q", ct, want)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustContain(t, string(body), "test_scrapes_total 1")
+}
+
+// TestLabelValueEscaping: quotes, backslashes and newlines in label
+// values (route patterns can carry any of them) must be escaped per the
+// text format, and no raw newline may survive inside a label value —
+// that would split the sample across lines and corrupt the scrape.
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_paths_total", "Counts by path.", "path")
+	v.With("quote \" backslash \\ newline\nend").Inc()
+
+	out := expo(r)
+	mustContain(t, out, `test_paths_total{path="quote \" backslash \\ newline\nend"} 1`)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "test_paths_total{") && !strings.HasSuffix(line, "} 1") {
+			t.Errorf("sample line split by unescaped newline: %q", line)
+		}
+	}
+}
+
+// TestHelpEscaping: HELP text is escaped (backslash, newline) so
+// multi-line help strings stay one comment line.
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_help_total", "line one\nline two \\ done")
+	mustContain(t, expo(r), `# HELP test_help_total line one\nline two \\ done`)
 }

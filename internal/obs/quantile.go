@@ -1,0 +1,68 @@
+package obs
+
+// Approximate quantiles from histogram bucket counts. The histograms in
+// this registry are fixed-bucket (Prometheus-style), so exact order
+// statistics are gone by design; what the buckets retain is enough for
+// the p50/p90/p99 a dashboard or /v1/stats wants, via linear
+// interpolation inside the bucket containing the target rank — the same
+// estimate PromQL's histogram_quantile computes server-side.
+
+// Quantiles is a point-in-time latency summary of one histogram.
+type Quantiles struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Quantile returns the approximate q-quantile (0 < q < 1) of the
+// observations, interpolated within the containing bucket. The +Inf
+// bucket has no upper edge, so ranks landing there report the last
+// finite bound (an underestimate, flagged by Prometheus convention).
+// An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.n.Load()
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: the last finite bound is all we know.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / c
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Summary snapshots count, sum, and the standard dashboard quantiles.
+func (h *Histogram) Summary() Quantiles {
+	return Quantiles{
+		Count: h.n.Load(),
+		Sum:   h.sum.Load(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}

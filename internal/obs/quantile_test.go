@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_empty_seconds", "Empty.", []float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile on empty histogram = %v, want 0", got)
+	}
+	if s := h.Summary(); s.Count != 0 || s.Sum != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("Summary on empty histogram = %+v, want zeros", s)
+	}
+}
+
+func TestQuantileSingleBucketInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_one_seconds", "One bucket.", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all land in (1, 2]
+	}
+	// The median rank sits halfway through the (1, 2] bucket.
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("P50 = %v, want 1.5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("P100 = %v, want bucket upper edge 2", got)
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_multi_seconds", "Multi bucket.", []float64{1, 2, 4})
+	obs := []struct {
+		v float64
+		n int
+	}{
+		{0.5, 50}, // (0, 1]
+		{1.5, 30}, // (1, 2]
+		{3.0, 15}, // (2, 4]
+		{10., 5},  // +Inf
+	}
+	for _, o := range obs {
+		for i := 0; i < o.n; i++ {
+			h.Observe(o.v)
+		}
+	}
+
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if math.Abs(s.Sum-165) > 1e-9 {
+		t.Errorf("Sum = %v, want 165", s.Sum)
+	}
+	// rank 50 is exactly the top of the first bucket.
+	if math.Abs(s.P50-1) > 1e-9 {
+		t.Errorf("P50 = %v, want 1", s.P50)
+	}
+	// rank 90 lands 10/15 of the way through (2, 4].
+	want90 := 2 + (10.0/15.0)*2
+	if math.Abs(s.P90-want90) > 1e-9 {
+		t.Errorf("P90 = %v, want %v", s.P90, want90)
+	}
+	// rank 99 is in the +Inf bucket: report the last finite bound.
+	if math.Abs(s.P99-4) > 1e-9 {
+		t.Errorf("P99 = %v, want last finite bound 4", s.P99)
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_clamp_seconds", "Clamp.", []float64{1, 2})
+	h.Observe(0.5)
+	if got := h.Quantile(-1); got < 0 || got > 1 {
+		t.Errorf("Quantile(-1) = %v, want within first bucket", got)
+	}
+	if got := h.Quantile(2); got < 0 || got > 2 {
+		t.Errorf("Quantile(2) = %v, want within bounds", got)
+	}
+}

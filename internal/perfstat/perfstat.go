@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime/debug"
 	"sort"
 	"strconv"
 )
@@ -53,8 +54,37 @@ type Report struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
+	// VCSRevision/VCSTime/VCSModified stamp the measured build with the
+	// commit it was built from (from runtime/debug.ReadBuildInfo), so a
+	// regression in the history is attributable to a change without
+	// guessing from file mtimes. Empty when the binary was built outside
+	// a VCS checkout (e.g. plain `go run` of an exported tree).
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
 	// Scenarios holds the four standardized measurements in run order.
 	Scenarios []Scenario `json:"scenarios"`
+}
+
+// BuildVCS reads the running binary's VCS stamp (revision, commit time,
+// dirty flag) from the embedded build info. All results are empty/false
+// when the build has no VCS metadata.
+func BuildVCS() (revision, time string, modified bool) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", "", false
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.time":
+			time = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	return revision, time, modified
 }
 
 // SchemaVersion is the current Report.Schema value.

@@ -1,7 +1,9 @@
 package perfstat
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -119,5 +121,43 @@ func TestCompareSkipsUnmatchedScenarios(t *testing.T) {
 	cur := &Report{Scenarios: []Scenario{{Name: "new-scenario", NsPerCycle: 9999}}}
 	if regs := Compare(prev, cur, 0.20); len(regs) != 0 {
 		t.Fatalf("unmatched scenarios must be skipped, got %v", regs)
+	}
+}
+
+// TestVCSRoundTrip: the VCS stamp survives the JSON round trip and is
+// omitted when absent (older reports stay byte-compatible).
+func TestVCSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := report(300, 600, 0.01)
+	want.VCSRevision = "abc123def456"
+	want.VCSTime = "2026-08-06T00:00:00Z"
+	want.VCSModified = true
+	path := filepath.Join(dir, "BENCH_1.json")
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VCSRevision != want.VCSRevision || got.VCSTime != want.VCSTime || !got.VCSModified {
+		t.Fatalf("VCS stamp mismatch: %+v", got)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "vcs_revision") {
+		t.Error("vcs_revision absent from written report")
+	}
+}
+
+// TestBuildVCS just exercises the build-info path: `go test` binaries
+// are built without VCS stamping, so all it can assert is that the call
+// is safe and self-consistent.
+func TestBuildVCS(t *testing.T) {
+	rev, ts, modified := BuildVCS()
+	if rev == "" && (ts != "" || modified) {
+		t.Errorf("no revision but time=%q modified=%v", ts, modified)
 	}
 }

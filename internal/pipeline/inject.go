@@ -57,6 +57,22 @@ func (p *Pipeline) Inject(s Structure, idx int) bool {
 	if idx < 0 || idx >= p.StructureEntries(s) {
 		panic(fmt.Sprintf("pipeline: inject %v entry %d out of range", s, idx))
 	}
+	if p.recOn {
+		ev := p.baseEv(EvInject, s.Bit())
+		ev.Structure, ev.Entry = s, idx
+		switch s {
+		case StructIQ:
+			q, slot := p.iqSlot(idx)
+			if u := p.queues[q].slots[slot]; u != nil {
+				ev.Seq = u.seq
+			}
+		case StructReg:
+			ev.File, ev.Phys = IntFile, int16(idx)
+		case StructFPReg:
+			ev.File, ev.Phys = FPFile, int16(idx)
+		}
+		p.emitEv(ev)
+	}
 	switch s {
 	case StructIQ:
 		q, slot := p.iqSlot(idx)
@@ -92,6 +108,15 @@ func (p *Pipeline) Inject(s Structure, idx int) bool {
 // injection. The estimator calls this between injections so exactly one
 // emulated error is live at a time (Section 3.1).
 func (p *Pipeline) ClearPlane(s Structure) {
+	if p.recOn {
+		// The clear delimits the injection window for the flight
+		// recorder; the pre-wipe population distinguishes masked (0)
+		// from pending (>0) conclusions, mirroring the estimator.
+		ev := p.baseEv(EvClearPlane, s.Bit())
+		ev.Structure = s
+		ev.Pop = p.PlanePopulation(s)
+		p.emitEv(ev)
+	}
 	bit := s.Bit()
 	p.intRF.clearPlane(bit)
 	p.fpRF.clearPlane(bit)

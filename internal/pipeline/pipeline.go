@@ -221,6 +221,12 @@ type Pipeline struct {
 
 	hooks Hooks
 
+	// Flight recorder (see flightevents.go). recOn gates every emission
+	// site on one branch; nil/false — the default — keeps the hot path
+	// identical to a build without recording.
+	rec   ErrRecorder
+	recOn bool
+
 	// Statistics.
 	busyUnitCycles [NumFUKinds]int64
 	initiations    [NumFUKinds]int64
@@ -345,15 +351,26 @@ func (p *Pipeline) retire() {
 		p.rob.pop()
 		p.retired++
 
-		if u.errMask != 0 && u.inst.Class.IsFailurePoint() {
-			// Walk only the set bits, ascending (same order as the old
-			// per-structure scan).
-			for m := uint32(u.errMask); m != 0; m &= m - 1 {
-				s := Structure(bits.TrailingZeros32(m))
-				p.failures[s]++
-				if p.hooks.OnFailure != nil {
-					p.hooks.OnFailure(s, u.seq, p.cycle, u.inst.Class)
+		if u.errMask != 0 {
+			if u.inst.Class.IsFailurePoint() {
+				// Walk only the set bits, ascending (same order as the
+				// old per-structure scan).
+				for m := uint32(u.errMask); m != 0; m &= m - 1 {
+					s := Structure(bits.TrailingZeros32(m))
+					p.failures[s]++
+					if p.hooks.OnFailure != nil {
+						p.hooks.OnFailure(s, u.seq, p.cycle, u.inst.Class)
+					}
 				}
+				if p.recOn {
+					ev := p.baseEv(EvRetireFail, u.errMask)
+					ev.Seq, ev.Class = u.seq, u.inst.Class
+					p.emitEv(ev)
+				}
+			} else if p.recOn {
+				ev := p.baseEv(EvRetireDrop, u.errMask)
+				ev.Seq, ev.Class = u.seq, u.inst.Class
+				p.emitEv(ev)
 			}
 		}
 		if p.hooks.OnRetire != nil {
@@ -379,6 +396,15 @@ func (p *Pipeline) retire() {
 		}
 		if u.dstPhys >= 0 {
 			rf := p.fileFor(u.dstFile)
+			if p.recOn {
+				if m := rf.err[u.oldDst]; m != 0 {
+					// The overwriting instruction retired: the previous
+					// mapping (and any error bits it carried) dies.
+					ev := p.baseEv(EvRegOverwrite, m)
+					ev.File, ev.Phys, ev.Seq = u.dstFile, u.oldDst, u.seq
+					p.emitEv(ev)
+				}
+			}
 			rf.release(u.oldDst)
 			if p.hooks.OnRegFree != nil {
 				p.hooks.OnRegFree(u.dstFile, u.oldDst, p.cycle)
@@ -410,6 +436,21 @@ func (p *Pipeline) complete() {
 		if u.dstPhys >= 0 {
 			rf := p.fileFor(u.dstFile)
 			rf.ready[u.dstPhys] = true
+			if p.recOn {
+				// Bits injected into the not-yet-written register are
+				// destroyed by the write (overwrite masking); bits the
+				// instruction carries are copied in.
+				if lost := rf.err[u.dstPhys] &^ u.errMask; lost != 0 {
+					ev := p.baseEv(EvRegOverwrite, lost)
+					ev.File, ev.Phys, ev.Seq = u.dstFile, u.dstPhys, u.seq
+					p.emitEv(ev)
+				}
+				if u.errMask != 0 {
+					ev := p.baseEv(EvWriteCopy, u.errMask)
+					ev.File, ev.Phys, ev.Seq = u.dstFile, u.dstPhys, u.seq
+					p.emitEv(ev)
+				}
+			}
 			rf.err[u.dstPhys] = u.errMask
 			rf.writer[u.dstPhys] = u.seq
 			// Wake the consumers blocked on this value.
@@ -502,6 +543,14 @@ func (p *Pipeline) start(u *uop, unit int) {
 		rf := p.fileFor(u.srcFile[i])
 		u.errMask |= rf.err[u.srcPhys[i]]
 		u.srcProducers[i] = rf.writer[u.srcPhys[i]]
+		if p.recOn {
+			if m := rf.err[u.srcPhys[i]]; m != 0 {
+				ev := p.baseEv(EvReadCopy, m)
+				ev.Seq, ev.SrcSeq = u.seq, u.srcProducers[i]
+				ev.File, ev.Phys = u.srcFile[i], u.srcPhys[i]
+				p.emitEv(ev)
+			}
+		}
 		if onRead != nil {
 			onRead(u.srcFile[i], u.srcPhys[i], p.cycle, u.seq)
 		}
@@ -515,6 +564,11 @@ func (p *Pipeline) start(u *uop, unit int) {
 			if p.pendingLogic[ls] == unit+1 {
 				u.errMask |= ls.Bit()
 				p.pendingLogic[ls] = 0 // consumed
+				if p.recOn {
+					ev := p.baseEv(EvLogicLand, ls.Bit())
+					ev.Structure, ev.Entry, ev.Seq = ls, unit, u.seq
+					p.emitEv(ev)
+				}
 			}
 		}
 	}
@@ -562,8 +616,22 @@ func (p *Pipeline) latency(u *uop) int64 {
 func (p *Pipeline) dataAccess(u *uop) int {
 	acc := p.hier.DataAccess(u.inst.Addr)
 	if acc.TLBHit {
+		if p.recOn {
+			if m := p.dtlbErr[acc.TLBEntry]; m != 0 {
+				ev := p.baseEv(EvTLBCopy, m)
+				ev.Structure, ev.Entry, ev.Seq = StructDTLB, acc.TLBEntry, u.seq
+				p.emitEv(ev)
+			}
+		}
 		u.errMask |= p.dtlbErr[acc.TLBEntry]
 	} else {
+		if p.recOn {
+			if m := p.dtlbErr[acc.TLBEntry]; m != 0 {
+				ev := p.baseEv(EvTLBRefill, m)
+				ev.Structure, ev.Entry = StructDTLB, acc.TLBEntry
+				p.emitEv(ev)
+			}
+		}
 		p.dtlbErr[acc.TLBEntry] = 0
 	}
 	if p.hooks.OnTLBAccess != nil {
@@ -624,6 +692,15 @@ func (p *Pipeline) dispatch() {
 		if f.inst.HasDst() {
 			file, idx := fileOf(f.inst.Dst)
 			u.dstFile = file
+			if p.recOn {
+				// alloc clears the fresh register's error mask; a bit
+				// injected into a free-listed register dies here.
+				if ph := rf.peekFree(); rf.err[ph] != 0 {
+					ev := p.baseEv(EvRegOverwrite, rf.err[ph])
+					ev.File, ev.Phys, ev.Seq = file, ph, f.seq
+					p.emitEv(ev)
+				}
+			}
 			u.dstPhys, u.oldDst = rf.alloc(idx)
 		}
 
@@ -680,9 +757,21 @@ func (p *Pipeline) fetch() {
 			p.haveFetchLine = true
 			if acc.TLBHit {
 				p.curLineErr = p.itlbErr[acc.TLBEntry]
+				if p.recOn && p.curLineErr != 0 {
+					ev := p.baseEv(EvTLBCopy, p.curLineErr)
+					ev.Structure, ev.Entry = StructITLB, acc.TLBEntry
+					p.emitEv(ev)
+				}
 			} else {
 				// The refill overwrites the entry (and any error in it);
 				// the fetched instructions use the fresh translation.
+				if p.recOn {
+					if m := p.itlbErr[acc.TLBEntry]; m != 0 {
+						ev := p.baseEv(EvTLBRefill, m)
+						ev.Structure, ev.Entry = StructITLB, acc.TLBEntry
+						p.emitEv(ev)
+					}
+				}
 				p.itlbErr[acc.TLBEntry] = 0
 				p.curLineErr = 0
 			}
@@ -695,6 +784,11 @@ func (p *Pipeline) fetch() {
 			}
 		}
 		f.errMask = p.curLineErr
+		if p.recOn && f.errMask != 0 {
+			ev := p.baseEv(EvFetchCopy, f.errMask)
+			ev.Seq = f.seq
+			p.emitEv(ev)
+		}
 		// Branch prediction happens at fetch; the trace carries the
 		// resolved outcome, so we learn immediately whether the front
 		// end would have misfetched.
@@ -729,6 +823,11 @@ func (p *Pipeline) accountCycle() {
 	// Unconsumed single-cycle logic injections are masked (unit idle).
 	if p.logicArmed {
 		for s := range p.pendingLogic {
+			if p.recOn && p.pendingLogic[s] != 0 {
+				ev := p.baseEv(EvLogicMask, Structure(s).Bit())
+				ev.Structure, ev.Entry = Structure(s), p.pendingLogic[s]-1
+				p.emitEv(ev)
+			}
 			p.pendingLogic[s] = 0
 		}
 		p.logicArmed = false

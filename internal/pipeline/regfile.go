@@ -61,6 +61,10 @@ func (rf *regFile) alloc(arch int) (phys, old int16) {
 	return phys, old
 }
 
+// peekFree returns the physical register the next alloc will take
+// (valid only when canAlloc(1) holds).
+func (rf *regFile) peekFree() int16 { return rf.free[len(rf.free)-1] }
+
 // release returns a physical register to the free list.
 func (rf *regFile) release(phys int16) {
 	rf.ready[phys] = false

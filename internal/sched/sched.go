@@ -194,6 +194,11 @@ type Stats struct {
 	// and runs.
 	AvgQueueLatency time.Duration `json:"avg_queue_latency_ns"`
 	AvgRunLatency   time.Duration `json:"avg_run_latency_ns"`
+	// QueueLatency / RunLatency are approximate quantile summaries
+	// (seconds) from the pool's latency histograms; nil without
+	// Options.Metrics, where only the means above are tracked.
+	QueueLatency *obs.Quantiles `json:"queue_latency_seconds,omitempty"`
+	RunLatency   *obs.Quantiles `json:"run_latency_seconds,omitempty"`
 }
 
 // Pool is a bounded worker pool with a FIFO job queue.
@@ -480,6 +485,14 @@ func (p *Pool) Stats() Stats {
 	}
 	if n := p.runLatencyN.Load(); n > 0 {
 		s.AvgRunLatency = time.Duration(p.runLatencyNS.Load() / n)
+	}
+	if p.queueSeconds != nil {
+		q := p.queueSeconds.Summary()
+		s.QueueLatency = &q
+	}
+	if p.runSeconds != nil {
+		q := p.runSeconds.Summary()
+		s.RunLatency = &q
 	}
 	return s
 }

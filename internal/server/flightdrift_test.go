@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"avfsim/internal/drift"
+	"avfsim/internal/flight"
+)
+
+// flightJob is tinyJob with the flight recorder on.
+const flightJob = `{"benchmark":"bzip2","scale":0.02,"seed":3,"m":400,"n":50,"intervals":3,"flight":true}`
+
+// TestFlightEndpoint submits a flight-enabled job and reconciles the
+// exported propagation traces against the job's own interval counters:
+// failure-outcome traces must equal the estimator's failure total per
+// structure.
+func TestFlightEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t, 1, 4)
+	id, code := postJob(t, ts, flightJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	st := waitTerminal(t, ts, id, 60*time.Second)
+	if st.State != "done" {
+		t.Fatalf("job state %s (%s)", st.State, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET flight: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content-type %q", ct)
+	}
+	failures := map[string]int{}
+	closed := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var tr flight.Trace
+		if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		if tr.Structure == "" {
+			continue // summary line (only present on loss)
+		}
+		if tr.Outcome == flight.OutcomeOpen {
+			continue
+		}
+		closed[tr.Structure]++
+		if tr.Outcome == flight.OutcomeFailure {
+			failures[tr.Structure]++
+		}
+	}
+	wantFail := map[string]int{}
+	wantClosed := map[string]int{}
+	for _, pt := range st.Intervals {
+		wantFail[pt.Structure] += pt.Failures
+		wantClosed[pt.Structure] += pt.Injections
+	}
+	for s, want := range wantFail {
+		if failures[s] != want {
+			t.Errorf("%s: %d failure traces, estimator counted %d", s, failures[s], want)
+		}
+		if closed[s] != wantClosed[s] {
+			t.Errorf("%s: %d closed traces, estimator concluded %d", s, closed[s], wantClosed[s])
+		}
+	}
+}
+
+// TestFlightDisabled404: without "flight": true the endpoint 404s.
+func TestFlightDisabled404(t *testing.T) {
+	ts, _, _ := newTestServer(t, 1, 4)
+	id, _ := postJob(t, ts, tinyJob)
+	waitTerminal(t, ts, id, 60*time.Second)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("flight on non-flight job: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDriftEndpoint: after a completed job the monitor must hold the
+// per-structure AVF streams (fed from OnInterval) and the divergence
+// streams (fed when the run finished).
+func TestDriftEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t, 1, 4)
+	id, _ := postJob(t, ts, tinyJob)
+	if st := waitTerminal(t, ts, id, 60*time.Second); st.State != "done" {
+		t.Fatalf("job state %s (%s)", st.State, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap drift.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	streams := map[string]drift.StreamState{}
+	for _, s := range snap.Streams {
+		streams[s.Stream] = s
+	}
+	for _, want := range []string{"avf/bzip2/iq", "avf/bzip2/reg", "divergence/bzip2/iq"} {
+		st, ok := streams[want]
+		if !ok {
+			t.Errorf("stream %q missing (have %v)", want, snap.Streams)
+			continue
+		}
+		if st.Count != 3 {
+			t.Errorf("stream %q count = %d, want 3 (one per interval)", want, st.Count)
+		}
+	}
+}
+
+// TestDriftAlarmSurfaces: a synthetic shift observed through the
+// server's monitor shows up in the snapshot's alarm log and in the
+// avfd_drift_alarms_total metric.
+func TestDriftAlarmSurfaces(t *testing.T) {
+	ts, srv, _ := newTestServer(t, 1, 4)
+	for i := 0; i < 20; i++ {
+		srv.observeDrift("avf/test/iq", 0.05, 0)
+	}
+	for i := 0; i < 20; i++ {
+		srv.observeDrift("avf/test/iq", 0.30, 0)
+	}
+	if srv.Drift().TotalAlarms() == 0 {
+		t.Fatal("synthetic shift never alarmed through the server monitor")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap drift.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.TotalAlarms == 0 || len(snap.Alarms) == 0 {
+		t.Errorf("alarm log empty: %+v", snap)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	sc := bufio.NewScanner(mresp.Body)
+	found := false
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "avfd_drift_alarms_total{") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("avfd_drift_alarms_total absent from /metrics after alarm")
+	}
+}
+
+// TestDashboardAndSSE: the dashboard page serves, and the SSE stream
+// delivers an initial state event plus estimate events from a running
+// job.
+func TestDashboardAndSSE(t *testing.T) {
+	ts, _, _ := newTestServer(t, 1, 4)
+
+	page, err := http.Get(ts.URL + "/debug/avf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer page.Body.Close()
+	if page.StatusCode != http.StatusOK {
+		t.Fatalf("dashboard: %d", page.StatusCode)
+	}
+	if ct := page.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("dashboard content-type %q", ct)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/avf/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content-type %q", ct)
+	}
+
+	if id, code := postJob(t, ts, tinyJob); code != http.StatusAccepted {
+		t.Fatalf("submit: %d (%s)", code, id)
+	}
+
+	// Read SSE lines until an estimate event arrives (the initial state
+	// event comes first).
+	deadline := time.After(60 * time.Second)
+	got := make(chan string, 8)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "event: ") {
+				got <- strings.TrimPrefix(line, "event: ")
+			}
+		}
+	}()
+	seen := map[string]bool{}
+	for !(seen["state"] && seen["estimate"]) {
+		select {
+		case ev := <-got:
+			seen[ev] = true
+		case <-deadline:
+			t.Fatalf("SSE events seen %v; want state and estimate", seen)
+		}
+	}
+}

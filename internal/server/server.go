@@ -10,11 +10,14 @@
 //	GET    /v1/jobs/{id}      status + per-interval estimates (+ final series when done)
 //	GET    /v1/jobs/{id}/stream  NDJSON live stream, one line per estimate
 //	GET    /v1/jobs/{id}/trace   NDJSON injection-lifecycle trace (needs WithMetrics)
+//	GET    /v1/jobs/{id}/flight  NDJSON propagation traces (needs "flight": true)
 //	DELETE /v1/jobs/{id}      cancel (idempotent)
 //	GET    /v1/healthz        liveness
 //	GET    /v1/stats          scheduler counters + queue saturation + job-state census
+//	GET    /v1/drift          drift-monitor snapshot: stream charts + alarm log
 //	GET    /metrics           Prometheus text exposition (needs WithMetrics)
 //	GET    /v1/metrics        same registry as JSON (needs WithMetrics)
+//	GET    /debug/avf         live dashboard (HTML; SSE feed at /debug/avf/stream)
 package server
 
 import (
@@ -29,7 +32,9 @@ import (
 	"time"
 
 	"avfsim/internal/core"
+	"avfsim/internal/drift"
 	"avfsim/internal/experiment"
+	"avfsim/internal/flight"
 	"avfsim/internal/obs"
 	"avfsim/internal/pipeline"
 	"avfsim/internal/sched"
@@ -51,6 +56,12 @@ type JobSpec struct {
 	RandomEntry    bool     `json:"random_entry,omitempty"`
 	RandomSchedule bool     `json:"random_schedule,omitempty"`
 	Multiplex      bool     `json:"multiplex,omitempty"`
+	// Flight attaches a flight recorder: every error-bit event of the
+	// run is retained (bounded ring, newest wins) and served as
+	// propagation traces at GET /v1/jobs/{id}/flight. FlightCap bounds
+	// the ring (events; default flight.DefaultCap).
+	Flight    bool `json:"flight,omitempty"`
+	FlightCap int  `json:"flight_cap,omitempty"`
 }
 
 // runConfig translates the spec, validating names early so submission
@@ -142,6 +153,9 @@ type job struct {
 	task      *sched.Task
 	// tracer records the injection lifecycle (nil without WithMetrics).
 	tracer *obs.JobTracer
+	// flight records error-bit events for propagation-trace export (nil
+	// unless the spec asked for it).
+	flight *flight.Recorder
 
 	mu     sync.Mutex
 	points []IntervalPoint
@@ -257,6 +271,13 @@ type Server struct {
 	injc           *obs.InjectionCounters
 	streamedPoints *obs.Counter
 
+	// drift watches the per-interval AVF streams (always on; metrics
+	// mirrors are nil without WithMetrics). hub feeds the SSE dashboard.
+	drift       *drift.Monitor
+	hub         *sseHub
+	driftAlarms *obs.CounterVec
+	driftEWMA   *obs.GaugeVec
+
 	mu   sync.Mutex
 	jobs map[string]*job
 	seq  uint64
@@ -276,6 +297,12 @@ func WithMetrics(r *obs.Registry) Option {
 		s.injc = obs.NewInjectionCounters(r)
 		s.streamedPoints = r.Counter("avfd_http_streamed_points_total",
 			"Per-interval estimate events written to NDJSON stream clients.")
+		s.driftAlarms = r.CounterVec("avfd_drift_alarms_total",
+			"Drift-detector alarms by monitored stream and chart (ewma|cusum).",
+			"stream", "kind")
+		s.driftEWMA = r.GaugeVec("avfd_drift_last",
+			"Latest observation of each drift-monitored stream (AVF or divergence).",
+			"stream")
 	}
 }
 
@@ -290,8 +317,23 @@ func New(pool *sched.Pool, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	s.hub = newSSEHub()
+	// The drift monitor runs regardless of metrics: /v1/drift and the
+	// dashboard are part of the core API. The callback mirrors alarms
+	// into the registry (when present), the log, and the SSE feed.
+	s.drift = drift.NewMonitor(drift.OnAlarm(func(a drift.StreamAlarm) {
+		if s.driftAlarms != nil {
+			s.driftAlarms.With(a.Stream, string(a.Kind)).Inc()
+		}
+		s.log.Warn("avf drift alarm", "stream", a.Stream, "chart", string(a.Kind),
+			"value", a.Value, "baseline", a.Mean, "sigma", a.Sigma, "up", a.Up)
+		s.hub.broadcast("alarm", a)
+	}))
 	return s
 }
+
+// Drift exposes the drift monitor (tests and embedding callers).
+func (s *Server) Drift() *drift.Monitor { return s.drift }
 
 // Handler returns the route table, instrumented per-route when the
 // server was built WithMetrics (route labels are the patterns below,
@@ -309,9 +351,13 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/jobs/{id}", s.handleStatus)
 	handle("GET /v1/jobs/{id}/stream", s.handleStream)
 	handle("GET /v1/jobs/{id}/trace", s.handleTrace)
+	handle("GET /v1/jobs/{id}/flight", s.handleFlight)
 	handle("DELETE /v1/jobs/{id}", s.handleCancel)
 	handle("GET /v1/healthz", s.handleHealthz)
 	handle("GET /v1/stats", s.handleStats)
+	handle("GET /v1/drift", s.handleDrift)
+	handle("GET /debug/avf", s.handleDashboard)
+	handle("GET /debug/avf/stream", s.handleDashboardStream)
 	if s.reg != nil {
 		handle("GET /metrics", s.reg.TextHandler().ServeHTTP)
 		handle("GET /v1/metrics", s.handleMetricsJSON)
@@ -371,7 +417,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	rc.OnInterval = func(est core.Estimate) {
-		j.publish(IntervalPoint{
+		pt := IntervalPoint{
 			Structure:  est.Structure.String(),
 			Interval:   est.Interval,
 			StartCycle: est.StartCycle,
@@ -379,11 +425,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			AVF:        est.AVF,
 			Failures:   est.Failures,
 			Injections: est.Injections,
-		})
+		}
+		j.publish(pt)
+		// Each estimate also feeds the drift monitor (noise-floored by
+		// its binomial stderr) and the live dashboard.
+		s.observeDrift(avfStream(spec.Benchmark, pt.Structure), est.AVF, est.StdErr())
+		s.hub.broadcast("estimate", estimateEvent{Job: j.id, Benchmark: spec.Benchmark, IntervalPoint: pt})
 	}
 	if s.injc != nil {
 		j.tracer = obs.NewJobTracer(s.injc, 0)
 		rc.Sink = j.tracer
+	}
+	if spec.Flight {
+		j.flight = flight.New(spec.FlightCap)
+		rc.Recorder = j.flight
 	}
 	task, err := s.pool.Submit(func(ctx context.Context, _ func(any)) error {
 		res, err := experiment.RunCtx(ctx, rc)
@@ -391,6 +446,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		j.setResult(res)
+		// The finished run carries the SoftArch reference series; feed
+		// the online-vs-reference gap to the divergence detectors.
+		j.mu.Lock()
+		jr := j.result
+		j.mu.Unlock()
+		s.feedDivergence(spec.Benchmark, jr)
 		return nil
 	}, sched.WithLabel(j.id+" "+spec.Benchmark),
 		sched.WithOnStart(func() {
@@ -564,6 +625,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsPayload())
+}
+
+// statsPayload builds the /v1/stats body (also embedded in the SSE
+// dashboard's periodic state events). The scheduler block carries the
+// approximate queue/run latency quantiles when metrics are wired.
+func (s *Server) statsPayload() map[string]any {
 	s.mu.Lock()
 	census := map[string]int{}
 	for _, j := range s.jobs {
@@ -576,7 +644,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if ps.QueueCap > 0 {
 		saturation = float64(ps.Queued) / float64(ps.QueueCap)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return map[string]any{
 		"scheduler": ps,
 		// Queue depth AND capacity, explicitly paired so clients can
 		// compute saturation without digging through scheduler fields.
@@ -585,8 +653,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"capacity":   ps.QueueCap,
 			"saturation": saturation,
 		},
-		"jobs": map[string]any{"total": total, "by_state": census},
-	})
+		"jobs":  map[string]any{"total": total, "by_state": census},
+		"drift": map[string]any{"total_alarms": s.drift.TotalAlarms()},
+	}
 }
 
 // jobSummary is one row of GET /v1/jobs.

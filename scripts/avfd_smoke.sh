@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the avfd daemon: build it, boot it, run a
+# flight-recorded estimation job, and assert the observability surface
+# works — /metrics families, /v1/drift streams, the /debug/avf
+# dashboard, and the flight export, whose propagation traces must
+# reconcile with the estimator's own per-interval counters.
+#
+# Tooling is deliberately minimal (curl + grep + awk) so the script runs
+# on a bare CI image. Exits nonzero on the first failed assertion.
+set -euo pipefail
+
+ADDR="${AVFD_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+BIN="${TMPDIR:-/tmp}/avfd-smoke-$$"
+JOB_SPEC='{"benchmark":"bzip2","scale":0.02,"seed":3,"m":400,"n":50,"intervals":3,"flight":true}'
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+# json_str KEY — first string value for "KEY" in stdin.
+json_str() {
+    awk -F'"' -v key="$1" '{for (i = 1; i < NF; i++) if ($i == key) {print $(i + 2); exit}}'
+}
+
+# json_int_sum KEY — sum of every integer value for "KEY" in stdin
+# (tolerates pretty-printed JSON with space after the colon).
+json_int_sum() {
+    grep -o "\"$1\": *[0-9]*" | awk -F': *' '{s += $2} END {print s + 0}'
+}
+
+cd "$(dirname "$0")/.."
+go build -o "$BIN" ./cmd/avfd
+"$BIN" -addr "$ADDR" -workers 2 -log-level warn &
+AVFD_PID=$!
+trap 'kill "$AVFD_PID" 2>/dev/null || true; wait "$AVFD_PID" 2>/dev/null || true; rm -f "$BIN"' EXIT
+
+for i in $(seq 1 50); do
+    curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1 && break
+    [ "$i" -eq 50 ] && fail "daemon never became healthy on $ADDR"
+    sleep 0.2
+done
+echo "ok: daemon healthy"
+
+SUBMIT=$(curl -fsS "$BASE/v1/jobs" -d "$JOB_SPEC")
+JOB=$(printf '%s' "$SUBMIT" | json_str id)
+[ -n "$JOB" ] || fail "submit returned no job id: $SUBMIT"
+echo "ok: submitted $JOB"
+
+STATE=""
+for i in $(seq 1 300); do
+    STATUS=$(curl -fsS "$BASE/v1/jobs/$JOB")
+    STATE=$(printf '%s' "$STATUS" | json_str state)
+    case "$STATE" in
+    done) break ;;
+    failed | canceled) fail "job ended $STATE: $STATUS" ;;
+    esac
+    sleep 0.2
+done
+[ "$STATE" = done ] || fail "job still '$STATE' after timeout"
+echo "ok: job done"
+
+# Prometheus exposition carries the estimator and drift families.
+METRICS=$(curl -fsS "$BASE/metrics")
+printf '%s\n' "$METRICS" | grep -q '^avfd_injections_total{' ||
+    fail "/metrics missing avfd_injections_total"
+printf '%s\n' "$METRICS" | grep -q '^avfd_drift_last{' ||
+    fail "/metrics missing avfd_drift_last"
+echo "ok: /metrics exposes estimator and drift families"
+
+# The drift monitor tracked one AVF stream per structure of this
+# benchmark, one observation per interval.
+DRIFT=$(curl -fsS "$BASE/v1/drift")
+printf '%s' "$DRIFT" | grep -q '"avf/bzip2/iq"' || fail "/v1/drift missing avf/bzip2/iq stream"
+printf '%s' "$DRIFT" | grep -q '"divergence/bzip2/iq"' || fail "/v1/drift missing divergence stream"
+echo "ok: /v1/drift tracks AVF and divergence streams"
+
+curl -fsS "$BASE/debug/avf" | grep -qi '<html' || fail "/debug/avf did not serve the dashboard"
+echo "ok: /debug/avf dashboard serves"
+
+# Reconcile the flight export against the job's interval counters: every
+# estimator-concluded injection is a closed trace, every counted failure
+# a failure-outcome trace.
+FLIGHT=$(curl -fsS "$BASE/v1/jobs/$JOB/flight")
+WANT_FAIL=$(printf '%s' "$STATUS" | json_int_sum failures)
+WANT_CLOSED=$(printf '%s' "$STATUS" | json_int_sum injections)
+GOT_FAIL=$(printf '%s\n' "$FLIGHT" | grep -c '"outcome":"failure"' || true)
+GOT_CLOSED=$(printf '%s\n' "$FLIGHT" | grep -cE '"outcome":"(failure|masked|pending)"' || true)
+[ "$GOT_FAIL" -eq "$WANT_FAIL" ] ||
+    fail "flight failure traces ($GOT_FAIL) != estimator failures ($WANT_FAIL)"
+[ "$GOT_CLOSED" -eq "$WANT_CLOSED" ] ||
+    fail "flight closed traces ($GOT_CLOSED) != estimator injections ($WANT_CLOSED)"
+echo "ok: flight traces reconcile ($GOT_CLOSED closed, $GOT_FAIL failures)"
+
+echo "PASS: avfd end-to-end smoke"

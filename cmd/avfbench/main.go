@@ -8,7 +8,10 @@
 //	fused      + both, wired exactly like internal/experiment.Run
 //
 // With -flight two more scenarios measure the flight recorder's
-// marginal cost: estimator+flight and fused+flight.
+// marginal cost: estimator+flight and fused+flight. With -wal two more
+// measure the durable-store checkpoint overhead — every per-interval
+// estimate appended to a CRC-framed fsync'd WAL, exactly as avfd
+// -data-dir persists it: estimator+wal and fused+wal.
 //
 // Each scenario simulates the same workload for a fixed cycle budget
 // after a warm-up, reporting ns/cycle, cycles/sec and allocation rates.
@@ -32,6 +35,7 @@ import (
 	"avfsim/internal/perfstat"
 	"avfsim/internal/pipeline"
 	"avfsim/internal/softarch"
+	"avfsim/internal/store"
 	"avfsim/internal/workload"
 )
 
@@ -48,6 +52,7 @@ type scenarioDef struct {
 	softarch  bool
 	estimator bool
 	flight    bool
+	wal       bool
 }
 
 var scenarios = []scenarioDef{
@@ -66,6 +71,16 @@ var flightScenarios = []scenarioDef{
 	{name: "fused+flight", softarch: true, estimator: true, flight: true},
 }
 
+// walScenarios measure the durable checkpoint path's marginal cost over
+// the matching base scenarios: each completed per-interval estimate is
+// appended (and fsync'd) to a store WAL in a temporary directory, the
+// same write avfd -data-dir makes. Only run with -wal for the same
+// report-shape stability reason as -flight.
+var walScenarios = []scenarioDef{
+	{name: "estimator+wal", estimator: true, wal: true},
+	{name: "fused+wal", softarch: true, estimator: true, wal: true},
+}
+
 func main() {
 	var (
 		quick     = flag.Bool("quick", false, "reduced cycle budget for CI smoke runs")
@@ -77,6 +92,7 @@ func main() {
 		threshold = flag.Float64("threshold", 0.20, "regression threshold vs previous report")
 		failRegr  = flag.Bool("fail-on-regress", false, "exit nonzero when a regression is flagged")
 		doFlight  = flag.Bool("flight", false, "also measure estimator/fused with the flight recorder attached")
+		doWAL     = flag.Bool("wal", false, "also measure estimator/fused with per-interval WAL checkpointing attached")
 	)
 	flag.Parse()
 	if *quick {
@@ -103,9 +119,12 @@ func main() {
 		}
 		fmt.Printf("avfbench: revision %s%s %s\n", rep.VCSRevision, dirty, rep.VCSTime)
 	}
-	defs := scenarios
+	defs := append([]scenarioDef(nil), scenarios...)
 	if *doFlight {
-		defs = append(append([]scenarioDef(nil), scenarios...), flightScenarios...)
+		defs = append(defs, flightScenarios...)
+	}
+	if *doWAL {
+		defs = append(defs, walScenarios...)
 	}
 	fmt.Printf("%-16s %12s %14s %12s %12s %8s\n",
 		"scenario", "ns/cycle", "cycles/sec", "allocs/cyc", "bytes/cyc", "ipc")
@@ -175,7 +194,37 @@ func runScenario(def scenarioDef, bench string, seed uint64, warmup, cycles int6
 	var ref *softarch.Analyzer
 	hooks := pipeline.Hooks{}
 	if def.estimator {
-		est, err = core.NewEstimator(p, core.Options{M: benchM, N: benchN})
+		opt := core.Options{M: benchM, N: benchN}
+		if def.wal {
+			// The checkpoint write avfd -data-dir makes on every completed
+			// per-interval estimate: a CRC-framed, fsync'd WAL append.
+			dir, err := os.MkdirTemp("", "avfbench-wal-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			st, err := store.Open(dir, store.Options{})
+			if err != nil {
+				return nil, err
+			}
+			defer st.Close()
+			if err := st.AppendSpec("bench", map[string]any{"benchmark": bench}, time.Now()); err != nil {
+				return nil, err
+			}
+			opt.OnInterval = func(e core.Estimate) {
+				pt := struct {
+					Structure  string  `json:"structure"`
+					Interval   int     `json:"interval"`
+					AVF        float64 `json:"avf"`
+					Failures   int     `json:"failures"`
+					Injections int     `json:"injections"`
+				}{e.Structure.String(), e.Interval, e.AVF, e.Failures, e.Injections}
+				if err := st.AppendInterval("bench", &pt); err != nil {
+					panic(fmt.Sprintf("avfbench: wal append: %v", err))
+				}
+			}
+		}
+		est, err = core.NewEstimator(p, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -6,11 +6,14 @@
 // Usage:
 //
 //	avfd [-addr :8080] [-workers N] [-queue N] [-drain 30s]
+//	     [-data-dir DIR] [-retention 0] [-retention-max 0] [-deadline 0]
+//	     [-max-body 1048576] [-read-header-timeout 5s] [-read-timeout 30s]
+//	     [-write-timeout 30s] [-idle-timeout 2m] [-stream-write-timeout 30s]
 //	     [-log-format text|json] [-log-level info] [-pprof]
 //
 // Quickstart (see README.md for more):
 //
-//	avfd &
+//	avfd -data-dir /var/lib/avfd &
 //	curl -s localhost:8080/v1/jobs -d '{"benchmark":"mesa","scale":0.05,"n":500,"intervals":20}'
 //	curl -N localhost:8080/v1/jobs/job-1/stream       # live NDJSON estimates
 //	curl -N localhost:8080/v1/jobs/job-1/trace        # per-injection lifecycle trace
@@ -20,11 +23,20 @@
 //	curl -s localhost:8080/metrics                    # Prometheus text exposition
 //	curl -s localhost:8080/v1/metrics                 # the same registry as JSON
 //
+// With -data-dir, jobs are durable: specs, state transitions, every
+// per-interval estimate, and final series are appended to a CRC-framed
+// fsync'd WAL (compacted into a snapshot as it grows). After a crash or
+// restart the daemon replays the log, restores terminal jobs read-only,
+// and re-enqueues interrupted ones — the simulator is deterministic in
+// (spec, seed), so a resumed job emits the remaining intervals exactly
+// as the uninterrupted run would have.
+//
 // With -pprof, the standard profiling endpoints are served under
 // /debug/pprof/ (CPU profile, heap, goroutines, execution trace).
 //
 // On SIGTERM/SIGINT the daemon stops accepting work and drains running
-// jobs for up to -drain, then cancels whatever is left and exits.
+// jobs for up to -drain, then cancels whatever is left (persisted as
+// "interrupted" — resumed at next boot when durable) and exits.
 package main
 
 import (
@@ -43,13 +55,24 @@ import (
 	"avfsim/internal/obs"
 	"avfsim/internal/sched"
 	"avfsim/internal/server"
+	"avfsim/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
-	queue := flag.Int("queue", 64, "job queue capacity (submissions beyond it get 503)")
+	queue := flag.Int("queue", 64, "job queue capacity (submissions beyond it get 429)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	dataDir := flag.String("data-dir", "", "durable job store directory (empty = in-memory only)")
+	retention := flag.Duration("retention", 0, "evict terminal jobs older than this (0 = keep)")
+	retentionMax := flag.Int("retention-max", 0, "keep at most this many terminal jobs (0 = unlimited)")
+	deadline := flag.Duration("deadline", 0, "cap on each job's run time (0 = unlimited)")
+	maxBody := flag.Int64("max-body", 1<<20, "max POST /v1/jobs body bytes (larger gets 413)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout (streaming routes are exempt; see -stream-write-timeout)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	streamWriteTimeout := flag.Duration("stream-write-timeout", 30*time.Second, "rolling per-write deadline on NDJSON/SSE streams (0 = none)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
@@ -63,7 +86,32 @@ func main() {
 
 	reg := obs.NewRegistry()
 	pool := sched.New(sched.Options{Workers: *workers, QueueCap: *queue, Metrics: reg})
-	srv := server.New(pool, server.WithMetrics(reg), server.WithLogger(logger))
+	opts := []server.Option{
+		server.WithMetrics(reg),
+		server.WithLogger(logger),
+		server.WithRetention(*retention, *retentionMax),
+		server.WithJobDeadline(*deadline),
+		server.WithMaxBodyBytes(*maxBody),
+		server.WithStreamWriteTimeout(*streamWriteTimeout),
+	}
+	var st *store.Store
+	if *dataDir != "" {
+		st, err = store.Open(*dataDir, store.Options{Metrics: reg})
+		if err != nil {
+			logger.Error("open job store", "dir", *dataDir, "error", err)
+			os.Exit(1)
+		}
+		opts = append(opts, server.WithStore(st))
+	}
+	srv := server.New(pool, opts...)
+	if st != nil {
+		resumed, err := srv.Recover()
+		if err != nil {
+			logger.Error("recover jobs", "error", err)
+			os.Exit(1)
+		}
+		logger.Info("job store open", "dir", *dataDir, "wal_bytes", st.WALBytes(), "resumed", resumed)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
@@ -74,14 +122,26 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	// The absolute WriteTimeout would kill long-lived NDJSON/SSE streams
+	// mid-job; those handlers exempt themselves per response via
+	// http.ResponseController and roll their own per-write deadline
+	// (-stream-write-timeout), so a dead client is still shed.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "pprof", *pprofOn)
+	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue,
+		"durable", st != nil, "pprof", *pprofOn)
 
 	select {
 	case err := <-errc:
@@ -90,6 +150,10 @@ func main() {
 	case <-ctx.Done():
 	}
 	logger.Info("shutting down", "drain", *drain)
+
+	// From here on a canceled job is a checkpoint, not a client verdict:
+	// it persists as "interrupted" and the next boot resumes it.
+	srv.BeginDrain()
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -108,5 +172,16 @@ func main() {
 		logger.Warn("drain deadline hit; canceled remaining jobs")
 	}
 	httpSrv.Close()
+	srv.Close()
+	if st != nil {
+		// The watcher goroutines append each job's terminal frame right
+		// after its task goes terminal; give the stragglers a beat before
+		// sealing the WAL. A frame that misses the window is harmless —
+		// the job stays "running" in the log, which also resumes.
+		time.Sleep(200 * time.Millisecond)
+		if err := st.Close(); err != nil {
+			logger.Error("close job store", "error", err)
+		}
+	}
 	logger.Info("bye")
 }

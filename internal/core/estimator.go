@@ -52,6 +52,15 @@ type Options struct {
 	// buffering the whole series; the batch accessors (Estimates,
 	// AVFSeries) are unaffected.
 	OnInterval func(Estimate)
+	// StartInterval suppresses OnInterval for estimates whose Interval is
+	// below it. It is the deterministic fast-forward behind checkpoint
+	// resume: the simulation is a pure function of (spec, seed), so a
+	// restarted run re-executes from cycle 0 — re-deriving the RNG stream,
+	// trace position, and pipeline state exactly — and this field keeps
+	// already-delivered intervals from being emitted twice. Intervals
+	// k..N of a resumed run are byte-identical to an uninterrupted run's.
+	// The batch accessors still hold the full series.
+	StartInterval int
 	// Sink, when non-nil, receives one obs.Injection lifecycle record
 	// per concluded injection (structure, entry, inject cycle, outcome,
 	// propagation latency, failure instruction class, live error-bit
@@ -77,6 +86,9 @@ func (o *Options) validate() error {
 	}
 	if o.N <= 0 {
 		return errors.New("core: Options.N must be positive")
+	}
+	if o.StartInterval < 0 {
+		return errors.New("core: Options.StartInterval must be non-negative")
 	}
 	if len(o.Structures) == 0 {
 		o.Structures = append([]pipeline.Structure(nil), pipeline.PaperStructures...)
@@ -278,7 +290,7 @@ func (e *Estimator) conclude(st *structState, cycle int64) {
 		st.injections = 0
 		st.failures = 0
 		st.startCycle = cycle
-		if e.opt.OnInterval != nil {
+		if e.opt.OnInterval != nil && est.Interval >= e.opt.StartInterval {
 			e.opt.OnInterval(est)
 		}
 	}

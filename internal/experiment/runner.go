@@ -63,6 +63,12 @@ type RunConfig struct {
 	// as the estimator completes it (see core.Options.OnInterval). It
 	// is called from the goroutine driving the run.
 	OnInterval func(core.Estimate)
+	// StartInterval suppresses OnInterval below the given interval index
+	// (see core.Options.StartInterval): the checkpoint-resume
+	// fast-forward. The run still simulates from cycle 0 — determinism
+	// makes the replayed prefix exact — and Result carries the full
+	// series either way.
+	StartInterval int
 	// Sink, when non-nil, receives one lifecycle record per concluded
 	// injection (see core.Options.Sink) — the avfd trace endpoint and
 	// the per-structure outcome counters hang off it.
@@ -87,7 +93,7 @@ func (c *RunConfig) defaults() error {
 	if c.Scale == 0 {
 		c.Scale = 1
 	}
-	if c.M < 0 || c.N < 0 || c.Intervals < 0 || c.Scale < 0 || c.Scale > 1 {
+	if c.M < 0 || c.N < 0 || c.Intervals < 0 || c.Scale < 0 || c.Scale > 1 || c.StartInterval < 0 {
 		return errors.New("experiment: negative or out-of-range run parameters")
 	}
 	if len(c.Structures) == 0 {
@@ -278,6 +284,7 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 		RecordLatency:  rc.RecordLatency,
 		Multiplex:      rc.Multiplex,
 		OnInterval:     rc.OnInterval,
+		StartInterval:  rc.StartInterval,
 		Sink:           rc.Sink,
 	})
 	if err != nil {

@@ -81,6 +81,7 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
+	s.armStreamWrite(w)() // one bulk write: a single rolling deadline
 	j.flight.Traces().WriteNDJSON(w)
 }
 
@@ -174,7 +175,9 @@ func (s *Server) handleDashboardStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
+	arm := s.armStreamWrite(w)
 	send := func(msg []byte) bool {
+		arm()
 		if _, err := w.Write(msg); err != nil {
 			return false
 		}

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"avfsim/internal/core"
@@ -38,6 +39,7 @@ import (
 	"avfsim/internal/obs"
 	"avfsim/internal/pipeline"
 	"avfsim/internal/sched"
+	"avfsim/internal/store"
 	"avfsim/internal/workload"
 )
 
@@ -62,6 +64,10 @@ type JobSpec struct {
 	// the ring (events; default flight.DefaultCap).
 	Flight    bool `json:"flight,omitempty"`
 	FlightCap int  `json:"flight_cap,omitempty"`
+	// DeadlineSeconds bounds the job's run time (admission control): the
+	// run is canceled once it has executed this long. 0 inherits the
+	// server-wide default; values beyond the server's cap are clamped.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 }
 
 // runConfig translates the spec, validating names early so submission
@@ -157,12 +163,35 @@ type job struct {
 	// unless the spec asked for it).
 	flight *flight.Recorder
 
+	// skipTo, set when the job was recovered from the WAL, maps structure
+	// name → count of intervals already persisted (and preloaded into
+	// points): the resumed run re-emits them deterministically and the
+	// OnInterval callback drops them so clients see each interval once.
+	skipTo map[string]int
+
 	mu     sync.Mutex
 	points []IntervalPoint
 	subs   map[chan IntervalPoint]struct{}
 	result *JobResult
 	errMsg string
 	ended  bool
+	// finishedAt drives retention; zero until terminal.
+	finishedAt time.Time
+	// stateOverride replaces task.State() for jobs restored from the WAL
+	// in a terminal state (they have no live task).
+	stateOverride string
+}
+
+// state returns the job's lifecycle state, whether it is backed by a
+// live scheduler task or restored terminal from the WAL.
+func (j *job) state() string {
+	if j.task != nil {
+		return j.task.State().String()
+	}
+	if j.stateOverride != "" {
+		return j.stateOverride
+	}
+	return "queued"
 }
 
 // publish appends an estimate and fans it out to live subscribers.
@@ -236,6 +265,7 @@ func (j *job) end(errMsg string) {
 	}
 	j.ended = true
 	j.errMsg = errMsg
+	j.finishedAt = time.Now()
 	for ch := range j.subs {
 		delete(j.subs, ch)
 		close(ch)
@@ -248,7 +278,7 @@ func (j *job) status() JobStatus {
 	defer j.mu.Unlock()
 	return JobStatus{
 		ID:        j.id,
-		State:     j.task.State().String(),
+		State:     j.state(),
 		Benchmark: j.spec.Benchmark,
 		Submitted: j.submitted,
 		Intervals: append([]IntervalPoint(nil), j.points...),
@@ -278,6 +308,23 @@ type Server struct {
 	driftAlarms *obs.CounterVec
 	driftEWMA   *obs.GaugeVec
 
+	// Durability & admission control (see WithStore / WithRetention /
+	// WithJobDeadline / WithMaxBodyBytes).
+	st            *store.Store
+	retTTL        time.Duration
+	retMax        int
+	jobDeadline   time.Duration
+	maxBody       int64
+	streamTimeout time.Duration
+	recoveredJobs *obs.Counter
+	evictedJobs   *obs.Counter
+	// draining flips at BeginDrain: jobs canceled from then on persist
+	// as "interrupted" (checkpointed, resumed at next boot) instead of
+	// "canceled" (terminal).
+	draining    atomic.Bool
+	janitorStop chan struct{}
+	closeOnce   sync.Once
+
 	mu   sync.Mutex
 	jobs map[string]*job
 	seq  uint64
@@ -303,7 +350,53 @@ func WithMetrics(r *obs.Registry) Option {
 		s.driftEWMA = r.GaugeVec("avfd_drift_last",
 			"Latest observation of each drift-monitored stream (AVF or divergence).",
 			"stream")
+		s.recoveredJobs = r.Counter("avfd_recovered_jobs_total",
+			"Interrupted jobs re-enqueued from the WAL at boot (crash/restart recovery).")
+		s.evictedJobs = r.Counter("avfd_jobs_evicted_total",
+			"Terminal jobs removed by the retention policy (TTL or max-completed cap).")
 	}
+}
+
+// WithStore makes the server durable: job specs, lifecycle transitions,
+// per-interval estimates, and final results are appended to st's WAL,
+// and Recover re-enqueues interrupted jobs after a restart.
+func WithStore(st *store.Store) Option {
+	return func(s *Server) { s.st = st }
+}
+
+// WithRetention bounds the in-memory (and persisted) job history:
+// terminal jobs older than ttl, or beyond the newest maxCompleted, are
+// evicted. Zero disables the respective limit. Jobs still running are
+// never evicted. Eviction runs after every job completion and on a
+// periodic janitor started by New (stopped by Close).
+func WithRetention(ttl time.Duration, maxCompleted int) Option {
+	return func(s *Server) { s.retTTL, s.retMax = ttl, maxCompleted }
+}
+
+// WithJobDeadline caps every job's run time: a job executing longer is
+// canceled. Specs may ask for a shorter deadline_seconds; longer asks
+// are clamped to d. Zero means unlimited.
+func WithJobDeadline(d time.Duration) Option {
+	return func(s *Server) { s.jobDeadline = d }
+}
+
+// WithMaxBodyBytes bounds the POST /v1/jobs request body (default 1
+// MiB); larger bodies get 413.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
+// WithStreamWriteTimeout sets the per-write deadline on streaming
+// responses (NDJSON job streams, SSE dashboard; default 30s). These
+// routes are exempt from http.Server.WriteTimeout — a stream lives as
+// long as its job — so this rolling deadline is what sheds clients
+// whose connection has gone dead mid-write. Zero disables it.
+func WithStreamWriteTimeout(d time.Duration) Option {
+	return func(s *Server) { s.streamTimeout = d }
 }
 
 // WithLogger sets the job-lifecycle logger (default slog.Default()).
@@ -311,11 +404,31 @@ func WithLogger(l *slog.Logger) Option {
 	return func(s *Server) { s.log = l }
 }
 
-// New builds a Server submitting to pool.
+// defaultMaxBody bounds POST /v1/jobs bodies: a job spec is a handful
+// of scalar fields, so 1 MiB is generous and still starves slow-body
+// memory exhaustion.
+const defaultMaxBody = 1 << 20
+
+// defaultStreamWriteTimeout is the rolling per-write deadline on
+// streaming responses (see WithStreamWriteTimeout).
+const defaultStreamWriteTimeout = 30 * time.Second
+
+// New builds a Server submitting to pool. Call Close on servers built
+// with a retention policy to stop the janitor goroutine.
 func New(pool *sched.Pool, opts ...Option) *Server {
-	s := &Server{pool: pool, jobs: map[string]*job{}, log: slog.Default()}
+	s := &Server{
+		pool:          pool,
+		jobs:          map[string]*job{},
+		log:           slog.Default(),
+		maxBody:       defaultMaxBody,
+		streamTimeout: defaultStreamWriteTimeout,
+	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.retTTL > 0 || s.retMax > 0 {
+		s.janitorStop = make(chan struct{})
+		go s.janitor()
 	}
 	s.hub = newSSEHub()
 	// The drift monitor runs regardless of metrics: /v1/drift and the
@@ -365,12 +478,31 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// BeginDrain marks the server as draining (SIGTERM received): jobs
+// canceled from here on persist to the WAL as "interrupted" — their
+// per-interval checkpoints are already durable — so the next boot's
+// Recover re-enqueues them, while a client's DELETE before the drain
+// stays a terminal "canceled".
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Close stops the retention janitor. It does not touch running jobs —
+// the pool's Shutdown and the HTTP server's own shutdown own those.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.janitorStop != nil {
+			close(s.janitorStop)
+		}
+	})
+}
+
 // CancelAll cancels every non-terminal job (shutdown-deadline path).
 func (s *Server) CancelAll() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, j := range s.jobs {
-		j.task.Cancel()
+		if j.task != nil {
+			j.task.Cancel()
+		}
 	}
 }
 
@@ -386,6 +518,21 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// armStreamWrite exempts a streaming response from the http.Server's
+// absolute WriteTimeout and returns a func to call before each write:
+// it rolls a per-write deadline forward so only a client that cannot
+// absorb one write within streamTimeout is shed, while the stream
+// itself may live as long as its job. Idle waits between estimates
+// don't write, so a stale deadline from the previous write is harmless.
+func (s *Server) armStreamWrite(w http.ResponseWriter) func() {
+	rc := http.NewResponseController(w)
+	if s.streamTimeout <= 0 {
+		rc.SetWriteDeadline(time.Time{}) // WriteTimeout exemption only
+		return func() {}
+	}
+	return func() { rc.SetWriteDeadline(time.Now().Add(s.streamTimeout)) }
+}
+
 func (s *Server) lookup(r *http.Request) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -393,10 +540,19 @@ func (s *Server) lookup(r *http.Request) *job {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Admission control starts at the wire: a spec is a handful of
+	// fields, so cap the body before the decoder touches it.
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"job spec exceeds %d bytes", mbe.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
@@ -416,6 +572,58 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
+	switch err := s.launch(j, rc); {
+	case errors.Is(err, sched.ErrQueueFull):
+		// Backpressure: the client should retry after the queue drains a
+		// slot; 429 is the load-shedding signal (503 stays reserved for
+		// shutdown, where retrying the same instance is pointless).
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue full (capacity %d), retry later", s.pool.Stats().QueueCap)
+		return
+	case errors.Is(err, sched.ErrShutdown):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "submit: %v", err)
+		return
+	}
+
+	// Durability point: the spec frame is fsync'd before the 202 goes
+	// out, so every acknowledged job survives a crash. (Interval frames
+	// racing ahead of the spec frame are ignored by the store and simply
+	// re-derived at resume — harmless, since un-acked jobs carry no
+	// durability promise yet.)
+	if s.st != nil {
+		if err := s.st.AppendSpec(j.id, &spec, j.submitted); err != nil {
+			j.task.Cancel()
+			s.log.Error("persist job spec", "job", j.id, "error", err)
+			writeError(w, http.StatusInternalServerError, "persist job: %v", err)
+			return
+		}
+	}
+
+	s.log.Info("job submitted", "job", j.id, "benchmark", spec.Benchmark, "state", j.state())
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": j.state()})
+}
+
+// effectiveDeadline resolves the per-job run-time bound from the spec
+// and the server cap (see WithJobDeadline).
+func (s *Server) effectiveDeadline(spec *JobSpec) time.Duration {
+	d := time.Duration(spec.DeadlineSeconds * float64(time.Second))
+	if d <= 0 {
+		return s.jobDeadline
+	}
+	if s.jobDeadline > 0 && d > s.jobDeadline {
+		return s.jobDeadline
+	}
+	return d
+}
+
+// launch wires a job's callbacks and submits it to the pool. It is the
+// shared path of fresh submissions and WAL recovery; on success the job
+// is registered and a watcher goroutine owns its terminal transition.
+func (s *Server) launch(j *job, rc experiment.RunConfig) error {
+	spec := j.spec
 	rc.OnInterval = func(est core.Estimate) {
 		pt := IntervalPoint{
 			Structure:  est.Structure.String(),
@@ -425,6 +633,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			AVF:        est.AVF,
 			Failures:   est.Failures,
 			Injections: est.Injections,
+		}
+		// Resumed jobs replay deterministically through intervals the WAL
+		// already holds; StartInterval suppresses whole interval groups
+		// below the checkpoint and this filter drops the ragged remainder
+		// (structures whose interval k landed before the crash).
+		if pt.Interval < j.skipTo[pt.Structure] {
+			return
+		}
+		// WAL first, then fan-out: an estimate a client saw is always
+		// durable, so a crash can never un-deliver data.
+		if s.st != nil {
+			if err := s.st.AppendInterval(j.id, &pt); err != nil && !errors.Is(err, store.ErrClosed) {
+				s.log.Error("persist interval", "job", j.id, "error", err)
+			}
 		}
 		j.publish(pt)
 		// Each estimate also feeds the drift monitor (noise-floored by
@@ -440,7 +662,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.flight = flight.New(spec.FlightCap)
 		rc.Recorder = j.flight
 	}
+	deadline := s.effectiveDeadline(&spec)
 	task, err := s.pool.Submit(func(ctx context.Context, _ func(any)) error {
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
+		}
 		res, err := experiment.RunCtx(ctx, rc)
 		if err != nil {
 			return err
@@ -456,53 +684,73 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}, sched.WithLabel(j.id+" "+spec.Benchmark),
 		sched.WithOnStart(func() {
 			s.log.Info("job started", "job", j.id, "benchmark", spec.Benchmark)
+			if s.st != nil {
+				if err := s.st.AppendState(j.id, "running", ""); err != nil && !errors.Is(err, store.ErrClosed) {
+					s.log.Error("persist state", "job", j.id, "error", err)
+				}
+			}
 		}))
-	switch {
-	case errors.Is(err, sched.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "queue full (capacity %d), retry later", s.pool.Stats().QueueCap)
-		return
-	case errors.Is(err, sched.ErrShutdown):
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, "submit: %v", err)
-		return
+	if err != nil {
+		return err
 	}
 	j.task = task
 	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	go s.watch(j)
+	return nil
+}
 
-	// Release subscribers once the task is terminal, whatever the path
-	// (done, canceled while queued or running, failed, panicked).
-	go func() {
-		task.Wait(context.Background())
-		msg := ""
-		if err := task.Err(); err != nil {
-			msg = err.Error()
-		}
-		j.end(msg)
+// watch releases subscribers and persists the terminal transition once
+// the task ends, whatever the path (done, canceled while queued or
+// running, failed, panicked), then gives retention a chance to evict.
+func (s *Server) watch(j *job) {
+	task := j.task
+	task.Wait(context.Background())
+	msg := ""
+	if err := task.Err(); err != nil {
+		msg = err.Error()
+	}
+	j.end(msg)
 
-		state := task.State().String()
-		submitted, started, finished := task.Timing()
-		attrs := []any{"job", j.id, "benchmark", spec.Benchmark, "state", state,
-			"total", finished.Sub(submitted).Round(time.Millisecond)}
-		if !started.IsZero() {
-			attrs = append(attrs, "run", finished.Sub(started).Round(time.Millisecond))
+	state := task.State().String()
+	// A cancellation during drain is a checkpoint, not a verdict: the
+	// job's interval frames are durable and the next boot resumes it.
+	persistState := state
+	if task.State() == sched.StateCanceled && s.draining.Load() {
+		persistState = "interrupted"
+	}
+	if s.st != nil {
+		if task.State() == sched.StateDone {
+			j.mu.Lock()
+			jr := j.result
+			j.mu.Unlock()
+			if jr != nil {
+				if err := s.st.AppendResult(j.id, jr); err != nil && !errors.Is(err, store.ErrClosed) {
+					s.log.Error("persist result", "job", j.id, "error", err)
+				}
+			}
 		}
-		switch {
-		case msg == "":
-			s.log.Info("job done", attrs...)
-		case task.State() == sched.StateCanceled:
-			s.log.Info("job canceled", attrs...)
-		default:
-			s.log.Warn("job failed", append(attrs, "error", msg)...)
+		if err := s.st.AppendState(j.id, persistState, msg); err != nil && !errors.Is(err, store.ErrClosed) {
+			s.log.Error("persist state", "job", j.id, "error", err)
 		}
-	}()
+	}
 
-	s.log.Info("job submitted", "job", j.id, "benchmark", spec.Benchmark, "state", task.State().String())
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": task.State().String()})
+	submitted, started, finished := task.Timing()
+	attrs := []any{"job", j.id, "benchmark", j.spec.Benchmark, "state", state,
+		"total", finished.Sub(submitted).Round(time.Millisecond)}
+	if !started.IsZero() {
+		attrs = append(attrs, "run", finished.Sub(started).Round(time.Millisecond))
+	}
+	switch {
+	case msg == "":
+		s.log.Info("job done", attrs...)
+	case task.State() == sched.StateCanceled:
+		s.log.Info("job canceled", attrs...)
+	default:
+		s.log.Warn("job failed", append(attrs, "error", msg)...)
+	}
+	s.sweepRetention(time.Now())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -536,8 +784,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	j.task.Cancel()
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": j.task.State().String()})
+	if j.task != nil {
+		j.task.Cancel()
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": j.state()})
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
@@ -556,7 +806,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 
 	enc := json.NewEncoder(w)
+	arm := s.armStreamWrite(w)
 	emit := func(ev StreamEvent) bool {
+		arm()
 		if err := enc.Encode(ev); err != nil {
 			return false
 		}
@@ -613,6 +865,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
+	s.armStreamWrite(w)() // one bulk write: a single rolling deadline
 	j.tracer.WriteNDJSON(w)
 }
 
@@ -635,7 +888,7 @@ func (s *Server) statsPayload() map[string]any {
 	s.mu.Lock()
 	census := map[string]int{}
 	for _, j := range s.jobs {
-		census[j.task.State().String()]++
+		census[j.state()]++
 	}
 	total := len(s.jobs)
 	s.mu.Unlock()
@@ -644,7 +897,7 @@ func (s *Server) statsPayload() map[string]any {
 	if ps.QueueCap > 0 {
 		saturation = float64(ps.Queued) / float64(ps.QueueCap)
 	}
-	return map[string]any{
+	out := map[string]any{
 		"scheduler": ps,
 		// Queue depth AND capacity, explicitly paired so clients can
 		// compute saturation without digging through scheduler fields.
@@ -656,6 +909,14 @@ func (s *Server) statsPayload() map[string]any {
 		"jobs":  map[string]any{"total": total, "by_state": census},
 		"drift": map[string]any{"total_alarms": s.drift.TotalAlarms()},
 	}
+	if s.st != nil {
+		out["store"] = map[string]any{
+			"dir":       s.st.Dir(),
+			"wal_bytes": s.st.WALBytes(),
+			"seq":       s.st.Seq(),
+		}
+	}
+	return out
 }
 
 // jobSummary is one row of GET /v1/jobs.

@@ -223,7 +223,7 @@ func TestCancelStopsRunningJob(t *testing.T) {
 	}
 }
 
-// TestQueueFullRejects checks backpressure surfaces as 503 +
+// TestQueueFullRejects checks backpressure surfaces as 429 +
 // Retry-After once the single worker is busy and the queue is full.
 func TestQueueFullRejects(t *testing.T) {
 	ts, _, pool := newTestServer(t, 1, 1)
@@ -248,14 +248,14 @@ func TestQueueFullRejects(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("job3: code=%d body=%s, want 503", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job3: code=%d body=%s, want 429", resp.StatusCode, body)
 	}
 	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("503 without Retry-After")
+		t.Fatal("429 without Retry-After")
 	}
 	if !bytes.Contains(body, []byte("queue full")) {
-		t.Fatalf("503 body = %s", body)
+		t.Fatalf("429 body = %s", body)
 	}
 	// Cancel job1; the slot frees and submissions are accepted again.
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id1, nil)

@@ -5,18 +5,73 @@
 # dashboard, and the flight export, whose propagation traces must
 # reconcile with the estimator's own per-interval counters.
 #
+# A second leg exercises crash recovery: a durable daemon (-data-dir)
+# is SIGKILLed mid-job, restarted on the same directory, and the
+# resumed job's NDJSON estimate stream must be byte-identical to an
+# uninterrupted reference run of the same spec.
+#
 # Tooling is deliberately minimal (curl + grep + awk) so the script runs
 # on a bare CI image. Exits nonzero on the first failed assertion.
 set -euo pipefail
 
 ADDR="${AVFD_ADDR:-127.0.0.1:18080}"
+ADDR_REF="${AVFD_ADDR_REF:-127.0.0.1:18081}"
+ADDR_CRASH="${AVFD_ADDR_CRASH:-127.0.0.1:18082}"
 BASE="http://$ADDR"
+BASE_REF="http://$ADDR_REF"
+BASE_CRASH="http://$ADDR_CRASH"
 BIN="${TMPDIR:-/tmp}/avfd-smoke-$$"
+DATA_DIR=""
+CLEANUP_PIDS=""
 JOB_SPEC='{"benchmark":"bzip2","scale":0.02,"seed":3,"m":400,"n":50,"intervals":3,"flight":true}'
+# Long enough (40 intervals x 100k cycles) that the SIGKILL below lands
+# mid-run with checkpoints already durable and plenty still to go.
+RECOVERY_SPEC='{"benchmark":"bzip2","scale":0.02,"seed":7,"m":2000,"n":50,"intervals":40}'
 
 fail() {
     echo "FAIL: $*" >&2
     exit 1
+}
+
+cleanup() {
+    for p in $CLEANUP_PIDS; do
+        kill -9 "$p" 2>/dev/null || true
+        wait "$p" 2>/dev/null || true
+    done
+    rm -f "$BIN"
+    [ -n "$DATA_DIR" ] && rm -rf "$DATA_DIR"
+}
+
+# wait_healthy BASE — poll /v1/healthz until the daemon answers.
+wait_healthy() {
+    for i in $(seq 1 50); do
+        curl -fsS "$1/v1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.2
+    done
+    return 1
+}
+
+# wait_done BASE JOB — poll until the job is done (fail on any other
+# terminal state). Responses are buffered before json_str because its
+# awk exits at the first match, which would SIGPIPE a direct curl pipe.
+wait_done() {
+    local body st=""
+    for i in $(seq 1 600); do
+        body=$(curl -fsS "$1/v1/jobs/$2") || fail "status fetch for $2 failed"
+        st=$(printf '%s' "$body" | json_str state)
+        case "$st" in
+        done) return 0 ;;
+        failed | canceled) fail "job $2 ended $st" ;;
+        esac
+        sleep 0.1
+    done
+    fail "job $2 still '$st' after timeout"
+}
+
+# interval_stream BASE JOB — the job's NDJSON estimate lines (the
+# replayed per-interval series, without the terminal event).
+interval_stream() {
+    curl -fsS "$1/v1/jobs/$2/stream" | grep '"type":"interval"'
 }
 
 # json_str KEY — first string value for "KEY" in stdin.
@@ -32,15 +87,12 @@ json_int_sum() {
 
 cd "$(dirname "$0")/.."
 go build -o "$BIN" ./cmd/avfd
+trap cleanup EXIT
 "$BIN" -addr "$ADDR" -workers 2 -log-level warn &
 AVFD_PID=$!
-trap 'kill "$AVFD_PID" 2>/dev/null || true; wait "$AVFD_PID" 2>/dev/null || true; rm -f "$BIN"' EXIT
+CLEANUP_PIDS="$AVFD_PID"
 
-for i in $(seq 1 50); do
-    curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1 && break
-    [ "$i" -eq 50 ] && fail "daemon never became healthy on $ADDR"
-    sleep 0.2
-done
+wait_healthy "$BASE" || fail "daemon never became healthy on $ADDR"
 echo "ok: daemon healthy"
 
 SUBMIT=$(curl -fsS "$BASE/v1/jobs" -d "$JOB_SPEC")
@@ -76,7 +128,8 @@ printf '%s' "$DRIFT" | grep -q '"avf/bzip2/iq"' || fail "/v1/drift missing avf/b
 printf '%s' "$DRIFT" | grep -q '"divergence/bzip2/iq"' || fail "/v1/drift missing divergence stream"
 echo "ok: /v1/drift tracks AVF and divergence streams"
 
-curl -fsS "$BASE/debug/avf" | grep -qi '<html' || fail "/debug/avf did not serve the dashboard"
+DASH=$(curl -fsS "$BASE/debug/avf")
+printf '%s' "$DASH" | grep -qi '<html' || fail "/debug/avf did not serve the dashboard"
 echo "ok: /debug/avf dashboard serves"
 
 # Reconcile the flight export against the job's interval counters: every
@@ -92,5 +145,61 @@ GOT_CLOSED=$(printf '%s\n' "$FLIGHT" | grep -cE '"outcome":"(failure|masked|pend
 [ "$GOT_CLOSED" -eq "$WANT_CLOSED" ] ||
     fail "flight closed traces ($GOT_CLOSED) != estimator injections ($WANT_CLOSED)"
 echo "ok: flight traces reconcile ($GOT_CLOSED closed, $GOT_FAIL failures)"
+
+# ---------------------------------------------------------------------
+# Crash-recovery leg: kill -9 a durable daemon mid-job, restart on the
+# same -data-dir, and require the resumed job to finish with an
+# estimate stream byte-identical to an uninterrupted reference run.
+# ---------------------------------------------------------------------
+
+# Uninterrupted reference: same binary and spec, no durability.
+"$BIN" -addr "$ADDR_REF" -workers 2 -log-level warn &
+REF_PID=$!
+CLEANUP_PIDS="$CLEANUP_PIDS $REF_PID"
+wait_healthy "$BASE_REF" || fail "reference daemon never became healthy on $ADDR_REF"
+REF_SUBMIT=$(curl -fsS "$BASE_REF/v1/jobs" -d "$RECOVERY_SPEC")
+REF_JOB=$(printf '%s' "$REF_SUBMIT" | json_str id)
+[ -n "$REF_JOB" ] || fail "reference submit returned no job id: $REF_SUBMIT"
+wait_done "$BASE_REF" "$REF_JOB"
+REF_STREAM=$(interval_stream "$BASE_REF" "$REF_JOB")
+[ -n "$REF_STREAM" ] || fail "reference run produced no estimates"
+echo "ok: reference run done ($(printf '%s\n' "$REF_STREAM" | wc -l) estimates)"
+
+# Durable daemon: submit, wait for checkpoints to land, then SIGKILL —
+# no drain, no flush; whatever the WAL holds is all that survives.
+DATA_DIR=$(mktemp -d "${TMPDIR:-/tmp}/avfd-smoke-wal-$$-XXXXXX")
+"$BIN" -addr "$ADDR_CRASH" -data-dir "$DATA_DIR" -workers 2 -log-level warn &
+CRASH_PID=$!
+CLEANUP_PIDS="$CLEANUP_PIDS $CRASH_PID"
+wait_healthy "$BASE_CRASH" || fail "durable daemon never became healthy on $ADDR_CRASH"
+CRASH_SUBMIT=$(curl -fsS "$BASE_CRASH/v1/jobs" -d "$RECOVERY_SPEC")
+CRASH_JOB=$(printf '%s' "$CRASH_SUBMIT" | json_str id)
+[ -n "$CRASH_JOB" ] || fail "durable submit returned no job id: $CRASH_SUBMIT"
+PTS=0
+for i in $(seq 1 600); do
+    PTS=$(curl -fsS "$BASE_CRASH/v1/jobs/$CRASH_JOB" | grep -c '"structure"' || true)
+    [ "$PTS" -ge 8 ] && break
+    sleep 0.05
+done
+[ "$PTS" -ge 8 ] || fail "job never reached 8 checkpointed estimates before the crash"
+kill -9 "$CRASH_PID"
+wait "$CRASH_PID" 2>/dev/null || true
+echo "ok: SIGKILLed durable daemon mid-job ($PTS estimates checkpointed)"
+
+# Restart on the same directory: the WAL replays, the job resumes, and
+# the daemon reports the recovery in its metrics.
+"$BIN" -addr "$ADDR_CRASH" -data-dir "$DATA_DIR" -workers 2 -log-level warn &
+CRASH_PID=$!
+CLEANUP_PIDS="$CLEANUP_PIDS $CRASH_PID"
+wait_healthy "$BASE_CRASH" || fail "restarted daemon never became healthy on $ADDR_CRASH"
+curl -fsS "$BASE_CRASH/metrics" | grep -q '^avfd_recovered_jobs_total 1$' ||
+    fail "/metrics missing avfd_recovered_jobs_total 1 after restart"
+wait_done "$BASE_CRASH" "$CRASH_JOB"
+RES_STREAM=$(interval_stream "$BASE_CRASH" "$CRASH_JOB")
+if [ "$REF_STREAM" != "$RES_STREAM" ]; then
+    diff <(printf '%s\n' "$REF_STREAM") <(printf '%s\n' "$RES_STREAM") >&2 || true
+    fail "resumed estimate stream differs from uninterrupted reference"
+fi
+echo "ok: resumed job byte-identical to uninterrupted run ($(printf '%s\n' "$RES_STREAM" | wc -l) estimates)"
 
 echo "PASS: avfd end-to-end smoke"

@@ -11,7 +11,10 @@
 // marginal cost: estimator+flight and fused+flight. With -wal two more
 // measure the durable-store checkpoint overhead — every per-interval
 // estimate appended to a CRC-framed fsync'd WAL, exactly as avfd
-// -data-dir persists it: estimator+wal and fused+wal.
+// -data-dir persists it: estimator+wal and fused+wal. With -sched two
+// scheduler-dispatch scenarios compare single-class submission against
+// a four-SLO-class mix (ns per dispatched task): sched-single and
+// sched-classes.
 //
 // Each scenario simulates the same workload for a fixed cycle budget
 // after a warm-up, reporting ns/cycle, cycles/sec and allocation rates.
@@ -23,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +38,7 @@ import (
 	"avfsim/internal/flight"
 	"avfsim/internal/perfstat"
 	"avfsim/internal/pipeline"
+	"avfsim/internal/sched"
 	"avfsim/internal/softarch"
 	"avfsim/internal/store"
 	"avfsim/internal/workload"
@@ -81,6 +86,24 @@ var walScenarios = []scenarioDef{
 	{name: "fused+wal", softarch: true, estimator: true, wal: true},
 }
 
+// schedScenarios measure the scheduler's dispatch path: no-op tasks
+// pushed through the worker pool, reported as ns per dispatched task
+// (reusing the ns/cycle column; "cycles" = tasks). sched-single keeps
+// every task in one class — the pre-class-queue behavior — while
+// sched-classes spreads submissions round-robin across all four SLO
+// tiers, so comparing the two bounds the per-class-queue overhead.
+// Only run with -sched, for the same report-shape stability reason as
+// -flight.
+var schedScenarios = []struct {
+	name    string
+	classes []sched.Class
+}{
+	{name: "sched-single", classes: []sched.Class{sched.ClassStandard}},
+	{name: "sched-classes", classes: []sched.Class{
+		sched.ClassCritical, sched.ClassStandard, sched.ClassSheddable, sched.ClassBatch,
+	}},
+}
+
 func main() {
 	var (
 		quick     = flag.Bool("quick", false, "reduced cycle budget for CI smoke runs")
@@ -93,6 +116,7 @@ func main() {
 		failRegr  = flag.Bool("fail-on-regress", false, "exit nonzero when a regression is flagged")
 		doFlight  = flag.Bool("flight", false, "also measure estimator/fused with the flight recorder attached")
 		doWAL     = flag.Bool("wal", false, "also measure estimator/fused with per-interval WAL checkpointing attached")
+		doSched   = flag.Bool("sched", false, "also measure scheduler dispatch: single-class vs per-SLO-class queues (ns per task)")
 	)
 	flag.Parse()
 	if *quick {
@@ -138,6 +162,25 @@ func main() {
 		fmt.Printf("%-16s %12.1f %14.0f %12.4f %12.1f %8.4f\n",
 			sc.Name, sc.NsPerCycle, sc.CyclesPerSec,
 			sc.AllocsPerCycle, sc.BytesPerCycle, sc.IPC)
+	}
+	if *doSched {
+		// Dispatch is µs-scale per task where the cycle loop is ns-scale
+		// per cycle, so the task budget is a fraction of the cycle budget.
+		tasks := *cycles / 20
+		if tasks < 10_000 {
+			tasks = 10_000
+		}
+		for _, def := range schedScenarios {
+			sc, err := runSchedScenario(def.name, def.classes, tasks)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "avfbench: %s: %v\n", def.name, err)
+				os.Exit(1)
+			}
+			rep.Scenarios = append(rep.Scenarios, *sc)
+			fmt.Printf("%-16s %12.1f %14.0f %12.4f %12.1f %8.4f\n",
+				sc.Name, sc.NsPerCycle, sc.CyclesPerSec,
+				sc.AllocsPerCycle, sc.BytesPerCycle, sc.IPC)
+		}
 	}
 
 	// Find the comparison baseline BEFORE writing the new report so the
@@ -288,6 +331,64 @@ func runScenario(def scenarioDef, bench string, seed uint64, warmup, cycles int6
 		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / float64(cycles),
 		BytesPerCycle:  float64(after.TotalAlloc-before.TotalAlloc) / float64(cycles),
 		IPC:            float64(p.Retired()-retired0) / float64(cycles),
+	}
+	if sc.NsPerCycle > 0 {
+		sc.CyclesPerSec = 1e9 / sc.NsPerCycle
+	}
+	return sc, nil
+}
+
+// runSchedScenario pushes `tasks` no-op jobs through a worker pool,
+// cycling submissions over the given classes, and reports dispatch
+// cost as ns per task (in the ns/cycle column; Cycles = tasks, IPC is
+// meaningless here and left 0). SubmitWait absorbs queue-full
+// backpressure so the measurement covers the steady-state
+// submit→dispatch→finish path, not the rejection path.
+func runSchedScenario(name string, classes []sched.Class, tasks int64) (*perfstat.Scenario, error) {
+	pool := sched.New(sched.Options{Workers: runtime.GOMAXPROCS(0), QueueCap: 1024})
+	defer pool.Shutdown(context.Background())
+	noop := func(ctx context.Context, progress func(v any)) error { return nil }
+	ctx := context.Background()
+
+	// Warm-up: fill the dispatch path before measuring.
+	warm := tasks / 10
+	for i := int64(0); i < warm; i++ {
+		if _, err := pool.SubmitWait(ctx, noop, sched.WithClass(classes[i%int64(len(classes))])); err != nil {
+			return nil, err
+		}
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var last *sched.Task
+	for i := int64(0); i < tasks; i++ {
+		t, err := pool.SubmitWait(ctx, noop, sched.WithClass(classes[i%int64(len(classes))]))
+		if err != nil {
+			return nil, err
+		}
+		last = t
+	}
+	if last != nil {
+		if err := last.Wait(ctx); err != nil {
+			return nil, err
+		}
+	}
+	// Drain fully so wall time covers every dispatched task.
+	for pool.Stats().Queued > 0 || pool.Stats().Running > 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	sc := &perfstat.Scenario{
+		Name:           name,
+		Cycles:         tasks,
+		WallNs:         wall.Nanoseconds(),
+		NsPerCycle:     float64(wall.Nanoseconds()) / float64(tasks),
+		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / float64(tasks),
+		BytesPerCycle:  float64(after.TotalAlloc-before.TotalAlloc) / float64(tasks),
 	}
 	if sc.NsPerCycle > 0 {
 		sc.CyclesPerSec = 1e9 / sc.NsPerCycle

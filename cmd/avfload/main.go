@@ -1,0 +1,319 @@
+// Command avfload replays a workload spec against a live avfd
+// endpoint: it expands the spec into a deterministic submit schedule,
+// drives the submissions on a real or accelerated clock, tracks each
+// accepted job to its terminal state, and scores the run against the
+// spec's embedded SLO assertions.
+//
+// Exit codes: 0 all assertions pass, 1 assertion failures, 2 bad
+// usage or spec, 3 run errors (target unreachable, timeline write).
+//
+// The schedule is a pure function of (spec, seed): -schedule writes it
+// as NDJSON without contacting a server, so two invocations with the
+// same inputs can be byte-compared — the CI determinism gate.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"avfsim/internal/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("avfload", flag.ExitOnError)
+	var (
+		specPath = fs.String("spec", "", "workload spec file (YAML or JSON, required)")
+		target   = fs.String("target", "http://localhost:8080", "avfd base URL")
+		seed     = fs.Uint64("seed", 0, "override the spec seed (0 = use the spec's)")
+		accel    = fs.Float64("accel", 1, "time acceleration: spec seconds / accel = wall seconds")
+		timeline = fs.String("timeline", "", "write the outcome timeline as NDJSON to this file (- = stdout)")
+		schedOut = fs.String("schedule", "", "write the submit schedule as NDJSON and exit (no server needed)")
+		report   = fs.String("report", "", "write the summary report as JSON to this file")
+		track    = fs.Bool("track", true, "poll accepted jobs to their terminal state")
+		drain    = fs.Duration("drain-timeout", 60*time.Second, "max wait for tracked jobs after the last submit")
+		poll     = fs.Duration("poll", 200*time.Millisecond, "job state poll interval")
+		quiet    = fs.Bool("q", false, "suppress the human summary (assertions still print)")
+	)
+	fs.Parse(os.Args[1:])
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "avfload: -spec is required")
+		return 2
+	}
+	if *accel <= 0 {
+		fmt.Fprintln(os.Stderr, "avfload: -accel must be > 0")
+		return 2
+	}
+	spec, err := load.LoadFile(*specPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avfload:", err)
+		return 2
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	schedule, err := spec.Schedule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avfload:", err)
+		return 2
+	}
+	if *schedOut != "" {
+		if err := writeSchedule(*schedOut, spec, schedule); err != nil {
+			fmt.Fprintln(os.Stderr, "avfload:", err)
+			return 3
+		}
+		if !*quiet {
+			fmt.Printf("avfload: %s: %d arrivals over %.1fs (seed %d)\n",
+				spec.Name, len(schedule), spec.DurationSeconds, spec.Seed)
+		}
+		return 0
+	}
+
+	d := &driver{
+		spec:     spec,
+		schedule: schedule,
+		target:   *target,
+		accel:    *accel,
+		track:    *track,
+		poll:     *poll,
+		drain:    *drain,
+		client:   &http.Client{Timeout: 30 * time.Second},
+	}
+	outs, runErr := d.run(context.Background())
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "avfload:", runErr)
+		return 3
+	}
+	if *timeline != "" {
+		if err := writeTimeline(*timeline, outs); err != nil {
+			fmt.Fprintln(os.Stderr, "avfload:", err)
+			return 3
+		}
+	}
+	rep := load.Summarize(outs)
+	if *report != "" {
+		if err := writeJSONFile(*report, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "avfload:", err)
+			return 3
+		}
+	}
+	if !*quiet {
+		fmt.Printf("workload %s: %d scheduled submissions, seed %d, accel %gx\n\n",
+			spec.Name, len(schedule), spec.Seed, *accel)
+		fmt.Print(rep.Table())
+	}
+	results := spec.Evaluate(rep)
+	if len(results) > 0 {
+		fmt.Println()
+		for _, r := range results {
+			fmt.Println(r.String())
+		}
+	}
+	if fails := load.Failures(results); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "avfload: %d of %d SLO assertions failed\n", len(fails), len(results))
+		return 1
+	}
+	return 0
+}
+
+// driver executes one run.
+type driver struct {
+	spec     *load.Spec
+	schedule []load.Arrival
+	target   string
+	accel    float64
+	track    bool
+	poll     time.Duration
+	drain    time.Duration
+	client   *http.Client
+}
+
+// run submits the schedule and returns one outcome per arrival.
+func (d *driver) run(ctx context.Context) ([]load.Outcome, error) {
+	// Probe the target before committing to the run.
+	resp, err := d.client.Get(d.target + "/v1/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("target %s unreachable: %w", d.target, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	outs := make([]load.Outcome, len(d.schedule))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range d.schedule {
+		ar := &d.schedule[i]
+		// Wall-clock instant for this arrival under acceleration.
+		due := start.Add(time.Duration(ar.T / d.accel * float64(time.Second)))
+		if wait := time.Until(due); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return outs[:i], ctx.Err()
+			}
+		}
+		wg.Add(1)
+		go func(idx int, ar load.Arrival) {
+			defer wg.Done()
+			outs[idx] = d.submit(ctx, ar, start)
+		}(i, *ar)
+	}
+	wg.Wait()
+	return outs, nil
+}
+
+// submit posts one job and (optionally) tracks it to a terminal state.
+func (d *driver) submit(ctx context.Context, ar load.Arrival, start time.Time) load.Outcome {
+	c := &d.spec.Clients[ar.Client]
+	out := load.Outcome{
+		Seq:        ar.Seq,
+		Client:     c.ID,
+		Class:      c.Class().String(),
+		ClientSeq:  ar.ClientSeq,
+		ScheduledT: ar.T,
+		SubmitT:    time.Since(start).Seconds(),
+	}
+	body := d.spec.Body(ar.Client, ar.ClientSeq)
+	t0 := time.Now()
+	resp, err := d.client.Post(d.target+"/v1/jobs", "application/json", bytes.NewReader(body))
+	out.AcceptMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	if err != nil {
+		out.Status = load.StatusError
+		out.Err = err.Error()
+		return out
+	}
+	defer resp.Body.Close()
+	out.HTTP = resp.StatusCode
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		out.Status = load.StatusAccepted
+		var acc struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil || acc.ID == "" {
+			out.Status = load.StatusError
+			out.Err = fmt.Sprintf("202 without job id: %v", err)
+			return out
+		}
+		out.JobID = acc.ID
+		if d.track {
+			d.trackJob(ctx, &out, t0)
+		}
+	case http.StatusTooManyRequests:
+		out.Status = load.StatusRejected
+		io.Copy(io.Discard, resp.Body)
+	default:
+		out.Status = load.StatusError
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		out.Err = fmt.Sprintf("http %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return out
+}
+
+// trackJob polls the job until terminal or the drain deadline.
+func (d *driver) trackJob(ctx context.Context, out *load.Outcome, submitted time.Time) {
+	deadline := time.Now().Add(time.Duration(d.spec.DurationSeconds/d.accel*float64(time.Second)) + d.drain)
+	for {
+		resp, err := d.client.Get(d.target + "/v1/jobs/" + out.JobID)
+		if err == nil {
+			var st struct {
+				State string `json:"state"`
+				Error string `json:"error"`
+			}
+			derr := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if derr == nil {
+				switch st.State {
+				case "done", "failed", "canceled", "shed":
+					out.Final = st.State
+					out.CompleteMS = float64(time.Since(submitted)) / float64(time.Millisecond)
+					if st.Error != "" {
+						out.Err = st.Error
+					}
+					return
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return // stays untracked
+		}
+		select {
+		case <-time.After(d.poll):
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// writeSchedule writes the expanded schedule as NDJSON: a header line
+// with (name, seed, arrival count), then one line per arrival.
+func writeSchedule(path string, spec *load.Spec, schedule []load.Arrival) error {
+	w, closeFn, err := outWriter(path)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(map[string]any{
+		"name": spec.Name, "seed": spec.Seed, "arrivals": len(schedule),
+	}); err != nil {
+		return err
+	}
+	for i := range schedule {
+		a := schedule[i]
+		if err := enc.Encode(map[string]any{
+			"seq": a.Seq, "t": a.T,
+			"client": spec.Clients[a.Client].ID, "client_seq": a.ClientSeq,
+			"class": spec.Clients[a.Client].Class().String(),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTimeline(path string, outs []load.Outcome) error {
+	w, closeFn, err := outWriter(path)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	sorted := append([]load.Outcome(nil), outs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+	return load.WriteNDJSON(w, sorted)
+}
+
+func writeJSONFile(path string, v any) error {
+	w, closeFn, err := outWriter(path)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// outWriter opens path for writing; "-" is stdout.
+func outWriter(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}

@@ -1,0 +1,92 @@
+package load
+
+// SLO assertion evaluation: score a run's Report against the spec's
+// embedded assertions. avfload exits nonzero when any fail, which is
+// what lets a workload spec double as a CI gate.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AssertResult is one assertion's verdict.
+type AssertResult struct {
+	Assertion Assertion `json:"assertion"`
+	Value     float64   `json:"value"`
+	Pass      bool      `json:"pass"`
+	// Detail explains a failure (empty on pass).
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders a one-line verdict like
+// "PASS  class critical shed_count = 0 (max 0)".
+func (r *AssertResult) String() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	var bound strings.Builder
+	if r.Assertion.Min != nil {
+		fmt.Fprintf(&bound, "min %g", *r.Assertion.Min)
+	}
+	if r.Assertion.Max != nil {
+		if bound.Len() > 0 {
+			bound.WriteString(", ")
+		}
+		fmt.Fprintf(&bound, "max %g", *r.Assertion.Max)
+	}
+	return fmt.Sprintf("%s  %s %s = %g (%s)",
+		verdict, r.Assertion.scope(), r.Assertion.Metric, r.Value, bound.String())
+}
+
+// Evaluate scores every spec assertion against the report. An
+// assertion scoped to a class or client absent from the report
+// evaluates against a zero Summary — "class critical shed_count max 0"
+// passes vacuously when no critical traffic ran, while min-bounds
+// catch the silence.
+func (s *Spec) Evaluate(rep *Report) []AssertResult {
+	results := make([]AssertResult, 0, len(s.SLOs))
+	for i := range s.SLOs {
+		a := s.SLOs[i]
+		var sum Summary
+		switch {
+		case a.Client != "":
+			sum = rep.Clients[a.Client]
+		case a.Class != "":
+			sum = rep.Classes[a.Class]
+		default:
+			sum = rep.Total
+		}
+		v, err := sum.Metric(a.Metric)
+		res := AssertResult{Assertion: a, Value: v, Pass: true}
+		if err != nil { // unreachable after Validate, but belt and braces
+			res.Pass = false
+			res.Detail = err.Error()
+		} else {
+			if a.Max != nil && v > *a.Max {
+				res.Pass = false
+				res.Detail = fmt.Sprintf("%g > max %g", v, *a.Max)
+			}
+			if a.Min != nil && v < *a.Min {
+				res.Pass = false
+				if res.Detail != "" {
+					res.Detail += "; "
+				}
+				res.Detail += fmt.Sprintf("%g < min %g", v, *a.Min)
+			}
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// Failures filters results to the failing subset.
+func Failures(results []AssertResult) []AssertResult {
+	var out []AssertResult
+	for _, r := range results {
+		if !r.Pass {
+			out = append(out, r)
+		}
+	}
+	return out
+}

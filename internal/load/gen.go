@@ -1,0 +1,252 @@
+package load
+
+// Deterministic seeded traffic generation. Each client gets its own
+// PCG stream keyed by (spec seed, client id), so adding a client or
+// reordering the list never perturbs another client's arrivals, and
+// the merged schedule is a pure function of (spec, seed).
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Arrival is one scheduled submission.
+type Arrival struct {
+	// Seq is the position in the merged schedule (0-based).
+	Seq int `json:"seq"`
+	// T is the submit time in seconds of spec time from run start.
+	T float64 `json:"t"`
+	// Client indexes Spec.Clients.
+	Client int `json:"client"`
+	// ClientSeq is the arrival's 0-based index within its client (feeds
+	// the job-seed stride).
+	ClientSeq int `json:"client_seq"`
+}
+
+// maxArrivals caps a schedule so a runaway spec (huge rate × long
+// duration) fails fast instead of exhausting memory.
+const maxArrivals = 1_000_000
+
+// Schedule generates the merged submit schedule for the spec. The
+// result is sorted by (T, Client, ClientSeq) — a total order, so ties
+// break deterministically.
+func (s *Spec) Schedule() ([]Arrival, error) {
+	var all []Arrival
+	for ci := range s.Clients {
+		arr, err := s.clientArrivals(ci)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, arr...)
+		if len(all) > maxArrivals {
+			return nil, fmt.Errorf("load: schedule exceeds %d arrivals — lower aggregate_rate or duration_seconds", maxArrivals)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].T != all[j].T {
+			return all[i].T < all[j].T
+		}
+		if all[i].Client != all[j].Client {
+			return all[i].Client < all[j].Client
+		}
+		return all[i].ClientSeq < all[j].ClientSeq
+	})
+	for i := range all {
+		all[i].Seq = i
+	}
+	return all, nil
+}
+
+// clientRNG derives the client's private stream: PCG seeded by the
+// spec seed and an FNV-1a hash of the client id.
+func (s *Spec) clientRNG(ci int) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(s.Clients[ci].ID))
+	return rand.New(rand.NewPCG(s.Seed, h.Sum64()))
+}
+
+// rate returns client ci's instantaneous intended rate at spec time t:
+// aggregate × fraction × diurnal(hour) × product of active events.
+func (s *Spec) rate(ci int, t float64) float64 {
+	c := &s.Clients[ci]
+	r := s.AggregateRate * c.RateFraction
+	if len(c.Diurnal) == 24 {
+		hour := int(t/s.hourSeconds()) % 24
+		r *= c.Diurnal[hour]
+	}
+	for i := range s.Events {
+		if s.Events[i].applies(c.ID, t) {
+			r *= s.Events[i].RateMultiplier
+		}
+	}
+	return r
+}
+
+// rateMax returns an upper bound on client ci's rate over the whole
+// run — the thinning envelope for Poisson generation.
+func (s *Spec) rateMax(ci int) float64 {
+	c := &s.Clients[ci]
+	r := s.AggregateRate * c.RateFraction
+	if len(c.Diurnal) == 24 {
+		dmax := 0.0
+		for _, m := range c.Diurnal {
+			dmax = math.Max(dmax, m)
+		}
+		r *= dmax
+	}
+	for i := range s.Events {
+		if s.Events[i].names(c.ID) && s.Events[i].RateMultiplier > 1 {
+			r *= s.Events[i].RateMultiplier
+		}
+	}
+	return r
+}
+
+// nextBoundary returns the first hour or event boundary strictly after
+// t — where the piecewise-constant rate can next change. Used to skip
+// zero-rate windows without spinning.
+func (s *Spec) nextBoundary(ci int, t float64) float64 {
+	next := s.DurationSeconds
+	hs := s.hourSeconds()
+	if len(s.Clients[ci].Diurnal) == 24 {
+		if hb := (math.Floor(t/hs) + 1) * hs; hb < next {
+			next = hb
+		}
+	}
+	id := s.Clients[ci].ID
+	for i := range s.Events {
+		e := &s.Events[i]
+		if !e.names(id) {
+			continue
+		}
+		if e.AtSeconds > t && e.AtSeconds < next {
+			next = e.AtSeconds
+		}
+		if end := e.AtSeconds + e.DurationSeconds; end > t && end < next {
+			next = end
+		}
+	}
+	if next <= t { // no boundary left: jump past the horizon
+		next = s.DurationSeconds
+	}
+	return next
+}
+
+// clientArrivals generates one client's arrivals over the horizon.
+func (s *Spec) clientArrivals(ci int) ([]Arrival, error) {
+	c := &s.Clients[ci]
+	rng := s.clientRNG(ci)
+	switch c.Arrival.Process {
+	case "", ProcessPoisson:
+		return s.poissonArrivals(ci, rng)
+	case ProcessGammaBurst:
+		return s.gammaArrivals(ci, rng)
+	}
+	return nil, fmt.Errorf("load: client %q: unknown arrival process %q", c.ID, c.Arrival.Process)
+}
+
+// poissonArrivals draws a nonhomogeneous Poisson process by thinning:
+// candidate points at the envelope rate, each kept with probability
+// rate(t)/rateMax.
+func (s *Spec) poissonArrivals(ci int, rng *rand.Rand) ([]Arrival, error) {
+	rmax := s.rateMax(ci)
+	if rmax <= 0 {
+		return nil, nil
+	}
+	var out []Arrival
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / rmax
+		if t >= s.DurationSeconds {
+			break
+		}
+		if r := s.rate(ci, t); r > 0 && rng.Float64() < r/rmax {
+			out = append(out, Arrival{T: t, Client: ci, ClientSeq: len(out)})
+			if len(out) > maxArrivals {
+				return nil, fmt.Errorf("load: client %q exceeds %d arrivals", s.Clients[ci].ID, maxArrivals)
+			}
+		}
+	}
+	return out, nil
+}
+
+// gammaArrivals draws bursty traffic: gamma inter-arrival times with
+// coefficient of variation CV (> 1), mean matched to the local rate at
+// the start of each gap. Shape k = 1/CV² < 1 yields heavy clumping —
+// most gaps tiny, a few very long.
+func (s *Spec) gammaArrivals(ci int, rng *rand.Rand) ([]Arrival, error) {
+	cv := s.Clients[ci].Arrival.CV
+	if cv == 0 {
+		cv = defaultCV
+	}
+	shape := 1 / (cv * cv)
+	var out []Arrival
+	t := 0.0
+	for t < s.DurationSeconds {
+		r := s.rate(ci, t)
+		if r <= 0 {
+			// Zero-rate window: jump to the next rate boundary (hour or
+			// event edge) instead of sampling.
+			nb := s.nextBoundary(ci, t)
+			if nb <= t {
+				break
+			}
+			t = nb
+			continue
+		}
+		// Mean inter-arrival 1/r → gamma scale = 1/(shape*r).
+		gap := gammaSample(rng, shape) / (shape * r)
+		// Floor at 1µs so shape<1's occasional ~0 draws can't wedge the
+		// loop at one instant.
+		if gap < 1e-6 {
+			gap = 1e-6
+		}
+		t += gap
+		if t >= s.DurationSeconds {
+			break
+		}
+		if s.rate(ci, t) <= 0 {
+			// The gap carried us into a zero-rate window; the arrival is
+			// suppressed and generation resumes at the next boundary.
+			t = s.nextBoundary(ci, t)
+			continue
+		}
+		out = append(out, Arrival{T: t, Client: ci, ClientSeq: len(out)})
+		if len(out) > maxArrivals {
+			return nil, fmt.Errorf("load: client %q exceeds %d arrivals", s.Clients[ci].ID, maxArrivals)
+		}
+	}
+	return out, nil
+}
+
+// gammaSample draws Gamma(shape, 1) via Marsaglia–Tsang; shapes below 1
+// use the boost G(a) = G(a+1)·U^(1/a).
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleYAML = `
+# steady two-client mix
+version: "1"
+name: steady-mix
+seed: 42
+aggregate_rate: 10
+duration_seconds: 30
+hour_seconds: 1
+clients:
+  - id: online
+    rate_fraction: 0.6
+    slo_class: critical
+    arrival:
+      process: poisson
+    job:
+      benchmark: mesa
+      scale: 0.05
+      seed: 1
+      seed_stride: 7
+  - id: analytics
+    rate_fraction: 0.4
+    slo_class: batch
+    arrival:
+      process: gamma-burst
+      cv: 4
+    job:
+      benchmark: bzip2
+      scale: 0.05
+    diurnal: [1, 1, 1, 1, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2]
+events:
+  - at_seconds: 10
+    duration_seconds: 5
+    rate_multiplier: 3
+    clients: [analytics]
+slos:
+  - class: critical
+    metric: shed_count
+    max: 0
+  - metric: accepted
+    min: 1
+`
+
+func TestParseYAMLSpec(t *testing.T) {
+	s, err := Parse([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "steady-mix" || s.Seed != 42 || s.AggregateRate != 10 {
+		t.Fatalf("header mismatch: %+v", s)
+	}
+	if len(s.Clients) != 2 {
+		t.Fatalf("clients = %d, want 2", len(s.Clients))
+	}
+	if s.Clients[0].ID != "online" || s.Clients[0].SLOClass != "critical" {
+		t.Fatalf("client 0 = %+v", s.Clients[0])
+	}
+	if s.Clients[1].Arrival.Process != ProcessGammaBurst || s.Clients[1].Arrival.CV != 4 {
+		t.Fatalf("client 1 arrival = %+v", s.Clients[1].Arrival)
+	}
+	if len(s.Clients[1].Diurnal) != 24 || s.Clients[1].Diurnal[20] != 2 {
+		t.Fatalf("client 1 diurnal = %v", s.Clients[1].Diurnal)
+	}
+	if len(s.Events) != 1 || s.Events[0].Clients[0] != "analytics" {
+		t.Fatalf("events = %+v", s.Events)
+	}
+	if len(s.SLOs) != 2 || s.SLOs[0].Class != "critical" || *s.SLOs[0].Max != 0 {
+		t.Fatalf("slos = %+v", s.SLOs)
+	}
+	if s.SLOs[1].Min == nil || *s.SLOs[1].Min != 1 {
+		t.Fatalf("slo 1 = %+v", s.SLOs[1])
+	}
+}
+
+func TestParseJSONSpec(t *testing.T) {
+	s, err := Parse([]byte(`{
+		"seed": 7, "aggregate_rate": 5, "duration_seconds": 10,
+		"clients": [{"id": "a", "rate_fraction": 1,
+			"arrival": {"process": "poisson"},
+			"job": {"benchmark": "mesa"}}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 || s.Clients[0].ID != "a" {
+		t.Fatalf("spec = %+v", s)
+	}
+	// Default class is standard.
+	if got := s.Clients[0].Class().String(); got != "standard" {
+		t.Fatalf("default class = %q", got)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	base := `{"seed":1,"aggregate_rate":5,"duration_seconds":10,"clients":[{"id":"a","rate_fraction":1,"job":{"benchmark":"mesa"}}]}`
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"no clients", `{"aggregate_rate":1,"duration_seconds":1,"clients":[]}`, "no clients"},
+		{"zero rate", `{"aggregate_rate":0,"duration_seconds":1,"clients":[{"id":"a","rate_fraction":1,"job":{"benchmark":"mesa"}}]}`, "aggregate_rate"},
+		{"bad class", strings.Replace(base, `"id":"a"`, `"id":"a","slo_class":"gold"`, 1), "slo_class"},
+		{"bad benchmark", strings.Replace(base, `"mesa"`, `"nope"`, 1), "unknown benchmark"},
+		{"bad process", strings.Replace(base, `"job"`, `"arrival":{"process":"uniform"},"job"`, 1), "arrival process"},
+		{"fractions over 1", `{"aggregate_rate":1,"duration_seconds":1,"clients":[
+			{"id":"a","rate_fraction":0.7,"job":{"benchmark":"mesa"}},
+			{"id":"b","rate_fraction":0.7,"job":{"benchmark":"mesa"}}]}`, "rate_fractions sum"},
+		{"dup id", `{"aggregate_rate":1,"duration_seconds":1,"clients":[
+			{"id":"a","rate_fraction":0.3,"job":{"benchmark":"mesa"}},
+			{"id":"a","rate_fraction":0.3,"job":{"benchmark":"mesa"}}]}`, "duplicate client"},
+		{"short diurnal", strings.Replace(base, `"rate_fraction":1`, `"rate_fraction":1,"diurnal":[1,2,3]`, 1), "diurnal"},
+		{"bad metric", strings.Replace(base, `"clients"`, `"slos":[{"metric":"latency","max":1}],"clients"`, 1), "unknown metric"},
+		{"boundless slo", strings.Replace(base, `"clients"`, `"slos":[{"metric":"shed_count"}],"clients"`, 1), "neither max nor min"},
+		{"slo unknown client", strings.Replace(base, `"clients"`, `"slos":[{"client":"zz","metric":"done","min":1}],"clients"`, 1), "unknown client"},
+		{"slo class and client", strings.Replace(base, `"clients"`, `"slos":[{"client":"a","class":"batch","metric":"done","min":1}],"clients"`, 1), "both class and client"},
+		{"event unknown client", strings.Replace(base, `"clients"`, `"events":[{"at_seconds":1,"duration_seconds":1,"rate_multiplier":2,"clients":["zz"]}],"clients"`, 1), "unknown client"},
+		{"unknown field", strings.Replace(base, `"seed":1`, `"sead":1`, 1), "unknown field"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse([]byte(c.body))
+			if err == nil {
+				t.Fatalf("Parse accepted invalid spec")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestBodyRendersClassAndStride(t *testing.T) {
+	s, err := Parse([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := string(s.Body(0, 0))
+	b3 := string(s.Body(0, 3))
+	if !strings.Contains(b0, `"slo_class":"critical"`) {
+		t.Fatalf("body missing class: %s", b0)
+	}
+	if !strings.Contains(b0, `"seed":1`) || !strings.Contains(b3, `"seed":22`) {
+		t.Fatalf("stride not applied: %s / %s", b0, b3)
+	}
+	// Determinism: same inputs, same bytes.
+	if again := string(s.Body(0, 3)); again != b3 {
+		t.Fatalf("body not deterministic:\n%s\n%s", b3, again)
+	}
+}

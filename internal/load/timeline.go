@@ -1,0 +1,282 @@
+package load
+
+// Run timelines: one Outcome per scheduled arrival, recorded as NDJSON
+// for machine diffing and reduced to per-client / per-class / total
+// Summary blocks for the human report and the SLO assertions.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Outcome records what happened to one scheduled submission.
+type Outcome struct {
+	Seq       int    `json:"seq"`
+	Client    string `json:"client"`
+	Class     string `json:"class"`
+	ClientSeq int    `json:"client_seq"`
+	// ScheduledT is the spec-time submit instant; SubmitT is when the
+	// driver actually sent it (wall time from run start, seconds).
+	ScheduledT float64 `json:"scheduled_t"`
+	SubmitT    float64 `json:"submit_t"`
+	// Status: accepted | rejected | error.
+	Status string `json:"status"`
+	HTTP   int    `json:"http,omitempty"`
+	JobID  string `json:"job_id,omitempty"`
+	Err    string `json:"err,omitempty"`
+	// AcceptMS is the submit round-trip latency.
+	AcceptMS float64 `json:"accept_ms,omitempty"`
+	// Final is the job's terminal state when tracked to completion:
+	// done | failed | canceled | shed ("" when not tracked or still
+	// running at shutdown).
+	Final string `json:"final,omitempty"`
+	// CompleteMS is submit→terminal latency for tracked jobs.
+	CompleteMS float64 `json:"complete_ms,omitempty"`
+}
+
+const (
+	StatusAccepted = "accepted"
+	StatusRejected = "rejected"
+	StatusError    = "error"
+)
+
+// WriteNDJSON writes outcomes one JSON object per line, in seq order.
+func WriteNDJSON(w io.Writer, outs []Outcome) error {
+	enc := json.NewEncoder(w)
+	for i := range outs {
+		if err := enc.Encode(&outs[i]); err != nil {
+			return fmt.Errorf("load: write timeline: %w", err)
+		}
+	}
+	return nil
+}
+
+// Summary aggregates outcomes for one scope (a client, a class, or the
+// whole run).
+type Summary struct {
+	Scope     string `json:"scope"`
+	Submitted int    `json:"submitted"`
+	Accepted  int    `json:"accepted"`
+	Rejected  int    `json:"rejected"`
+	Errors    int    `json:"errors"`
+	Done      int    `json:"done"`
+	Failed    int    `json:"failed"`
+	Canceled  int    `json:"canceled"`
+	Shed      int    `json:"shed"`
+	// Untracked counts accepted jobs with no terminal state (run ended
+	// first, or tracking disabled).
+	Untracked int `json:"untracked"`
+
+	AcceptP50MS   float64 `json:"accept_p50_ms"`
+	AcceptP90MS   float64 `json:"accept_p90_ms"`
+	AcceptP99MS   float64 `json:"accept_p99_ms"`
+	AcceptMaxMS   float64 `json:"accept_max_ms"`
+	CompleteP50MS float64 `json:"complete_p50_ms"`
+	CompleteP99MS float64 `json:"complete_p99_ms"`
+}
+
+// ShedRate is shed / accepted (0 when nothing was accepted).
+func (s *Summary) ShedRate() float64 {
+	if s.Accepted == 0 {
+		return 0
+	}
+	return float64(s.Shed) / float64(s.Accepted)
+}
+
+// Metric returns the named summary metric. knownMetric / MetricNames
+// must stay in sync with this switch.
+func (s *Summary) Metric(name string) (float64, error) {
+	switch name {
+	case "submitted":
+		return float64(s.Submitted), nil
+	case "accepted":
+		return float64(s.Accepted), nil
+	case "rejected":
+		return float64(s.Rejected), nil
+	case "errors":
+		return float64(s.Errors), nil
+	case "done":
+		return float64(s.Done), nil
+	case "failed":
+		return float64(s.Failed), nil
+	case "canceled":
+		return float64(s.Canceled), nil
+	case "shed_count":
+		return float64(s.Shed), nil
+	case "shed_rate":
+		return s.ShedRate(), nil
+	case "untracked":
+		return float64(s.Untracked), nil
+	case "accept_p50_ms":
+		return s.AcceptP50MS, nil
+	case "accept_p90_ms":
+		return s.AcceptP90MS, nil
+	case "accept_p99_ms":
+		return s.AcceptP99MS, nil
+	case "accept_max_ms":
+		return s.AcceptMaxMS, nil
+	case "complete_p50_ms":
+		return s.CompleteP50MS, nil
+	case "complete_p99_ms":
+		return s.CompleteP99MS, nil
+	}
+	return 0, fmt.Errorf("load: unknown metric %q", name)
+}
+
+var metricNames = []string{
+	"submitted", "accepted", "rejected", "errors",
+	"done", "failed", "canceled", "shed_count", "shed_rate", "untracked",
+	"accept_p50_ms", "accept_p90_ms", "accept_p99_ms", "accept_max_ms",
+	"complete_p50_ms", "complete_p99_ms",
+}
+
+func knownMetric(name string) bool {
+	for _, n := range metricNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// MetricNames lists the assertable summary metrics.
+func MetricNames() []string { return append([]string(nil), metricNames...) }
+
+// Report is the full reduction of a run.
+type Report struct {
+	Total   Summary            `json:"total"`
+	Clients map[string]Summary `json:"clients"`
+	Classes map[string]Summary `json:"classes"`
+}
+
+// Summarize reduces outcomes into per-client, per-class, and total
+// summaries.
+func Summarize(outs []Outcome) *Report {
+	rep := &Report{
+		Clients: map[string]Summary{},
+		Classes: map[string]Summary{},
+	}
+	type bucket struct {
+		sum       Summary
+		accepts   []float64
+		completes []float64
+	}
+	total := &bucket{sum: Summary{Scope: "total"}}
+	clients := map[string]*bucket{}
+	classes := map[string]*bucket{}
+	get := func(m map[string]*bucket, key, scope string) *bucket {
+		b := m[key]
+		if b == nil {
+			b = &bucket{sum: Summary{Scope: scope}}
+			m[key] = b
+		}
+		return b
+	}
+	for i := range outs {
+		o := &outs[i]
+		for _, b := range []*bucket{
+			total,
+			get(clients, o.Client, "client "+o.Client),
+			get(classes, o.Class, "class "+o.Class),
+		} {
+			b.sum.Submitted++
+			switch o.Status {
+			case StatusAccepted:
+				b.sum.Accepted++
+				b.accepts = append(b.accepts, o.AcceptMS)
+			case StatusRejected:
+				b.sum.Rejected++
+			default:
+				b.sum.Errors++
+			}
+			switch o.Final {
+			case "done":
+				b.sum.Done++
+			case "failed":
+				b.sum.Failed++
+			case "canceled":
+				b.sum.Canceled++
+			case "shed":
+				b.sum.Shed++
+			case "":
+				if o.Status == StatusAccepted {
+					b.sum.Untracked++
+				}
+			}
+			if o.Final != "" && o.CompleteMS > 0 {
+				b.completes = append(b.completes, o.CompleteMS)
+			}
+		}
+	}
+	finish := func(b *bucket) Summary {
+		sort.Float64s(b.accepts)
+		sort.Float64s(b.completes)
+		b.sum.AcceptP50MS = percentile(b.accepts, 50)
+		b.sum.AcceptP90MS = percentile(b.accepts, 90)
+		b.sum.AcceptP99MS = percentile(b.accepts, 99)
+		if n := len(b.accepts); n > 0 {
+			b.sum.AcceptMaxMS = b.accepts[n-1]
+		}
+		b.sum.CompleteP50MS = percentile(b.completes, 50)
+		b.sum.CompleteP99MS = percentile(b.completes, 99)
+		return b.sum
+	}
+	rep.Total = finish(total)
+	for k, b := range clients {
+		rep.Clients[k] = finish(b)
+	}
+	for k, b := range classes {
+		rep.Classes[k] = finish(b)
+	}
+	return rep
+}
+
+// percentile is nearest-rank on a sorted slice (0 when empty).
+func percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(n)+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return sorted[rank]
+}
+
+// Table renders the report as an aligned human-readable summary:
+// total, then classes, then clients, each sorted by scope name.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %6s %6s %6s %5s %6s %6s %5s %9s %9s %11s\n",
+		"scope", "submit", "accept", "reject", "err", "done", "shed", "fail",
+		"acc_p50ms", "acc_p99ms", "cmpl_p50ms")
+	row := func(s Summary) {
+		fmt.Fprintf(&b, "%-24s %6d %6d %6d %5d %6d %6d %5d %9.1f %9.1f %11.0f\n",
+			s.Scope, s.Submitted, s.Accepted, s.Rejected, s.Errors,
+			s.Done, s.Shed, s.Failed, s.AcceptP50MS, s.AcceptP99MS, s.CompleteP50MS)
+	}
+	row(r.Total)
+	for _, k := range sortedKeys(r.Classes) {
+		row(r.Classes[k])
+	}
+	for _, k := range sortedKeys(r.Clients) {
+		row(r.Clients[k])
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]Summary) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

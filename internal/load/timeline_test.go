@@ -1,0 +1,146 @@
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleOutcomes() []Outcome {
+	return []Outcome{
+		{Seq: 0, Client: "online", Class: "critical", Status: StatusAccepted, AcceptMS: 2, Final: "done", CompleteMS: 120},
+		{Seq: 1, Client: "online", Class: "critical", Status: StatusAccepted, AcceptMS: 4, Final: "done", CompleteMS: 150},
+		{Seq: 2, Client: "analytics", Class: "batch", Status: StatusAccepted, AcceptMS: 3, Final: "shed"},
+		{Seq: 3, Client: "analytics", Class: "batch", Status: StatusRejected, HTTP: 429},
+		{Seq: 4, Client: "analytics", Class: "batch", Status: StatusAccepted, AcceptMS: 9, Final: "done", CompleteMS: 800},
+		{Seq: 5, Client: "online", Class: "critical", Status: StatusError, Err: "dial"},
+		{Seq: 6, Client: "analytics", Class: "batch", Status: StatusAccepted, AcceptMS: 5},
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rep := Summarize(sampleOutcomes())
+	tot := rep.Total
+	if tot.Submitted != 7 || tot.Accepted != 5 || tot.Rejected != 1 || tot.Errors != 1 {
+		t.Fatalf("total = %+v", tot)
+	}
+	if tot.Done != 3 || tot.Shed != 1 || tot.Untracked != 1 {
+		t.Fatalf("total terminal counts = %+v", tot)
+	}
+	crit := rep.Classes["critical"]
+	if crit.Submitted != 3 || crit.Done != 2 || crit.Shed != 0 {
+		t.Fatalf("critical = %+v", crit)
+	}
+	batch := rep.Classes["batch"]
+	if batch.Shed != 1 || batch.Rejected != 1 {
+		t.Fatalf("batch = %+v", batch)
+	}
+	if got := batch.ShedRate(); got != 1.0/3.0 {
+		t.Fatalf("batch shed rate = %v", got)
+	}
+	online := rep.Clients["online"]
+	if online.AcceptP50MS != 2 || online.AcceptMaxMS != 4 {
+		t.Fatalf("online accepts = %+v", online)
+	}
+	if online.CompleteP50MS != 120 {
+		t.Fatalf("online complete p50 = %v", online.CompleteP50MS)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ p, want float64 }{
+		{50, 5}, {90, 9}, {99, 10}, {100, 10}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := percentile(xs, c.p); got != c.want {
+			t.Fatalf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile != 0")
+	}
+	if percentile([]float64{7}, 99) != 7 {
+		t.Fatal("singleton percentile")
+	}
+}
+
+func TestWriteNDJSONRoundTrip(t *testing.T) {
+	outs := sampleOutcomes()
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, outs); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var back []Outcome
+	for sc.Scan() {
+		var o Outcome
+		if err := json.Unmarshal(sc.Bytes(), &o); err != nil {
+			t.Fatalf("line not JSON: %v", err)
+		}
+		back = append(back, o)
+	}
+	if len(back) != len(outs) {
+		t.Fatalf("lines = %d, want %d", len(back), len(outs))
+	}
+	if back[2].Final != "shed" || back[3].HTTP != 429 {
+		t.Fatalf("round trip mangled: %+v %+v", back[2], back[3])
+	}
+}
+
+func TestTableContainsScopes(t *testing.T) {
+	tbl := Summarize(sampleOutcomes()).Table()
+	for _, want := range []string{"total", "class critical", "class batch", "client online", "client analytics"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func f(v float64) *float64 { return &v }
+
+func TestEvaluateAssertions(t *testing.T) {
+	rep := Summarize(sampleOutcomes())
+	spec := &Spec{SLOs: []Assertion{
+		{Class: "critical", Metric: "shed_count", Max: f(0)},    // pass
+		{Class: "batch", Metric: "shed_count", Max: f(0)},       // fail (1)
+		{Metric: "accepted", Min: f(5)},                         // pass
+		{Client: "online", Metric: "accept_p99_ms", Max: f(10)}, // pass
+		{Class: "batch", Metric: "shed_rate", Max: f(0.1)},      // fail
+		{Class: "sheddable", Metric: "shed_count", Max: f(0)},   // vacuous pass
+	}}
+	res := spec.Evaluate(rep)
+	if len(res) != 6 {
+		t.Fatalf("results = %d", len(res))
+	}
+	wantPass := []bool{true, false, true, true, false, true}
+	for i, r := range res {
+		if r.Pass != wantPass[i] {
+			t.Fatalf("assertion %d: pass=%v, want %v (%s)", i, r.Pass, wantPass[i], r.String())
+		}
+	}
+	fails := Failures(res)
+	if len(fails) != 2 {
+		t.Fatalf("failures = %d, want 2", len(fails))
+	}
+	if !strings.Contains(fails[0].String(), "FAIL") || !strings.Contains(fails[0].String(), "shed_count") {
+		t.Fatalf("failure string: %s", fails[0].String())
+	}
+	if !strings.Contains(fails[0].Detail, "> max") {
+		t.Fatalf("failure detail: %s", fails[0].Detail)
+	}
+}
+
+func TestMetricNamesAllResolve(t *testing.T) {
+	var s Summary
+	for _, name := range MetricNames() {
+		if _, err := s.Metric(name); err != nil {
+			t.Fatalf("metric %q in MetricNames but not in Metric(): %v", name, err)
+		}
+	}
+	if _, err := s.Metric("nope"); err == nil {
+		t.Fatal("unknown metric did not error")
+	}
+}

@@ -1,0 +1,324 @@
+package load
+
+// A hand-rolled parser for the YAML subset workload specs use. The
+// module is deliberately dependency-free, so rather than vendoring a
+// YAML library we accept the small dialect the examples are written
+// in and reject everything else loudly:
+//
+//   - indentation-nested maps (`key: value` / `key:` + indented block)
+//   - block lists (`- item`, including `- key: value` inline maps)
+//   - flow lists (`[a, b, c]`) of scalars
+//   - scalars: null/bool/number/string, single- or double-quoted
+//   - `#` comments and blank lines
+//
+// No anchors, no multi-document streams, no block scalars, no flow
+// maps, no tabs. The parse result is map[string]any / []any / scalars,
+// which Parse round-trips through encoding/json into the typed Spec.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type yamlLine struct {
+	num    int // 1-based source line
+	indent int
+	text   string // content with indentation stripped
+}
+
+// parseYAML parses src into nested map[string]any / []any / scalars.
+func parseYAML(src string) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("line %d: tabs are not allowed (use spaces)", i+1)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		if trimmed == "---" {
+			if len(lines) > 0 {
+				return nil, fmt.Errorf("line %d: multi-document streams are not supported", i+1)
+			}
+			continue
+		}
+		indent := len(text) - len(strings.TrimLeft(text, " "))
+		lines = append(lines, yamlLine{num: i + 1, indent: indent, text: trimmed})
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.block(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("line %d: unexpected content %q (bad indentation?)", l.num, l.text)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing `# ...` comment, respecting quotes.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '#':
+			if !inS && !inD && (i == 0 || s[i-1] == ' ') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// block parses a map or list whose items sit at exactly `indent`.
+func (p *yamlParser) block(indent int) (any, error) {
+	if strings.HasPrefix(p.lines[p.pos].text, "- ") || p.lines[p.pos].text == "-" {
+		return p.list(indent)
+	}
+	return p.mapping(indent)
+}
+
+func (p *yamlParser) mapping(indent int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indentation", l.num)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, fmt.Errorf("line %d: list item inside a map block", l.num)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalarOrFlow(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// `key:` with a nested block (or an empty value).
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.block(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+func (p *yamlParser) list(indent int) (any, error) {
+	var out []any
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (!strings.HasPrefix(l.text, "- ") && l.text != "-") {
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		if rest == "" {
+			// `-` alone: nested block on following lines.
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				v, err := p.block(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			} else {
+				out = append(out, nil)
+			}
+			continue
+		}
+		if isMapItem(rest) {
+			// `- key: value`: the item is a map whose first entry is on this
+			// line and whose remaining entries are indented past the dash.
+			// Rewrite the line as the first map entry and parse the map at
+			// the entry's indentation.
+			entryIndent := indent + (len(l.text) - len(rest))
+			p.lines[p.pos] = yamlLine{num: l.num, indent: entryIndent, text: rest}
+			v, err := p.mapping(entryIndent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		p.pos++
+		v, err := parseScalarOrFlow(rest, l.num)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitKey splits a `key: value` line, respecting quoted keys.
+func splitKey(l yamlLine) (key, rest string, err error) {
+	s := l.text
+	if len(s) > 0 && (s[0] == '"' || s[0] == '\'') {
+		q := s[0]
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return "", "", fmt.Errorf("line %d: unterminated quoted key", l.num)
+		}
+		key = s[1 : 1+end]
+		s = strings.TrimSpace(s[2+end:])
+		if !strings.HasPrefix(s, ":") {
+			return "", "", fmt.Errorf("line %d: expected ':' after quoted key", l.num)
+		}
+		return key, strings.TrimSpace(s[1:]), nil
+	}
+	idx := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' && (i+1 == len(s) || s[i+1] == ' ') {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return "", "", fmt.Errorf("line %d: expected `key: value`, got %q", l.num, s)
+	}
+	return strings.TrimSpace(s[:idx]), strings.TrimSpace(s[idx+1:]), nil
+}
+
+// isMapItem reports whether a list-item body is itself a `key: ...`.
+func isMapItem(s string) bool {
+	if len(s) == 0 || s[0] == '[' || s[0] == '"' || s[0] == '\'' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' && (i+1 == len(s) || s[i+1] == ' ') {
+			return true
+		}
+	}
+	return false
+}
+
+// parseScalarOrFlow parses an inline value: flow list or scalar.
+func parseScalarOrFlow(s string, line int) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("line %d: unterminated flow list", line)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		parts, err := splitFlow(inner, line)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, 0, len(parts))
+		for _, part := range parts {
+			v, err := parseScalar(strings.TrimSpace(part), line)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("line %d: flow maps are not supported", line)
+	}
+	return parseScalar(s, line)
+}
+
+// splitFlow splits a flow-list body on commas outside quotes.
+func splitFlow(s string, line int) ([]string, error) {
+	var parts []string
+	start := 0
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case ',':
+			if !inS && !inD {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		case '[':
+			if !inS && !inD {
+				return nil, fmt.Errorf("line %d: nested flow lists are not supported", line)
+			}
+		}
+	}
+	if inS || inD {
+		return nil, fmt.Errorf("line %d: unterminated quote in flow list", line)
+	}
+	parts = append(parts, s[start:])
+	return parts, nil
+}
+
+func parseScalar(s string, line int) (any, error) {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad double-quoted string %s: %v", line, s, err)
+		}
+		return unq, nil
+	}
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	switch s {
+	case "null", "~", "":
+		return nil, nil
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if u, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return u, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

@@ -1,0 +1,110 @@
+package load
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestYAMLScalars(t *testing.T) {
+	v, err := parseYAML(`
+a: 1
+b: 2.5
+c: true
+d: hello
+e: "quoted # not comment"
+f: 'it''s'
+g: null
+h: -3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"a": int64(1), "b": 2.5, "c": true, "d": "hello",
+		"e": "quoted # not comment", "f": "it's", "g": nil, "h": int64(-3),
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v\nwant %#v", v, want)
+	}
+}
+
+func TestYAMLNestingAndLists(t *testing.T) {
+	v, err := parseYAML(`
+top:
+  nested:
+    deep: 1
+  flow: [1, 2, 3]
+items:
+  - id: a       # trailing comment
+    weight: 0.5
+  - id: b
+    sub:
+      - x
+      - y
+scalars:
+  - 10
+  - twenty
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	top := m["top"].(map[string]any)
+	if top["nested"].(map[string]any)["deep"] != int64(1) {
+		t.Fatalf("nested map: %#v", top)
+	}
+	if !reflect.DeepEqual(top["flow"], []any{int64(1), int64(2), int64(3)}) {
+		t.Fatalf("flow list: %#v", top["flow"])
+	}
+	items := m["items"].([]any)
+	if len(items) != 2 {
+		t.Fatalf("items: %#v", items)
+	}
+	first := items[0].(map[string]any)
+	if first["id"] != "a" || first["weight"] != 0.5 {
+		t.Fatalf("item 0: %#v", first)
+	}
+	second := items[1].(map[string]any)
+	if !reflect.DeepEqual(second["sub"], []any{"x", "y"}) {
+		t.Fatalf("item 1 sub: %#v", second["sub"])
+	}
+	if !reflect.DeepEqual(m["scalars"], []any{int64(10), "twenty"}) {
+		t.Fatalf("scalars: %#v", m["scalars"])
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"tab", "a:\n\tb: 1", "tabs"},
+		{"dup key", "a: 1\na: 2", "duplicate key"},
+		{"bad line", "just words", "expected `key: value`"},
+		{"flow map", "a: {b: 1}", "flow maps"},
+		{"unterminated flow", "a: [1, 2", "unterminated flow list"},
+		{"bad indent", "a: 1\n    b: 2", "indentation"},
+		{"multi-doc", "a: 1\n---\nb: 2", "multi-document"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := parseYAML(c.src)
+			if err == nil {
+				t.Fatal("parseYAML accepted bad input")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestYAMLEmptyAndComments(t *testing.T) {
+	v, err := parseYAML("# only comments\n\n   \n# more\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := v.(map[string]any); !ok || len(m) != 0 {
+		t.Fatalf("got %#v, want empty map", v)
+	}
+}

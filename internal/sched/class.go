@@ -1,0 +1,94 @@
+package sched
+
+// SLO classes: every job belongs to one of four priority tiers, modeled
+// on the BLIS workload-spec slo_class field. Dispatch is strict
+// priority — a queued critical job always runs before a queued batch
+// job — and under queue saturation the two lowest tiers are
+// *sheddable*: an arriving higher-priority job may evict a queued
+// sheddable/batch job, which reaches the terminal StateShed instead of
+// running. Critical and standard jobs are never evicted.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Class is a job's SLO tier. Lower numeric value = higher priority.
+type Class int32
+
+const (
+	// ClassCritical is latency-sensitive interactive traffic: first in
+	// line, never shed.
+	ClassCritical Class = iota
+	// ClassStandard is the default tier: ahead of the sheddable tiers,
+	// never shed.
+	ClassStandard
+	// ClassSheddable is best-effort traffic that prefers fast rejection
+	// over queueing behind itself: evictable under saturation.
+	ClassSheddable
+	// ClassBatch is throughput-oriented background work: last in line,
+	// first evicted.
+	ClassBatch
+
+	// NumClasses is the number of SLO tiers.
+	NumClasses = int(ClassBatch) + 1
+)
+
+var classNames = [NumClasses]string{"critical", "standard", "sheddable", "batch"}
+
+func (c Class) String() string {
+	if c >= 0 && int(c) < NumClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", int32(c))
+}
+
+// Evictable reports whether jobs of this class may be shed from the
+// queue to admit higher-priority work.
+func (c Class) Evictable() bool { return c == ClassSheddable || c == ClassBatch }
+
+// ParseClass maps a wire string to a Class. The empty string is
+// ClassStandard (the default tier for specs that never mention SLOs).
+func ParseClass(s string) (Class, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "":
+		return ClassStandard, nil
+	case "critical":
+		return ClassCritical, nil
+	case "standard":
+		return ClassStandard, nil
+	case "sheddable":
+		return ClassSheddable, nil
+	case "batch":
+		return ClassBatch, nil
+	}
+	return ClassStandard, fmt.Errorf("sched: unknown slo_class %q (want critical|standard|sheddable|batch)", s)
+}
+
+// ErrShed is the terminal error of a queued job evicted under load: the
+// pool chose to admit higher-priority work instead of running it.
+var ErrShed = errors.New("sched: job shed under load")
+
+// WithClass assigns the task's SLO tier (default ClassStandard).
+func WithClass(c Class) SubmitOption {
+	return func(t *Task) {
+		if c >= 0 && int(c) < NumClasses {
+			t.class = c
+		}
+	}
+}
+
+// Class returns the task's SLO tier.
+func (t *Task) Class() Class { return t.class }
+
+// ClassStats is one SLO tier's slice of the pool counters.
+type ClassStats struct {
+	Queued    int64 `json:"queued"`
+	Submitted int64 `json:"submitted"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Shed      int64 `json:"shed"`
+	Rejected  int64 `json:"rejected"`
+}

@@ -1,0 +1,283 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"avfsim/internal/obs"
+)
+
+func TestParseClass(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Class
+		err  bool
+	}{
+		{"", ClassStandard, false},
+		{"critical", ClassCritical, false},
+		{"standard", ClassStandard, false},
+		{"sheddable", ClassSheddable, false},
+		{"batch", ClassBatch, false},
+		{"  Batch ", ClassBatch, false},
+		{"CRITICAL", ClassCritical, false},
+		{"gold", ClassStandard, true},
+	}
+	for _, c := range cases {
+		got, err := ParseClass(c.in)
+		if (err != nil) != c.err {
+			t.Fatalf("ParseClass(%q) err = %v, want err=%v", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("ParseClass(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if ClassCritical.Evictable() || ClassStandard.Evictable() {
+		t.Fatal("critical/standard must not be evictable")
+	}
+	if !ClassSheddable.Evictable() || !ClassBatch.Evictable() {
+		t.Fatal("sheddable/batch must be evictable")
+	}
+}
+
+// TestStrictPriorityDispatch queues one job per class behind a parked
+// worker and checks they run in priority order regardless of
+// submission order.
+func TestStrictPriorityDispatch(t *testing.T) {
+	p := New(Options{Workers: 1, QueueCap: 8})
+	defer p.Shutdown(context.Background())
+	fn, release := block()
+	running := mustSubmit(t, p, fn)
+	waitState(t, running, StateRunning)
+
+	var mu sync.Mutex
+	var order []Class
+	record := func(c Class) Func {
+		return func(ctx context.Context, _ func(any)) error {
+			mu.Lock()
+			order = append(order, c)
+			mu.Unlock()
+			return nil
+		}
+	}
+	// Submit in worst-case order: lowest priority first.
+	var tasks []*Task
+	for _, c := range []Class{ClassBatch, ClassSheddable, ClassStandard, ClassCritical} {
+		tasks = append(tasks, mustSubmit(t, p, record(c), WithClass(c)))
+	}
+	release()
+	for _, task := range tasks {
+		if err := task.Wait(context.Background()); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []Class{ClassCritical, ClassStandard, ClassSheddable, ClassBatch}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d jobs, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestShedEviction fills the queue with evictable work and checks a
+// critical arrival evicts the newest lowest-priority job, which goes
+// terminal in StateShed with ErrShed.
+func TestShedEviction(t *testing.T) {
+	p := New(Options{Workers: 1, QueueCap: 2})
+	defer p.Shutdown(context.Background())
+	fn, release := block()
+	defer release()
+	running := mustSubmit(t, p, fn)
+	waitState(t, running, StateRunning)
+
+	shedOld := mustSubmit(t, p, fn, WithClass(ClassBatch))
+	shedNew := mustSubmit(t, p, fn, WithClass(ClassBatch))
+	// Queue is at capacity (2). A critical submit must evict the NEWEST
+	// batch job, not reject.
+	crit := mustSubmit(t, p, fn, WithClass(ClassCritical))
+
+	if err := shedNew.Wait(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("victim err = %v, want ErrShed", err)
+	}
+	if shedNew.State() != StateShed {
+		t.Fatalf("victim state = %v, want shed", shedNew.State())
+	}
+	if s := shedOld.State(); s != StateQueued {
+		t.Fatalf("older batch job state = %v, want still queued", s)
+	}
+	if s := crit.State(); s != StateQueued {
+		t.Fatalf("critical state = %v, want queued", s)
+	}
+	st := p.Stats()
+	if st.Shed != 1 {
+		t.Fatalf("Stats.Shed = %d, want 1", st.Shed)
+	}
+	if cs := st.Classes["batch"]; cs.Shed != 1 || cs.Submitted != 2 {
+		t.Fatalf("batch class stats = %+v, want Shed=1 Submitted=2", cs)
+	}
+	if cs := st.Classes["critical"]; cs.Queued != 1 || cs.Submitted != 1 {
+		t.Fatalf("critical class stats = %+v", cs)
+	}
+	// Shed is terminal and idempotent: cancel after shed is a no-op.
+	shedNew.Cancel()
+	if shedNew.State() != StateShed {
+		t.Fatal("cancel after shed changed the terminal state")
+	}
+}
+
+// TestEvictionOrderPrefersBatch checks eviction drains batch before
+// sheddable when both tiers are queued.
+func TestEvictionOrderPrefersBatch(t *testing.T) {
+	p := New(Options{Workers: 1, QueueCap: 2})
+	defer p.Shutdown(context.Background())
+	fn, release := block()
+	defer release()
+	running := mustSubmit(t, p, fn)
+	waitState(t, running, StateRunning)
+
+	shd := mustSubmit(t, p, fn, WithClass(ClassSheddable))
+	bat := mustSubmit(t, p, fn, WithClass(ClassBatch))
+	mustSubmit(t, p, fn, WithClass(ClassStandard))
+	if err := bat.Wait(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("batch err = %v, want ErrShed (batch evicted first)", err)
+	}
+	if shd.State() != StateQueued {
+		t.Fatalf("sheddable state = %v, want still queued", shd.State())
+	}
+	// Next standard arrival evicts the sheddable job.
+	mustSubmit(t, p, fn, WithClass(ClassStandard))
+	if err := shd.Wait(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("sheddable err = %v, want ErrShed", err)
+	}
+}
+
+// TestNoEvictionOfCriticalOrStandard: when the queue holds only
+// non-evictable tiers, even a critical submit is rejected rather than
+// evicting anything.
+func TestNoEvictionOfCriticalOrStandard(t *testing.T) {
+	p := New(Options{Workers: 1, QueueCap: 2})
+	defer p.Shutdown(context.Background())
+	fn, release := block()
+	defer release()
+	running := mustSubmit(t, p, fn)
+	waitState(t, running, StateRunning)
+
+	qCrit := mustSubmit(t, p, fn, WithClass(ClassCritical))
+	qStd := mustSubmit(t, p, fn, WithClass(ClassStandard))
+	if _, err := p.Submit(fn, WithClass(ClassCritical)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("critical submit over critical+standard queue: err = %v, want ErrQueueFull", err)
+	}
+	if qCrit.State() != StateQueued || qStd.State() != StateQueued {
+		t.Fatalf("queued states = %v/%v, want queued/queued", qCrit.State(), qStd.State())
+	}
+	st := p.Stats()
+	if st.Shed != 0 {
+		t.Fatalf("Stats.Shed = %d, want 0", st.Shed)
+	}
+	if cs := st.Classes["critical"]; cs.Rejected != 1 {
+		t.Fatalf("critical rejected = %d, want 1", cs.Rejected)
+	}
+}
+
+// TestSameClassNeverEvictsItself: eviction requires a STRICTLY lower
+// priority victim — sheddable cannot shed sheddable, batch cannot shed
+// batch.
+func TestSameClassNeverEvictsItself(t *testing.T) {
+	p := New(Options{Workers: 1, QueueCap: 1})
+	defer p.Shutdown(context.Background())
+	fn, release := block()
+	defer release()
+	running := mustSubmit(t, p, fn)
+	waitState(t, running, StateRunning)
+
+	queued := mustSubmit(t, p, fn, WithClass(ClassSheddable))
+	if _, err := p.Submit(fn, WithClass(ClassSheddable)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("sheddable-over-sheddable err = %v, want ErrQueueFull", err)
+	}
+	if queued.State() != StateQueued {
+		t.Fatalf("queued sheddable state = %v, want queued", queued.State())
+	}
+	// But a standard submit does evict it.
+	mustSubmit(t, p, fn, WithClass(ClassStandard))
+	if err := queued.Wait(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+}
+
+// TestBatchCannotEvict: the lowest tier has nothing below it to shed.
+func TestBatchCannotEvict(t *testing.T) {
+	p := New(Options{Workers: 1, QueueCap: 1})
+	defer p.Shutdown(context.Background())
+	fn, release := block()
+	defer release()
+	running := mustSubmit(t, p, fn)
+	waitState(t, running, StateRunning)
+
+	mustSubmit(t, p, fn, WithClass(ClassSheddable))
+	if _, err := p.Submit(fn, WithClass(ClassBatch)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("batch submit err = %v, want ErrQueueFull", err)
+	}
+}
+
+// TestShedMetrics checks the shed path reaches both the aggregate
+// avfd_jobs_total family and the per-class depth/counter families.
+func TestShedMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(Options{Workers: 1, QueueCap: 1, Metrics: reg})
+	defer p.Shutdown(context.Background())
+	fn, release := block()
+	defer release()
+	running := mustSubmit(t, p, fn)
+	waitState(t, running, StateRunning)
+
+	mustSubmit(t, p, fn, WithClass(ClassBatch))
+	mustHave(t, scrape(reg), `avfd_sched_class_queue_depth{class="batch"} 1`)
+	mustSubmit(t, p, fn, WithClass(ClassCritical))
+	mustHave(t, scrape(reg),
+		`avfd_jobs_total{state="shed"} 1`,
+		`avfd_sched_class_jobs_total{class="batch",state="shed"} 1`,
+		`avfd_sched_class_jobs_total{class="critical",state="submitted"} 1`,
+		`avfd_sched_class_queue_depth{class="batch"} 0`,
+		`avfd_sched_class_queue_depth{class="critical"} 1`,
+	)
+}
+
+// TestClassStatsBalance: per-class terminal counters must sum to the
+// aggregate ones after a mixed run.
+func TestClassStatsBalance(t *testing.T) {
+	p := New(Options{Workers: 2, QueueCap: 32})
+	classes := []Class{ClassCritical, ClassStandard, ClassSheddable, ClassBatch}
+	var tasks []*Task
+	for i := 0; i < 24; i++ {
+		tasks = append(tasks, mustSubmit(t, p,
+			func(ctx context.Context, _ func(any)) error { return nil },
+			WithClass(classes[i%len(classes)])))
+	}
+	for _, task := range tasks {
+		if err := task.Wait(context.Background()); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	s := p.Stats()
+	var done, submitted int64
+	for _, cs := range s.Classes {
+		done += cs.Done
+		submitted += cs.Submitted
+	}
+	if done != s.Done || submitted != s.Submitted {
+		t.Fatalf("class sums (done=%d submitted=%d) != aggregate (done=%d submitted=%d)",
+			done, submitted, s.Done, s.Submitted)
+	}
+	if s.Done+s.Failed+s.Canceled+s.Shed != s.Submitted {
+		t.Fatalf("stats don't balance: %+v", s)
+	}
+}

@@ -1,7 +1,7 @@
 // Package sched provides the job scheduler under cmd/avfd and the
-// parallel experiment grid: a bounded worker pool with a FIFO queue,
-// per-job cancellation, panic containment, progress reporting, and
-// atomic counters.
+// parallel experiment grid: a bounded worker pool with per-SLO-class
+// priority queues, per-job cancellation, panic containment, progress
+// reporting, and atomic counters.
 //
 // Fault-injection campaigns are embarrassingly parallel across
 // independent runs — every benchmark × structure cell of the paper's
@@ -9,6 +9,13 @@
 // generic: a Job is any func(ctx, progress) error, and callers decide
 // what "progress" means (the AVF runner reports one core.Estimate per
 // completed estimation interval).
+//
+// Dispatch is strict priority across the four SLO classes (see
+// class.go): within a class, FIFO. The queue capacity is shared across
+// classes; when it saturates, an arriving job may evict the
+// newest-queued job of a strictly lower *evictable* class
+// (sheddable/batch), which goes terminal in StateShed — so overload
+// sheds background work first and critical traffic is never evicted.
 package sched
 
 import (
@@ -54,8 +61,10 @@ func (e *PanicError) Error() string {
 type Options struct {
 	// Workers is the number of concurrent workers; default GOMAXPROCS.
 	Workers int
-	// QueueCap is the FIFO queue capacity (jobs waiting beyond the ones
-	// running); default 64. Submit rejects with ErrQueueFull beyond it.
+	// QueueCap is the total queue capacity shared across SLO classes
+	// (jobs waiting beyond the ones running); default 64. Beyond it,
+	// Submit either evicts a queued lower-priority sheddable/batch job
+	// or rejects with ErrQueueFull.
 	QueueCap int
 	// Metrics, when non-nil, registers the pool's observability in the
 	// given registry: queue depth/capacity and running/workers gauges,
@@ -82,9 +91,13 @@ const (
 	StateDone
 	StateFailed
 	StateCanceled
+	// StateShed marks a queued job evicted under saturation to admit
+	// higher-priority work (terminal; the job never ran). Its Err is
+	// ErrShed.
+	StateShed
 )
 
-var stateNames = [...]string{"queued", "running", "done", "failed", "canceled"}
+var stateNames = [...]string{"queued", "running", "done", "failed", "canceled", "shed"}
 
 func (s State) String() string {
 	if int(s) < len(stateNames) {
@@ -97,6 +110,7 @@ func (s State) String() string {
 type Task struct {
 	fn      Func
 	label   string
+	class   Class
 	onProg  func(v any)
 	onStart func()
 
@@ -184,12 +198,15 @@ type Stats struct {
 	// Queued and Running are current occupancy.
 	Queued  int64 `json:"queued"`
 	Running int64 `json:"running"`
-	// Submitted, Done, Failed, Canceled, Rejected are cumulative.
+	// Submitted, Done, Failed, Canceled, Shed, Rejected are cumulative.
 	Submitted int64 `json:"submitted"`
 	Done      int64 `json:"done"`
 	Failed    int64 `json:"failed"`
 	Canceled  int64 `json:"canceled"`
+	Shed      int64 `json:"shed"`
 	Rejected  int64 `json:"rejected"`
+	// Classes breaks the counters down by SLO tier, keyed by class name.
+	Classes map[string]ClassStats `json:"classes,omitempty"`
 	// AvgQueueLatency / AvgRunLatency are means over completed waits
 	// and runs.
 	AvgQueueLatency time.Duration `json:"avg_queue_latency_ns"`
@@ -201,21 +218,33 @@ type Stats struct {
 	RunLatency   *obs.Quantiles `json:"run_latency_seconds,omitempty"`
 }
 
-// Pool is a bounded worker pool with a FIFO job queue.
-type Pool struct {
-	opts  Options
-	queue chan *Task
-	wg    sync.WaitGroup
+// classCounters are one SLO tier's cumulative counters.
+type classCounters struct {
+	queued, submitted, done, failed atomic.Int64
+	canceled, shed, rejected        atomic.Int64
+}
 
-	mu     sync.Mutex
-	closed bool
+// Pool is a bounded worker pool with strict-priority per-class FIFO
+// queues.
+type Pool struct {
+	opts Options
+	wg   sync.WaitGroup
+
+	// mu guards the queues and closed; cond is signaled on every push
+	// and on close so idle workers wake.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [NumClasses][]*Task
+	queuedN int
+	closed  bool
 
 	// Counters (atomics; the stats block of the issue).
 	queued, running                  atomic.Int64
 	submitted, nDone, nFail, nCancel atomic.Int64
-	rejected                         atomic.Int64
+	nShed, rejected                  atomic.Int64
 	queueLatencyNS, runLatencyNS     atomic.Int64
 	queueLatencyN, runLatencyN       atomic.Int64
+	classes                          [NumClasses]classCounters
 
 	// queueSeconds/runSeconds are the per-job latency histograms (nil
 	// without Options.Metrics).
@@ -240,17 +269,40 @@ func (p *Pool) registerMetrics(r *obs.Registry) {
 		"Configured worker count.",
 		func() float64 { return float64(p.opts.Workers) })
 	jobs := r.CounterVec("avfd_jobs_total",
-		"Cumulative jobs by lifecycle state (submitted, done, failed, canceled, rejected).",
+		"Cumulative jobs by lifecycle state (submitted, done, failed, canceled, shed, rejected).",
 		"state")
 	for state, src := range map[string]*atomic.Int64{
 		"submitted": &p.submitted,
 		"done":      &p.nDone,
 		"failed":    &p.nFail,
 		"canceled":  &p.nCancel,
+		"shed":      &p.nShed,
 		"rejected":  &p.rejected,
 	} {
 		src := src
 		jobs.WithFunc(func() int64 { return src.Load() }, state)
+	}
+	classDepth := r.GaugeVec("avfd_sched_class_queue_depth",
+		"Jobs waiting in the scheduler queue, by SLO class.",
+		"class")
+	classJobs := r.CounterVec("avfd_sched_class_jobs_total",
+		"Cumulative jobs by SLO class and lifecycle state.",
+		"class", "state")
+	for c := 0; c < NumClasses; c++ {
+		cc := &p.classes[c]
+		name := Class(c).String()
+		classDepth.WithFunc(func() float64 { return float64(cc.queued.Load()) }, name)
+		for state, src := range map[string]*atomic.Int64{
+			"submitted": &cc.submitted,
+			"done":      &cc.done,
+			"failed":    &cc.failed,
+			"canceled":  &cc.canceled,
+			"shed":      &cc.shed,
+			"rejected":  &cc.rejected,
+		} {
+			src := src
+			classJobs.WithFunc(func() int64 { return src.Load() }, name, state)
+		}
 	}
 	phases := r.HistogramVec("avfd_sched_job_seconds",
 		"Job latency by phase: queue (submit to start) and run (start to finish).",
@@ -262,7 +314,8 @@ func (p *Pool) registerMetrics(r *obs.Registry) {
 // New starts a pool. Callers must eventually Shutdown it.
 func New(opts Options) *Pool {
 	opts.defaults()
-	p := &Pool{opts: opts, queue: make(chan *Task, opts.QueueCap)}
+	p := &Pool{opts: opts}
+	p.cond = sync.NewCond(&p.mu)
 	if opts.Metrics != nil {
 		p.registerMetrics(opts.Metrics)
 	}
@@ -280,6 +333,7 @@ func (p *Pool) newTask(fn Func, opts []SubmitOption) *Task {
 	ctx, cancel := context.WithCancel(context.Background())
 	t := &Task{
 		fn:        fn,
+		class:     ClassStandard,
 		ctx:       ctx,
 		cancel:    cancel,
 		submitted: time.Now(),
@@ -292,8 +346,9 @@ func (p *Pool) newTask(fn Func, opts []SubmitOption) *Task {
 }
 
 // Submit enqueues fn. It returns ErrQueueFull when the queue is at
-// capacity and ErrShutdown after Shutdown; otherwise the returned Task
-// tracks the job.
+// capacity (and no lower-priority sheddable/batch job can be evicted to
+// make room) and ErrShutdown after Shutdown; otherwise the returned
+// Task tracks the job.
 func (p *Pool) Submit(fn Func, opts ...SubmitOption) (*Task, error) {
 	t := p.newTask(fn, opts)
 	p.mu.Lock()
@@ -302,18 +357,56 @@ func (p *Pool) Submit(fn Func, opts ...SubmitOption) (*Task, error) {
 		t.cancel()
 		return nil, ErrShutdown
 	}
-	select {
-	case p.queue <- t:
-		p.queued.Add(1)
-		p.submitted.Add(1)
-		p.mu.Unlock()
-		return t, nil
-	default:
-		p.mu.Unlock()
-		p.rejected.Add(1)
-		t.cancel()
-		return nil, ErrQueueFull
+	var victim *Task
+	if p.queuedN >= p.opts.QueueCap {
+		victim = p.evictLocked(t.class)
+		if victim == nil {
+			p.mu.Unlock()
+			p.rejected.Add(1)
+			p.classes[t.class].rejected.Add(1)
+			t.cancel()
+			return nil, ErrQueueFull
+		}
 	}
+	p.queues[t.class] = append(p.queues[t.class], t)
+	p.queuedN++
+	p.queued.Add(1)
+	p.classes[t.class].queued.Add(1)
+	p.submitted.Add(1)
+	p.classes[t.class].submitted.Add(1)
+	p.cond.Signal()
+	p.mu.Unlock()
+	if victim != nil {
+		// The victim goes terminal outside the queue lock: finishTask
+		// only touches the victim's own state and the pool atomics.
+		p.finishTask(victim, ErrShed, false)
+	}
+	return t, nil
+}
+
+// evictLocked picks a queued job to shed so a job of class c can be
+// admitted: the newest-queued task of the lowest-priority *evictable*
+// class strictly below c (the newest has waited least, so shedding it
+// wastes the least queue time). Returns nil when nothing may be shed —
+// the queue holds only classes at or above c, or only non-evictable
+// tiers. Callers hold mu.
+func (p *Pool) evictLocked(c Class) *Task {
+	for vc := Class(NumClasses - 1); vc > c; vc-- {
+		if !vc.Evictable() {
+			break // critical/standard (and everything above) never shed
+		}
+		q := p.queues[vc]
+		if n := len(q); n > 0 {
+			t := q[n-1]
+			q[n-1] = nil
+			p.queues[vc] = q[:n-1]
+			p.queuedN--
+			p.queued.Add(-1)
+			p.classes[vc].queued.Add(-1)
+			return t
+		}
+	}
+	return nil
 }
 
 // SubmitWait is Submit that blocks for queue space instead of rejecting
@@ -346,7 +439,7 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 		return ErrShutdown
 	}
 	p.closed = true
-	close(p.queue)
+	p.cond.Broadcast()
 	p.mu.Unlock()
 
 	drained := make(chan struct{})
@@ -366,37 +459,74 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 	return ctx.Err()
 }
 
-// cancelAll cancels queued-but-unclaimed tasks (workers will drop them)
-// and signals running tasks through their contexts. Running tasks are
-// canceled via their own Task.Cancel by whoever holds the handle; here
-// we only reach tasks still in the queue, plus we rely on jobs honoring
-// ctx for the running ones — so also cancel those we can see.
+// cancelAll cancels queued-but-unclaimed tasks (draining every class
+// queue) and signals running tasks through their contexts. Running
+// tasks are canceled via their own Task.Cancel by whoever holds the
+// handle; here we only reach tasks still in the queue, plus we rely on
+// jobs honoring ctx for the running ones — so also cancel those we can
+// see.
 func (p *Pool) cancelAll() {
+	p.mu.Lock()
+	var all []*Task
+	for c := range p.queues {
+		all = append(all, p.queues[c]...)
+		p.queues[c] = nil
+		p.classes[c].queued.Store(0)
+	}
+	p.queuedN = 0
+	p.queued.Store(0)
+	p.mu.Unlock()
+	for _, t := range all {
+		t.cancel()
+		p.finishTask(t, t.ctx.Err(), false)
+	}
+}
+
+// next blocks until a task is available — the head of the
+// highest-priority nonempty class queue — or the pool is closed and
+// fully drained (nil).
+func (p *Pool) next() *Task {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for {
-		select {
-		case t, ok := <-p.queue:
-			if !ok {
-				return
+		for c := range p.queues {
+			q := p.queues[c]
+			if len(q) == 0 {
+				continue
 			}
-			t.cancel()
-			p.finishTask(t, t.ctx.Err(), false)
-		default:
-			return
+			t := q[0]
+			q[0] = nil
+			if len(q) == 1 {
+				p.queues[c] = nil // reclaim the backing array at idle
+			} else {
+				p.queues[c] = q[1:]
+			}
+			p.queuedN--
+			p.queued.Add(-1)
+			p.classes[c].queued.Add(-1)
+			return t
 		}
+		if p.closed {
+			return nil
+		}
+		p.cond.Wait()
 	}
 }
 
 // worker is the run loop of one pool worker.
 func (p *Pool) worker() {
 	defer p.wg.Done()
-	for t := range p.queue {
+	for {
+		t := p.next()
+		if t == nil {
+			return
+		}
 		p.runTask(t)
 	}
 }
 
 // runTask executes one task with panic containment.
 func (p *Pool) runTask(t *Task) {
-	p.queued.Add(-1)
 	// A task canceled while still queued never runs.
 	if t.ctx.Err() != nil {
 		p.finishTask(t, t.ctx.Err(), false)
@@ -456,12 +586,19 @@ func (p *Pool) finishTask(t *Task, err error, ran bool) {
 	case err == nil:
 		t.state.Store(int32(StateDone))
 		p.nDone.Add(1)
+		p.classes[t.class].done.Add(1)
+	case errors.Is(err, ErrShed):
+		t.state.Store(int32(StateShed))
+		p.nShed.Add(1)
+		p.classes[t.class].shed.Add(1)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		t.state.Store(int32(StateCanceled))
 		p.nCancel.Add(1)
+		p.classes[t.class].canceled.Add(1)
 	default:
 		t.state.Store(int32(StateFailed))
 		p.nFail.Add(1)
+		p.classes[t.class].failed.Add(1)
 	}
 	t.cancel() // release the ctx's resources
 	close(t.done)
@@ -478,7 +615,21 @@ func (p *Pool) Stats() Stats {
 		Done:      p.nDone.Load(),
 		Failed:    p.nFail.Load(),
 		Canceled:  p.nCancel.Load(),
+		Shed:      p.nShed.Load(),
 		Rejected:  p.rejected.Load(),
+		Classes:   make(map[string]ClassStats, NumClasses),
+	}
+	for c := 0; c < NumClasses; c++ {
+		cc := &p.classes[c]
+		s.Classes[Class(c).String()] = ClassStats{
+			Queued:    cc.queued.Load(),
+			Submitted: cc.submitted.Load(),
+			Done:      cc.done.Load(),
+			Failed:    cc.failed.Load(),
+			Canceled:  cc.canceled.Load(),
+			Shed:      cc.shed.Load(),
+			Rejected:  cc.rejected.Load(),
+		}
 	}
 	if n := p.queueLatencyN.Load(); n > 0 {
 		s.AvgQueueLatency = time.Duration(p.queueLatencyNS.Load() / n)

@@ -28,6 +28,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,7 +69,16 @@ type JobSpec struct {
 	// run is canceled once it has executed this long. 0 inherits the
 	// server-wide default; values beyond the server's cap are clamped.
 	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	// SLOClass is the job's scheduling tier: critical | standard |
+	// sheddable | batch ("" = standard). Dispatch is strict priority;
+	// under queue saturation sheddable/batch jobs may be evicted
+	// (terminal state "shed") to admit higher tiers, and rejected
+	// submissions get a class-dependent Retry-After.
+	SLOClass string `json:"slo_class,omitempty"`
 }
+
+// class resolves the spec's SLO tier (empty = standard).
+func (js *JobSpec) class() (sched.Class, error) { return sched.ParseClass(js.SLOClass) }
 
 // runConfig translates the spec, validating names early so submission
 // errors surface as 400s instead of failed jobs.
@@ -561,6 +571,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
 	}
+	class, err := spec.class()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
 
 	s.mu.Lock()
 	s.seq++
@@ -576,9 +591,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, sched.ErrQueueFull):
 		// Backpressure: the client should retry after the queue drains a
 		// slot; 429 is the load-shedding signal (503 stays reserved for
-		// shutdown, where retrying the same instance is pointless).
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "queue full (capacity %d), retry later", s.pool.Stats().QueueCap)
+		// shutdown, where retrying the same instance is pointless). The
+		// retry horizon is class-dependent: background tiers are asked to
+		// back off longer so interactive traffic sees the freed slots.
+		ps := s.pool.Stats()
+		retry := retryAfterSeconds(class)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":               "queue full",
+			"queue_depth":         ps.Queued,
+			"queue_capacity":      ps.QueueCap,
+			"slo_class":           class.String(),
+			"retry_after_seconds": retry,
+		})
 		return
 	case errors.Is(err, sched.ErrShutdown):
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
@@ -604,6 +629,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.log.Info("job submitted", "job", j.id, "benchmark", spec.Benchmark, "state", j.state())
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": j.state()})
+}
+
+// retryAfterSeconds is the class-dependent 429 backoff hint: interactive
+// tiers may retry almost immediately, background tiers are pushed out so
+// the queue slots they would contend for go to latency-sensitive work.
+func retryAfterSeconds(c sched.Class) int {
+	switch c {
+	case sched.ClassSheddable:
+		return 5
+	case sched.ClassBatch:
+		return 15
+	default: // critical, standard
+		return 1
+	}
 }
 
 // effectiveDeadline resolves the per-job run-time bound from the spec
@@ -662,6 +701,13 @@ func (s *Server) launch(j *job, rc experiment.RunConfig) error {
 		j.flight = flight.New(spec.FlightCap)
 		rc.Recorder = j.flight
 	}
+	// Recovery reuses this path, so re-derive the class here; a persisted
+	// spec with a class this build no longer knows falls back to standard
+	// rather than orphaning the job.
+	class, cerr := spec.class()
+	if cerr != nil {
+		class = sched.ClassStandard
+	}
 	deadline := s.effectiveDeadline(&spec)
 	task, err := s.pool.Submit(func(ctx context.Context, _ func(any)) error {
 		if deadline > 0 {
@@ -682,6 +728,7 @@ func (s *Server) launch(j *job, rc experiment.RunConfig) error {
 		s.feedDivergence(spec.Benchmark, jr)
 		return nil
 	}, sched.WithLabel(j.id+" "+spec.Benchmark),
+		sched.WithClass(class),
 		sched.WithOnStart(func() {
 			s.log.Info("job started", "job", j.id, "benchmark", spec.Benchmark)
 			if s.st != nil {
@@ -747,6 +794,8 @@ func (s *Server) watch(j *job) {
 		s.log.Info("job done", attrs...)
 	case task.State() == sched.StateCanceled:
 		s.log.Info("job canceled", attrs...)
+	case task.State() == sched.StateShed:
+		s.log.Warn("job shed", append(attrs, "class", task.Class().String())...)
 	default:
 		s.log.Warn("job failed", append(attrs, "error", msg)...)
 	}
@@ -906,8 +955,12 @@ func (s *Server) statsPayload() map[string]any {
 			"capacity":   ps.QueueCap,
 			"saturation": saturation,
 		},
-		"jobs":  map[string]any{"total": total, "by_state": census},
-		"drift": map[string]any{"total_alarms": s.drift.TotalAlarms()},
+		// Per-SLO-class occupancy and lifecycle counters (also embedded in
+		// the scheduler block; surfaced here so load generators can read
+		// shed/queue pressure per tier without digging).
+		"classes": ps.Classes,
+		"jobs":    map[string]any{"total": total, "by_state": census},
+		"drift":   map[string]any{"total_alarms": s.drift.TotalAlarms()},
 	}
 	if s.st != nil {
 		out["store"] = map[string]any{

@@ -76,7 +76,7 @@ func waitTerminal(t *testing.T, ts *httptest.Server, id string, timeout time.Dur
 	for {
 		st := getStatus(t, ts, id)
 		switch st.State {
-		case "done", "failed", "canceled":
+		case "done", "failed", "canceled", "shed":
 			return st
 		}
 		if time.Now().After(deadline) {

@@ -1,0 +1,302 @@
+package server
+
+// SLO-class tests: class validation at submit, the structured 429 body
+// with class-dependent Retry-After, shed-state surfacing through the
+// API and metrics, and shed persistence across a store replay.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"avfsim/internal/obs"
+	"avfsim/internal/sched"
+	"avfsim/internal/store"
+)
+
+// newClassServer builds a test server over a pool sized to saturate
+// easily (workers/queueCap chosen per test) with metrics wired.
+func newClassServer(t *testing.T, workers, queueCap int, st *store.Store) (*httptest.Server, *Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	pool := sched.New(sched.Options{Workers: workers, QueueCap: queueCap, Metrics: reg})
+	opts := []Option{
+		WithMetrics(reg),
+		WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))),
+	}
+	if st != nil {
+		opts = append(opts, WithStore(st))
+	}
+	srv := New(pool, opts...)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.CancelAll()
+		pool.Shutdown(context.Background())
+		srv.Close()
+	})
+	return ts, srv, reg
+}
+
+// classJob renders a job spec body with the given slo_class.
+func classJob(class, benchmark string) string {
+	return `{"benchmark":"` + benchmark + `","scale":0.02,"seed":3,"m":400,"n":50,"intervals":100000,"slo_class":"` + class + `"}`
+}
+
+func TestSubmitBadSLOClass(t *testing.T) {
+	ts, _, _ := newClassServer(t, 1, 4, nil)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"benchmark":"mesa","slo_class":"gold"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "slo_class") {
+		t.Fatalf("400 body does not mention slo_class: %s", body)
+	}
+}
+
+// submitRaw posts a body and returns the full response (caller closes).
+func submitRaw(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func Test429JSONBodyAndClassRetryAfter(t *testing.T) {
+	ts, _, _ := newClassServer(t, 1, 1, nil)
+
+	// Fill: one running, one queued critical (non-evictable by anything).
+	id, code := postJob(t, ts, classJob("critical", "mesa"))
+	if code != http.StatusAccepted || id == "" {
+		t.Fatalf("first submit: code=%d id=%q", code, id)
+	}
+	waitJobRunning(t, ts, id)
+	if _, code = postJob(t, ts, classJob("critical", "mesa")); code != http.StatusAccepted {
+		t.Fatalf("second submit: code=%d", code)
+	}
+
+	cases := []struct {
+		class     string
+		wantRetry float64
+	}{
+		{"critical", 1},
+		{"standard", 1},
+		{"sheddable", 5},
+		{"batch", 15},
+	}
+	for _, c := range cases {
+		resp := submitRaw(t, ts, classJob(c.class, "mesa"))
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s overflow submit: status = %d, want 429", c.class, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got == "" {
+			t.Fatalf("%s: no Retry-After header", c.class)
+		}
+		var body struct {
+			Error             string  `json:"error"`
+			QueueDepth        int64   `json:"queue_depth"`
+			QueueCapacity     int64   `json:"queue_capacity"`
+			SLOClass          string  `json:"slo_class"`
+			RetryAfterSeconds float64 `json:"retry_after_seconds"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s: 429 body is not JSON: %v", c.class, err)
+		}
+		resp.Body.Close()
+		if body.Error != "queue full" {
+			t.Fatalf("%s: 429 error = %q, want \"queue full\"", c.class, body.Error)
+		}
+		if body.QueueDepth != 1 || body.QueueCapacity != 1 {
+			t.Fatalf("%s: 429 depth/capacity = %d/%d, want 1/1", c.class, body.QueueDepth, body.QueueCapacity)
+		}
+		if body.RetryAfterSeconds != c.wantRetry {
+			t.Fatalf("%s: retry_after_seconds = %v, want %v", c.class, body.RetryAfterSeconds, c.wantRetry)
+		}
+		if body.SLOClass != c.class {
+			t.Fatalf("429 slo_class = %q, want %q", body.SLOClass, c.class)
+		}
+	}
+}
+
+// waitJobRunning polls until the job reports state "running".
+func waitJobRunning(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := getStatus(t, ts, id); st.State == "running" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never started running", id)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestShedSurfacesThroughAPIAndMetrics(t *testing.T) {
+	ts, _, reg := newClassServer(t, 1, 2, nil)
+
+	id, _ := postJob(t, ts, classJob("standard", "mesa"))
+	waitJobRunning(t, ts, id)
+	if _, code := postJob(t, ts, classJob("batch", "mesa")); code != http.StatusAccepted {
+		t.Fatalf("batch submit code=%d", code)
+	}
+	shedID, code := postJob(t, ts, classJob("batch", "bzip2"))
+	if code != http.StatusAccepted {
+		t.Fatalf("second batch submit code=%d", code)
+	}
+	// Queue saturated (2 batch queued). A critical submit evicts the
+	// newest batch job.
+	critID, code := postJob(t, ts, classJob("critical", "mesa"))
+	if code != http.StatusAccepted {
+		t.Fatalf("critical submit over full queue: code=%d, want 202 via eviction", code)
+	}
+
+	st := waitTerminal(t, ts, shedID, 5*time.Second)
+	if st.State != "shed" {
+		t.Fatalf("evicted job state = %q, want shed", st.State)
+	}
+	// The error message is recorded by the watcher goroutine just after
+	// the task goes terminal; poll briefly for it.
+	deadline := time.Now().Add(2 * time.Second)
+	for st.Error == "" && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+		st = getStatus(t, ts, shedID)
+	}
+	if !strings.Contains(st.Error, "shed") {
+		t.Fatalf("shed job error = %q, want mention of shed", st.Error)
+	}
+	if got := getStatus(t, ts, critID); got.State == "shed" {
+		t.Fatal("critical job was shed")
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	for _, want := range []string{
+		`avfd_jobs_total{state="shed"} 1`,
+		`avfd_sched_class_jobs_total{class="batch",state="shed"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+
+	// /v1/stats carries the per-class block.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Classes map[string]sched.ClassStats `json:"classes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Classes["batch"].Shed != 1 {
+		t.Fatalf("/v1/stats classes.batch.shed = %d, want 1", stats.Classes["batch"].Shed)
+	}
+	if stats.Classes["critical"].Submitted != 1 {
+		t.Fatalf("/v1/stats classes.critical.submitted = %d, want 1", stats.Classes["critical"].Submitted)
+	}
+}
+
+// TestShedStatePersistsAcrossReplay: a shed verdict must survive a
+// restart — the WAL's "shed" state is terminal, so recovery restores
+// the job read-only instead of re-enqueueing it.
+func TestShedStatePersistsAcrossReplay(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _, _ := newClassServer(t, 1, 1, st)
+
+	// Park the single worker on a long-running job, queue a batch job,
+	// then evict it with a critical arrival.
+	runID, _ := postJob(t, ts, classJob("standard", "mesa"))
+	waitJobRunning(t, ts, runID)
+	shedID, code := postJob(t, ts, classJob("batch", "bzip2"))
+	if code != http.StatusAccepted {
+		t.Fatalf("batch submit code=%d", code)
+	}
+	if _, code = postJob(t, ts, classJob("critical", "mesa")); code != http.StatusAccepted {
+		t.Fatalf("critical submit code=%d", code)
+	}
+	if got := waitTerminal(t, ts, shedID, 5*time.Second); got.State != "shed" {
+		t.Fatalf("state = %q, want shed", got.State)
+	}
+	// Wait for the watcher to persist the terminal frame.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		found := false
+		for _, jr := range st.Jobs() {
+			if jr.ID == shedID && jr.State == "shed" {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shed state for %s never persisted", shedID)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st.Close()
+
+	// Replay into a fresh server: the shed job must come back terminal,
+	// not resumed.
+	st2, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := findJob(t, st2, shedID)
+	if !jr.Terminal() {
+		t.Fatalf("replayed shed job not Terminal(): state=%q", jr.State)
+	}
+	pool2 := sched.New(sched.Options{Workers: 1, QueueCap: 8})
+	srv2 := New(pool2, WithStore(st2),
+		WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		srv2.CancelAll()
+		pool2.Shutdown(context.Background())
+		srv2.Close()
+		st2.Close()
+	})
+	if _, err := srv2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got := getStatus(t, ts2, shedID)
+	if got.State != "shed" {
+		t.Fatalf("recovered job state = %q, want shed (read-only restore)", got.State)
+	}
+}
+
+// findJob returns the store record for id.
+func findJob(t *testing.T, st *store.Store, id string) store.JobRecord {
+	t.Helper()
+	for _, jr := range st.Jobs() {
+		if jr.ID == id {
+			return jr
+		}
+	}
+	t.Fatalf("job %s not in store", id)
+	return store.JobRecord{}
+}

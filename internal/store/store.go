@@ -81,10 +81,11 @@ type JobRecord struct {
 
 // Terminal reports whether the record's last persisted state is a clean
 // end state. Non-terminal jobs ("", queued, running, interrupted) are
-// the ones recovery re-enqueues.
+// the ones recovery re-enqueues; a job shed under load stays shed — it
+// is a verdict, not a checkpoint.
 func (jr *JobRecord) Terminal() bool {
 	switch jr.State {
-	case "done", "failed", "canceled":
+	case "done", "failed", "canceled", "shed":
 		return true
 	}
 	return false

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# CI load-smoke for the avfd scheduler's SLO classes: boot a
+# deliberately under-provisioned daemon (1 worker, queue of 2), replay
+# the overload-burst workload spec at 2x acceleration with avfload,
+# and let the spec's embedded SLO assertions gate the run — criticals
+# are never shed, batch work is, nothing errors. avfload exits nonzero
+# on any failed assertion, so the spec itself is the test.
+#
+# Two extra legs pin the infrastructure around the assertions:
+#  - determinism: the same (spec, seed) must expand to a byte-identical
+#    submit schedule twice in a row;
+#  - surfacing: a job the timeline says was shed must read back as
+#    state "shed" from GET /v1/jobs/{id}, and the daemon's Prometheus
+#    export must count it in avfd_jobs_total{state="shed"}.
+#
+# Sibling of scripts/avfd_smoke.sh; same bare-image tooling (curl,
+# grep, awk). Exits nonzero on the first failed assertion.
+set -euo pipefail
+
+ADDR="${AVFD_LOAD_ADDR:-127.0.0.1:18085}"
+BASE="http://$ADDR"
+SPEC="examples/workloads/overload-burst.yaml"
+ACCEL="${AVFD_LOAD_ACCEL:-2}"
+TMP="${TMPDIR:-/tmp}/avfd-load-smoke-$$"
+AVFD_PID=""
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+cleanup() {
+    [ -n "$AVFD_PID" ] && kill -9 "$AVFD_PID" 2>/dev/null || true
+    [ -n "$AVFD_PID" ] && wait "$AVFD_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+
+cd "$(dirname "$0")/.."
+mkdir -p "$TMP"
+trap cleanup EXIT
+
+go build -o "$TMP/avfd" ./cmd/avfd
+go build -o "$TMP/avfload" ./cmd/avfload
+
+# Leg 1: schedule determinism, no server needed.
+"$TMP/avfload" -spec "$SPEC" -schedule "$TMP/sched1.ndjson" -q
+"$TMP/avfload" -spec "$SPEC" -schedule "$TMP/sched2.ndjson" -q
+cmp -s "$TMP/sched1.ndjson" "$TMP/sched2.ndjson" ||
+    fail "same (spec, seed) produced different submit schedules"
+[ -s "$TMP/sched1.ndjson" ] || fail "schedule expansion is empty"
+echo "ok: schedule deterministic ($(wc -l <"$TMP/sched1.ndjson") lines)"
+
+# Leg 2: the overload run. Tiny daemon so the burst actually overloads:
+# one worker, queue of two.
+"$TMP/avfd" -addr "$ADDR" -workers 1 -queue 2 -log-level error &
+AVFD_PID=$!
+for i in $(seq 1 50); do
+    curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -fsS "$BASE/v1/healthz" >/dev/null || fail "daemon never became healthy on $ADDR"
+
+"$TMP/avfload" -spec "$SPEC" -target "$BASE" -accel "$ACCEL" \
+    -timeline "$TMP/timeline.ndjson" ||
+    fail "avfload run failed its SLO assertions"
+echo "ok: overload run passed the spec's SLO assertions"
+
+# Leg 3: shed verdicts are visible on the API and in the metrics.
+SHED_ID=$(grep -o '"job_id":"[^"]*","err":"[^"]*shed[^"]*"' "$TMP/timeline.ndjson" |
+    head -1 | sed 's/"job_id":"\([^"]*\)".*/\1/')
+if [ -z "$SHED_ID" ]; then
+    SHED_ID=$(awk '/"final":"shed"/' "$TMP/timeline.ndjson" |
+        head -1 | grep -o '"job_id":"[^"]*"' | cut -d'"' -f4)
+fi
+[ -n "$SHED_ID" ] || fail "timeline records no shed job (did the burst overload the queue?)"
+STATE=$(curl -fsS "$BASE/v1/jobs/$SHED_ID" |
+    awk -F'"' '{for (i = 1; i < NF; i++) if ($i == "state") {print $(i + 2); exit}}')
+[ "$STATE" = shed ] || fail "job $SHED_ID reads back state '$STATE', want 'shed'"
+METRICS=$(curl -fsS "$BASE/metrics")
+SHED_N=$(printf '%s\n' "$METRICS" |
+    awk '/^avfd_jobs_total\{state="shed"\} /{print $2}')
+[ "${SHED_N:-0}" -ge 1 ] || fail "/metrics avfd_jobs_total{state=\"shed\"} = '${SHED_N:-}' not >= 1"
+printf '%s\n' "$METRICS" | grep -q '^avfd_sched_class_jobs_total{class="critical",state="shed"} 0$' ||
+    fail "/metrics shows critical jobs shed"
+echo "ok: shed verdicts surface via GET /v1/jobs/$SHED_ID and /metrics ($SHED_N shed)"
+
+echo "PASS: avfd load smoke"

@@ -192,7 +192,8 @@ echo "ok: SIGKILLed durable daemon mid-job ($PTS estimates checkpointed)"
 CRASH_PID=$!
 CLEANUP_PIDS="$CLEANUP_PIDS $CRASH_PID"
 wait_healthy "$BASE_CRASH" || fail "restarted daemon never became healthy on $ADDR_CRASH"
-curl -fsS "$BASE_CRASH/metrics" | grep -q '^avfd_recovered_jobs_total 1$' ||
+CRASH_METRICS=$(curl -fsS "$BASE_CRASH/metrics")
+printf '%s\n' "$CRASH_METRICS" | grep -q '^avfd_recovered_jobs_total 1$' ||
     fail "/metrics missing avfd_recovered_jobs_total 1 after restart"
 wait_done "$BASE_CRASH" "$CRASH_JOB"
 RES_STREAM=$(interval_stream "$BASE_CRASH" "$CRASH_JOB")

@@ -11,10 +11,12 @@
 // marginal cost: estimator+flight and fused+flight. With -wal two more
 // measure the durable-store checkpoint overhead — every per-interval
 // estimate appended to a CRC-framed fsync'd WAL, exactly as avfd
-// -data-dir persists it: estimator+wal and fused+wal. With -sched two
-// scheduler-dispatch scenarios compare single-class submission against
-// a four-SLO-class mix (ns per dispatched task): sched-single and
-// sched-classes.
+// -data-dir persists it: estimator+wal and fused+wal. With -span two
+// more measure request-span recording — one interval span per completed
+// estimate into a bounded ring, the write avfd makes when -spans is on:
+// estimator+span and fused+span. With -sched two scheduler-dispatch
+// scenarios compare single-class submission against a four-SLO-class
+// mix (ns per dispatched task): sched-single and sched-classes.
 //
 // Each scenario simulates the same workload for a fixed cycle budget
 // after a warm-up, reporting ns/cycle, cycles/sec and allocation rates.
@@ -31,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"time"
 
 	"avfsim/internal/config"
@@ -40,6 +43,7 @@ import (
 	"avfsim/internal/pipeline"
 	"avfsim/internal/sched"
 	"avfsim/internal/softarch"
+	"avfsim/internal/span"
 	"avfsim/internal/store"
 	"avfsim/internal/workload"
 )
@@ -58,6 +62,7 @@ type scenarioDef struct {
 	estimator bool
 	flight    bool
 	wal       bool
+	span      bool
 }
 
 var scenarios = []scenarioDef{
@@ -84,6 +89,16 @@ var flightScenarios = []scenarioDef{
 var walScenarios = []scenarioDef{
 	{name: "estimator+wal", estimator: true, wal: true},
 	{name: "fused+wal", softarch: true, estimator: true, wal: true},
+}
+
+// spanScenarios measure the request-span path's marginal cost over the
+// matching base scenarios: every completed per-interval estimate is
+// recorded as a child span in a bounded ring, the same write avfd makes
+// per interval when -spans is on. Only run with -span, for the same
+// report-shape stability reason as -flight.
+var spanScenarios = []scenarioDef{
+	{name: "estimator+span", estimator: true, span: true},
+	{name: "fused+span", softarch: true, estimator: true, span: true},
 }
 
 // schedScenarios measure the scheduler's dispatch path: no-op tasks
@@ -116,6 +131,7 @@ func main() {
 		failRegr  = flag.Bool("fail-on-regress", false, "exit nonzero when a regression is flagged")
 		doFlight  = flag.Bool("flight", false, "also measure estimator/fused with the flight recorder attached")
 		doWAL     = flag.Bool("wal", false, "also measure estimator/fused with per-interval WAL checkpointing attached")
+		doSpan    = flag.Bool("span", false, "also measure estimator/fused with per-interval request-span recording attached")
 		doSched   = flag.Bool("sched", false, "also measure scheduler dispatch: single-class vs per-SLO-class queues (ns per task)")
 	)
 	flag.Parse()
@@ -149,6 +165,9 @@ func main() {
 	}
 	if *doWAL {
 		defs = append(defs, walScenarios...)
+	}
+	if *doSpan {
+		defs = append(defs, spanScenarios...)
 	}
 	fmt.Printf("%-16s %12s %14s %12s %12s %8s\n",
 		"scenario", "ns/cycle", "cycles/sec", "allocs/cyc", "bytes/cyc", "ipc")
@@ -265,6 +284,23 @@ func runScenario(def scenarioDef, bench string, seed uint64, warmup, cycles int6
 				if err := st.AppendInterval("bench", &pt); err != nil {
 					panic(fmt.Sprintf("avfbench: wal append: %v", err))
 				}
+			}
+		}
+		if def.span {
+			// The span write avfd makes per completed interval estimate:
+			// a child span under the job root, three attributes, into a
+			// bounded ring sized like the daemon default.
+			rec := span.NewRecorder(span.DefaultCapacity)
+			trace := span.MintTraceID()
+			root := rec.StartAt(trace, span.SpanID{}, "job", time.Now())
+			defer root.End("ok")
+			opt.OnIntervalSpan = func(e core.Estimate, wallStart, wallEnd time.Time) {
+				a := rec.StartAt(trace, root.ID(), "interval", wallStart)
+				a.SetJob("bench", "standard")
+				a.SetAttr("structure", e.Structure.String())
+				a.SetAttr("interval", strconv.Itoa(e.Interval))
+				a.SetAttr("avf", strconv.FormatFloat(e.AVF, 'g', 6, 64))
+				a.EndAt("ok", wallEnd)
 			}
 		}
 		est, err = core.NewEstimator(p, opt)

@@ -9,6 +9,7 @@
 //	     [-data-dir DIR] [-retention 0] [-retention-max 0] [-deadline 0]
 //	     [-max-body 1048576] [-read-header-timeout 5s] [-read-timeout 30s]
 //	     [-write-timeout 30s] [-idle-timeout 2m] [-stream-write-timeout 30s]
+//	     [-spans] [-span-cap 16384] [-slo-config FILE]
 //	     [-log-format text|json] [-log-level info] [-pprof]
 //
 // Quickstart (see README.md for more):
@@ -20,8 +21,18 @@
 //	curl -s localhost:8080/v1/jobs/job-1              # status + final series
 //	curl -s -X DELETE localhost:8080/v1/jobs/job-1    # cancel
 //	curl -s localhost:8080/v1/stats                   # scheduler counters + queue saturation
+//	curl -N localhost:8080/v1/jobs/job-1/spans        # request spans of the job's trace
+//	curl -s localhost:8080/v1/traces                  # trace summaries (min_dur/class/state filters)
+//	curl -s localhost:8080/v1/slo                     # per-class error budgets + burn rates
 //	curl -s localhost:8080/metrics                    # Prometheus text exposition
 //	curl -s localhost:8080/v1/metrics                 # the same registry as JSON
+//
+// Every job carries a W3C trace context: submit with a traceparent
+// header (or "traceparent" spec field) to stitch the job into your
+// distributed trace, or let the daemon mint one. -spans=false turns
+// recording off; -slo-config FILE replaces the built-in per-class
+// objectives with a JSON object of the form
+// {"critical":{"latency_seconds":60,"target":0.999}, ...}.
 //
 // With -data-dir, jobs are durable: specs, state transitions, every
 // per-interval estimate, and final series are appended to a CRC-framed
@@ -41,6 +52,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -55,8 +67,29 @@ import (
 	"avfsim/internal/obs"
 	"avfsim/internal/sched"
 	"avfsim/internal/server"
+	"avfsim/internal/span"
 	"avfsim/internal/store"
 )
+
+// loadObjectives reads the per-class SLO objectives: the built-in
+// defaults, or the JSON object in path when given.
+func loadObjectives(path string) (map[string]span.Objective, error) {
+	objs := span.DefaultObjectives()
+	if path != "" {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		objs = map[string]span.Objective{}
+		if err := json.Unmarshal(b, &objs); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+	}
+	if err := span.ValidateObjectives(objs); err != nil {
+		return nil, err
+	}
+	return objs, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -73,6 +106,9 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout (streaming routes are exempt; see -stream-write-timeout)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	streamWriteTimeout := flag.Duration("stream-write-timeout", 30*time.Second, "rolling per-write deadline on NDJSON/SSE streams (0 = none)")
+	spansOn := flag.Bool("spans", true, "record per-job request spans (traceparent adoption, /v1/traces, /v1/jobs/{id}/spans)")
+	spanCap := flag.Int("span-cap", span.DefaultCapacity, "span ring capacity (rounded up to a power of two)")
+	sloConfig := flag.String("slo-config", "", "JSON file of per-class SLO objectives (empty = built-in defaults)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
@@ -93,6 +129,15 @@ func main() {
 		server.WithJobDeadline(*deadline),
 		server.WithMaxBodyBytes(*maxBody),
 		server.WithStreamWriteTimeout(*streamWriteTimeout),
+	}
+	objs, err := loadObjectives(*sloConfig)
+	if err != nil {
+		logger.Error("load SLO objectives", "file", *sloConfig, "error", err)
+		os.Exit(1)
+	}
+	opts = append(opts, server.WithSLO(span.NewEngine(objs)))
+	if *spansOn {
+		opts = append(opts, server.WithSpans(span.NewRecorder(*spanCap)))
 	}
 	var st *store.Store
 	if *dataDir != "" {

@@ -103,8 +103,17 @@ func run() int {
 		}
 	}
 	rep := load.Summarize(outs)
+	results := spec.Evaluate(rep)
+	// Failed assertions name their offending jobs and traces, both in
+	// the JSON report and on the console — the bridge from "SLO broke"
+	// to the server-side spans of the jobs that broke it.
+	load.AttachViolators(results, outs)
 	if *report != "" {
-		if err := writeJSONFile(*report, rep); err != nil {
+		full := struct {
+			*load.Report
+			Assertions []load.AssertResult `json:"assertions,omitempty"`
+		}{rep, results}
+		if err := writeJSONFile(*report, full); err != nil {
 			fmt.Fprintln(os.Stderr, "avfload:", err)
 			return 3
 		}
@@ -114,11 +123,21 @@ func run() int {
 			spec.Name, len(schedule), spec.Seed, *accel)
 		fmt.Print(rep.Table())
 	}
-	results := spec.Evaluate(rep)
 	if len(results) > 0 {
 		fmt.Println()
 		for _, r := range results {
 			fmt.Println(r.String())
+			for i, v := range r.Violators {
+				if i == 3 && !*quiet {
+					fmt.Printf("        ... %d more violators (see -report)\n", len(r.Violators)-i)
+					break
+				}
+				state := v.Final
+				if state == "" {
+					state = v.Status
+				}
+				fmt.Printf("        violator seq=%d job=%s trace=%s (%s)\n", v.Seq, v.JobID, v.TraceID, state)
+			}
 		}
 	}
 	if fails := load.Failures(results); len(fails) > 0 {
@@ -186,8 +205,23 @@ func (d *driver) submit(ctx context.Context, ar load.Arrival, start time.Time) l
 		SubmitT:    time.Since(start).Seconds(),
 	}
 	body := d.spec.Body(ar.Client, ar.ClientSeq)
+	// Every submission carries a driver-minted W3C trace, deterministic
+	// in (spec seed, seq): a failed SLO assertion can then name the
+	// exact traces to pull from /v1/jobs/{id}/spans, and reruns with the
+	// same seed reproduce the same IDs.
+	tp := traceparentFor(d.spec.Seed, ar.Seq)
+	out.TraceID = tp[3:35]
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		d.target+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		out.Status = load.StatusError
+		out.Err = err.Error()
+		return out
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", tp)
 	t0 := time.Now()
-	resp, err := d.client.Post(d.target+"/v1/jobs", "application/json", bytes.NewReader(body))
+	resp, err := d.client.Do(req)
 	out.AcceptMS = float64(time.Since(t0)) / float64(time.Millisecond)
 	if err != nil {
 		out.Status = load.StatusError
@@ -220,6 +254,30 @@ func (d *driver) submit(ctx context.Context, ar load.Arrival, start time.Time) l
 		out.Err = fmt.Sprintf("http %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
 	}
 	return out
+}
+
+// traceparentFor mints the deterministic W3C traceparent of one
+// scheduled arrival: two splitmix64 streams keyed by (seed, seq) give
+// the 128-bit trace ID, a third gives the parent span ID.
+func traceparentFor(seed uint64, seq int) string {
+	hi := splitmix64(seed ^ (0x9e3779b97f4a7c15 * uint64(seq+1)))
+	lo := splitmix64(hi + 0xbf58476d1ce4e5b9)
+	sp := splitmix64(lo + 0x94d049bb133111eb)
+	if hi == 0 && lo == 0 {
+		lo = 1 // all-zero trace IDs are invalid per the spec
+	}
+	if sp == 0 {
+		sp = 1
+	}
+	return fmt.Sprintf("00-%016x%016x-%016x-01", hi, lo, sp)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // trackJob polls the job until terminal or the drain deadline.

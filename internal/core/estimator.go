@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"avfsim/internal/isa"
 	"avfsim/internal/obs"
@@ -52,6 +53,13 @@ type Options struct {
 	// buffering the whole series; the batch accessors (Estimates,
 	// AVFSeries) are unaffected.
 	OnInterval func(Estimate)
+	// OnIntervalSpan, when non-nil, receives the wall-clock start and
+	// end instants of each completed estimation interval alongside the
+	// estimate — the hook behind per-interval tracing spans. It fires
+	// under the same StartInterval gating as OnInterval. When nil (the
+	// default) the hot path pays only nil checks and never reads the
+	// clock, preserving the zero-allocation guarantee.
+	OnIntervalSpan func(est Estimate, wallStart, wallEnd time.Time)
 	// StartInterval suppresses OnInterval for estimates whose Interval is
 	// below it. It is the deterministic fast-forward behind checkpoint
 	// resume: the simulation is a pure function of (spec, seed), so a
@@ -146,6 +154,9 @@ type structState struct {
 	failures    int
 	intervalIdx int
 	startCycle  int64
+	// wallStart is the wall-clock start of the current interval,
+	// maintained only when OnIntervalSpan is set.
+	wallStart time.Time
 
 	// Failure details for the lifecycle record (valid while failed,
 	// written only when a Sink is attached).
@@ -185,6 +196,9 @@ func NewEstimator(p *pipeline.Pipeline, opt Options) (*Estimator, error) {
 			entries:    p.StructureEntries(s),
 			injectedAt: -1,
 			startCycle: p.Cycle(),
+		}
+		if opt.OnIntervalSpan != nil {
+			st.wallStart = time.Now()
 		}
 		e.states[s] = st
 		e.active = append(e.active, st)
@@ -292,6 +306,13 @@ func (e *Estimator) conclude(st *structState, cycle int64) {
 		st.startCycle = cycle
 		if e.opt.OnInterval != nil && est.Interval >= e.opt.StartInterval {
 			e.opt.OnInterval(est)
+		}
+		if e.opt.OnIntervalSpan != nil {
+			wallEnd := time.Now()
+			if est.Interval >= e.opt.StartInterval {
+				e.opt.OnIntervalSpan(est, st.wallStart, wallEnd)
+			}
+			st.wallStart = wallEnd
 		}
 	}
 }

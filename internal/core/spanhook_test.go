@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"avfsim/internal/pipeline"
+)
+
+// TestOnIntervalSpanFires verifies the wall-clock span hook fires once
+// per completed interval per structure with monotone, contiguous wall
+// times, matching OnInterval's firing count exactly.
+func TestOnIntervalSpanFires(t *testing.T) {
+	type fire struct {
+		est        Estimate
+		start, end time.Time
+	}
+	var streamed []Estimate
+	var spans []fire
+	p := newPipe(t, &loopTrace{})
+	e, err := NewEstimator(p, Options{
+		M: 10, N: 5,
+		Structures: []pipeline.Structure{pipeline.StructIQ, pipeline.StructReg},
+		OnInterval: func(est Estimate) { streamed = append(streamed, est) },
+		OnIntervalSpan: func(est Estimate, ws, we time.Time) {
+			spans = append(spans, fire{est, ws, we})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Attach()
+	drive(p, e, 500)
+
+	if len(spans) == 0 {
+		t.Fatal("OnIntervalSpan never fired")
+	}
+	if len(spans) != len(streamed) {
+		t.Fatalf("span hook fired %d times, OnInterval fired %d", len(spans), len(streamed))
+	}
+	lastEnd := map[pipeline.Structure]time.Time{}
+	for i, f := range spans {
+		if f.est != streamed[i] {
+			t.Fatalf("span %d estimate %+v != streamed %+v", i, f.est, streamed[i])
+		}
+		if f.end.Before(f.start) {
+			t.Fatalf("span %d wall end %v before start %v", i, f.end, f.start)
+		}
+		if prev, ok := lastEnd[f.est.Structure]; ok && f.start.Before(prev) {
+			t.Fatalf("structure %v interval %d wall start %v precedes previous end %v",
+				f.est.Structure, f.est.Interval, f.start, prev)
+		}
+		lastEnd[f.est.Structure] = f.end
+	}
+}
+
+// TestOnIntervalSpanStartInterval: the span hook obeys the same
+// fast-forward gating as OnInterval — intervals below StartInterval are
+// silent, but wall times keep advancing so the first emitted span does
+// not stretch back to estimator construction.
+func TestOnIntervalSpanStartInterval(t *testing.T) {
+	var spans []Estimate
+	p := newPipe(t, &loopTrace{})
+	e, err := NewEstimator(p, Options{
+		M: 10, N: 5, StartInterval: 3,
+		Structures: []pipeline.Structure{pipeline.StructIQ},
+		OnIntervalSpan: func(est Estimate, ws, we time.Time) {
+			spans = append(spans, est)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Attach()
+	drive(p, e, 500)
+
+	if len(spans) == 0 {
+		t.Fatal("OnIntervalSpan never fired past StartInterval")
+	}
+	for _, est := range spans {
+		if est.Interval < 3 {
+			t.Fatalf("span hook fired for gated interval %d", est.Interval)
+		}
+	}
+	if spans[0].Interval != 3 {
+		t.Fatalf("first span interval = %d, want 3", spans[0].Interval)
+	}
+}

@@ -1,0 +1,109 @@
+package drift
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMonitorConcurrentStreams hammers one Monitor from many goroutines
+// the way avfd does in production — every running job's watcher feeds
+// its own streams while /v1/drift snapshots concurrently — and checks
+// the aggregate invariants hold. Run with -race; the assertions
+// themselves only catch lost updates, the race detector catches the
+// rest.
+func TestMonitorConcurrentStreams(t *testing.T) {
+	const (
+		writers = 8
+		perG    = 400
+		logCap  = 16
+	)
+	var cbCount atomic.Int64
+	m := NewMonitor(
+		WithConfig(Config{Warmup: 4}),
+		WithAlarmLog(logCap),
+		OnAlarm(func(StreamAlarm) { cbCount.Add(1) }),
+	)
+
+	// Writers: each goroutine owns a private stream (stepped upward, so
+	// it alarms) and also feeds one shared flat stream, interleaved.
+	var write sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		write.Add(1)
+		go func(g int) {
+			defer write.Done()
+			r := lcg(uint64(g)*2654435761 + 1)
+			name := fmt.Sprintf("avf/worker-%d", g)
+			level := 0.05
+			for i := 0; i < perG; i++ {
+				if i%50 == 49 {
+					level += 0.1 // force periodic shifts
+				}
+				m.Observe(name, level+0.002*r.gauss(), 0)
+				m.Observe("avf/shared", 0.06+0.002*r.gauss(), 0)
+			}
+		}(g)
+	}
+
+	// Readers: snapshot and count while writes are in flight.
+	stop := make(chan struct{})
+	var read sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		read.Add(1)
+		go func() {
+			defer read.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := m.Snapshot()
+				if int64(len(snap.Alarms)) > snap.TotalAlarms {
+					t.Errorf("log (%d) exceeds total (%d)", len(snap.Alarms), snap.TotalAlarms)
+					return
+				}
+				if len(snap.Alarms) > logCap {
+					t.Errorf("alarm log grew past cap: %d", len(snap.Alarms))
+					return
+				}
+				_ = m.TotalAlarms()
+			}
+		}()
+	}
+
+	write.Wait()
+	close(stop)
+	read.Wait()
+
+	snap := m.Snapshot()
+	if got := len(snap.Streams); got != writers+1 {
+		t.Fatalf("streams = %d, want %d", got, writers+1)
+	}
+	var total int64
+	for _, st := range snap.Streams {
+		total += st.Count
+		if st.Stream == "avf/shared" {
+			if st.Count != writers*perG {
+				t.Errorf("shared stream count = %d, want %d (lost updates)", st.Count, writers*perG)
+			}
+			continue
+		}
+		if st.Count != perG {
+			t.Errorf("stream %s count = %d, want %d", st.Stream, st.Count, perG)
+		}
+		if st.Alarms == 0 {
+			t.Errorf("shifting stream %s never alarmed", st.Stream)
+		}
+	}
+	if total != int64(2*writers*perG) {
+		t.Errorf("total observations = %d, want %d", total, 2*writers*perG)
+	}
+	if cbCount.Load() != snap.TotalAlarms {
+		t.Errorf("callback saw %d alarms, monitor counted %d", cbCount.Load(), snap.TotalAlarms)
+	}
+	if int64(len(snap.Alarms)) > snap.TotalAlarms || len(snap.Alarms) > logCap {
+		t.Errorf("final log inconsistent: %d retained, %d total", len(snap.Alarms), snap.TotalAlarms)
+	}
+}

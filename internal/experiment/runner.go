@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"avfsim/internal/config"
 	"avfsim/internal/core"
@@ -63,6 +64,11 @@ type RunConfig struct {
 	// as the estimator completes it (see core.Options.OnInterval). It
 	// is called from the goroutine driving the run.
 	OnInterval func(core.Estimate)
+	// OnIntervalSpan, when non-nil, additionally receives the
+	// wall-clock start/end of each completed interval (see
+	// core.Options.OnIntervalSpan) — the per-interval tracing span
+	// hook. Subject to the same StartInterval gating as OnInterval.
+	OnIntervalSpan func(est core.Estimate, wallStart, wallEnd time.Time)
 	// StartInterval suppresses OnInterval below the given interval index
 	// (see core.Options.StartInterval): the checkpoint-resume
 	// fast-forward. The run still simulates from cycle 0 — determinism
@@ -284,6 +290,7 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 		RecordLatency:  rc.RecordLatency,
 		Multiplex:      rc.Multiplex,
 		OnInterval:     rc.OnInterval,
+		OnIntervalSpan: rc.OnIntervalSpan,
 		StartInterval:  rc.StartInterval,
 		Sink:           rc.Sink,
 	})

@@ -16,7 +16,26 @@ type AssertResult struct {
 	Pass      bool      `json:"pass"`
 	// Detail explains a failure (empty on pass).
 	Detail string `json:"detail,omitempty"`
+	// Violators are the concrete outcomes that burned this failed
+	// assertion (job and trace IDs included), capped at maxViolators.
+	// Empty on pass and for min-bound failures, where the defect is
+	// absence rather than any one job.
+	Violators []Violator `json:"violators,omitempty"`
 }
+
+// Violator links one offending submission to its job and trace.
+type Violator struct {
+	Seq     int    `json:"seq"`
+	JobID   string `json:"job_id,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+	Status  string `json:"status"`
+	Final   string `json:"final,omitempty"`
+	// MS is the offending latency for latency-metric failures.
+	MS float64 `json:"ms,omitempty"`
+}
+
+// maxViolators bounds the offender list per failed assertion.
+const maxViolators = 20
 
 // String renders a one-line verdict like
 // "PASS  class critical shed_count = 0 (max 0)".
@@ -78,6 +97,68 @@ func (s *Spec) Evaluate(rep *Report) []AssertResult {
 		results = append(results, res)
 	}
 	return results
+}
+
+// AttachViolators fills the Violators of every failed result from the
+// run's outcomes: the concrete submissions whose status, terminal
+// state, or latency burned the asserted metric, scoped like the
+// assertion itself. Min-bound failures assert presence, so no single
+// outcome offends and none are attached.
+func AttachViolators(results []AssertResult, outs []Outcome) {
+	for i := range results {
+		r := &results[i]
+		if r.Pass {
+			continue
+		}
+		for k := range outs {
+			o := &outs[k]
+			if r.Assertion.Client != "" && o.Client != r.Assertion.Client {
+				continue
+			}
+			if r.Assertion.Class != "" && o.Class != r.Assertion.Class {
+				continue
+			}
+			ms, ok := offends(&r.Assertion, o)
+			if !ok {
+				continue
+			}
+			r.Violators = append(r.Violators, Violator{
+				Seq: o.Seq, JobID: o.JobID, TraceID: o.TraceID,
+				Status: o.Status, Final: o.Final, MS: ms,
+			})
+			if len(r.Violators) >= maxViolators {
+				break
+			}
+		}
+	}
+}
+
+// offends reports whether o is an offender for a's metric (with the
+// offending latency for latency metrics).
+func offends(a *Assertion, o *Outcome) (ms float64, ok bool) {
+	switch a.Metric {
+	case "shed_count", "shed_rate":
+		return 0, o.Final == "shed"
+	case "rejected":
+		return 0, o.Status == StatusRejected
+	case "errors":
+		return 0, o.Status == StatusError
+	case "failed":
+		return 0, o.Final == "failed"
+	case "canceled":
+		return 0, o.Final == "canceled"
+	case "untracked":
+		return 0, o.Status == StatusAccepted && o.Final == ""
+	case "accept_p50_ms", "accept_p90_ms", "accept_p99_ms", "accept_max_ms":
+		if a.Max != nil && o.Status == StatusAccepted && o.AcceptMS > *a.Max {
+			return o.AcceptMS, true
+		}
+	case "complete_p50_ms", "complete_p99_ms":
+		if a.Max != nil && o.Final != "" && o.CompleteMS > *a.Max {
+			return o.CompleteMS, true
+		}
+	}
+	return 0, false
 }
 
 // Failures filters results to the failing subset.

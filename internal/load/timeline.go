@@ -26,7 +26,11 @@ type Outcome struct {
 	Status string `json:"status"`
 	HTTP   int    `json:"http,omitempty"`
 	JobID  string `json:"job_id,omitempty"`
-	Err    string `json:"err,omitempty"`
+	// TraceID is the W3C trace the driver attached to the submission
+	// (deterministic in spec seed + seq), so an SLO failure links
+	// straight to the server-side spans at /v1/jobs/{id}/spans.
+	TraceID string `json:"trace_id,omitempty"`
+	Err     string `json:"err,omitempty"`
 	// AcceptMS is the submit round-trip latency.
 	AcceptMS float64 `json:"accept_ms,omitempty"`
 	// Final is the job's terminal state when tracked to completion:

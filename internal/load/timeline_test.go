@@ -133,6 +133,70 @@ func TestEvaluateAssertions(t *testing.T) {
 	}
 }
 
+func TestAttachViolators(t *testing.T) {
+	outs := []Outcome{
+		{Seq: 0, Client: "online", Class: "critical", Status: StatusAccepted, JobID: "job-1", TraceID: "aaaa", AcceptMS: 2, Final: "done", CompleteMS: 120},
+		{Seq: 1, Client: "analytics", Class: "batch", Status: StatusAccepted, JobID: "job-2", TraceID: "bbbb", AcceptMS: 3, Final: "shed"},
+		{Seq: 2, Client: "analytics", Class: "batch", Status: StatusRejected, TraceID: "cccc", HTTP: 429},
+		{Seq: 3, Client: "online", Class: "critical", Status: StatusAccepted, JobID: "job-4", TraceID: "dddd", AcceptMS: 50, Final: "done", CompleteMS: 90},
+	}
+	rep := Summarize(outs)
+	spec := &Spec{SLOs: []Assertion{
+		{Class: "batch", Metric: "shed_count", Max: f(0)},         // fail: job-2
+		{Class: "batch", Metric: "rejected", Max: f(0)},           // fail: seq 2
+		{Client: "online", Metric: "accept_max_ms", Max: f(10)},   // fail: job-4
+		{Class: "critical", Metric: "shed_count", Max: f(0)},      // pass
+		{Metric: "done", Min: f(10)},                              // fail, min-bound: no violators
+		{Class: "critical", Metric: "complete_p99_ms", Max: f(1)}, // fail: both critical jobs
+	}}
+	res := spec.Evaluate(rep)
+	AttachViolators(res, outs)
+
+	shed := res[0]
+	if shed.Pass || len(shed.Violators) != 1 {
+		t.Fatalf("shed assertion: pass=%v violators=%+v", shed.Pass, shed.Violators)
+	}
+	v := shed.Violators[0]
+	if v.Seq != 1 || v.JobID != "job-2" || v.TraceID != "bbbb" || v.Final != "shed" {
+		t.Fatalf("shed violator = %+v", v)
+	}
+
+	rej := res[1]
+	if len(rej.Violators) != 1 || rej.Violators[0].Seq != 2 || rej.Violators[0].Status != StatusRejected {
+		t.Fatalf("rejected violators = %+v", rej.Violators)
+	}
+
+	lat := res[2]
+	if len(lat.Violators) != 1 {
+		t.Fatalf("latency violators = %+v", lat.Violators)
+	}
+	if lv := lat.Violators[0]; lv.JobID != "job-4" || lv.MS != 50 {
+		t.Fatalf("latency violator = %+v", lv)
+	}
+
+	if len(res[3].Violators) != 0 {
+		t.Fatalf("passing assertion grew violators: %+v", res[3].Violators)
+	}
+	if res[4].Pass || len(res[4].Violators) != 0 {
+		t.Fatalf("min-bound failure should attach none: pass=%v violators=%+v", res[4].Pass, res[4].Violators)
+	}
+	if got := len(res[5].Violators); got != 2 {
+		t.Fatalf("complete-latency violators = %d, want both critical jobs", got)
+	}
+}
+
+func TestAttachViolatorsCap(t *testing.T) {
+	var outs []Outcome
+	for i := 0; i < maxViolators+10; i++ {
+		outs = append(outs, Outcome{Seq: i, Client: "c", Class: "batch", Status: StatusAccepted, Final: "shed"})
+	}
+	res := (&Spec{SLOs: []Assertion{{Class: "batch", Metric: "shed_count", Max: f(0)}}}).Evaluate(Summarize(outs))
+	AttachViolators(res, outs)
+	if len(res[0].Violators) != maxViolators {
+		t.Fatalf("violators = %d, want cap %d", len(res[0].Violators), maxViolators)
+	}
+}
+
 func TestMetricNamesAllResolve(t *testing.T) {
 	var s Summary
 	for _, name := range MetricNames() {

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Exposition-format conformance: the Prometheus text output (0.0.4)
+// must satisfy the invariants scrapers rely on — every family carries
+// HELP and TYPE, every histogram series emits a +Inf bucket plus _sum
+// and _count with count == the +Inf cumulative value and monotone
+// cumulative buckets, and label values escape backslash, newline, and
+// double-quote exactly.
+
+var (
+	// One sample line: name, optional label block of well-formed
+	// name="escaped value" pairs (values may contain any character via
+	// escaping, including '}' and ','), then the value.
+	sampleLine = regexp.MustCompile(
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)` +
+			`(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*")*\})?` +
+			` (-?[0-9.eE+-]+|[+-]Inf|NaN)$`)
+	labelPair = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+func conformanceRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("conf_total", "plain counter").Add(3)
+	r.Gauge("conf_gauge", "plain gauge").Set(-1.5)
+	r.CounterVec("conf_labeled_total", "labeled counter", "kind").With("a\\b\n\"c\"").Inc()
+
+	h := r.Histogram("conf_seconds", "plain histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10) // +Inf bucket
+
+	hv := r.HistogramVec("conf_labeled_seconds", "labeled histogram", []float64{1}, "route", "class")
+	hv.With("/v1/jobs/{id}", "weird\"label\\with\nstuff").Observe(0.2)
+	hv.With("/v1/stats", "plain").Observe(2)
+
+	// An empty histogram must still expose its full shape.
+	r.Histogram("conf_empty_seconds", "never observed", []float64{1})
+	return r
+}
+
+func TestExpositionConformance(t *testing.T) {
+	r := conformanceRegistry()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	type famState struct{ help, typ bool }
+	fams := map[string]*famState{}
+	var lines []string
+	for _, ln := range strings.Split(out, "\n") {
+		if ln == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(ln, "# HELP "); ok {
+			name, _, _ := strings.Cut(rest, " ")
+			if fams[name] == nil {
+				fams[name] = &famState{}
+			}
+			fams[name].help = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(ln, "# TYPE "); ok {
+			name, typ, _ := strings.Cut(rest, " ")
+			if fams[name] == nil || !fams[name].help {
+				t.Errorf("TYPE before HELP for %s", name)
+			}
+			fams[name].typ = true
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("unknown TYPE %q for %s", typ, name)
+			}
+			continue
+		}
+		lines = append(lines, ln)
+	}
+	for name, st := range fams {
+		if !st.help || !st.typ {
+			t.Errorf("family %s missing HELP or TYPE", name)
+		}
+	}
+
+	// Every sample line must match the exposition grammar, and each
+	// label pair inside it must be well-formed with balanced escaping.
+	for _, ln := range lines {
+		m := sampleLine.FindStringSubmatch(ln)
+		if m == nil {
+			t.Errorf("sample line does not match exposition grammar: %q", ln)
+			continue
+		}
+		if m[2] != "" {
+			inner := m[2][1 : len(m[2])-1]
+			for _, pair := range splitLabelPairs(inner) {
+				if !labelPair.MatchString(pair) {
+					t.Errorf("malformed label pair %q in line %q", pair, ln)
+				}
+			}
+		}
+	}
+
+	// Histogram invariants, per series.
+	for _, fam := range []string{"conf_seconds", "conf_labeled_seconds", "conf_empty_seconds"} {
+		series := histogramSeries(t, lines, fam)
+		if len(series) == 0 {
+			t.Errorf("histogram %s emitted no series", fam)
+		}
+		for key, s := range series {
+			if s.inf == nil {
+				t.Errorf("%s%s: no le=\"+Inf\" bucket", fam, key)
+				continue
+			}
+			if s.count == nil || s.sum == nil {
+				t.Errorf("%s%s: missing _count or _sum", fam, key)
+				continue
+			}
+			if *s.inf != *s.count {
+				t.Errorf("%s%s: +Inf bucket %d != _count %d", fam, key, *s.inf, *s.count)
+			}
+			for i := 1; i < len(s.buckets); i++ {
+				if s.buckets[i] < s.buckets[i-1] {
+					t.Errorf("%s%s: cumulative buckets not monotone: %v", fam, key, s.buckets)
+				}
+			}
+		}
+	}
+
+	// Escaping: the tricky label value must appear exactly once in its
+	// escaped form and the raw newline must never reach the output.
+	if !strings.Contains(out, `kind="a\\b\n\"c\""`) {
+		t.Errorf("label escaping wrong; exposition:\n%s", out)
+	}
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.Contains(ln, "weird") && !strings.Contains(ln, `weird\"label\\with\nstuff`) {
+			t.Errorf("histogram label not escaped: %q", ln)
+		}
+	}
+}
+
+// histogramSeries groups a family's sample lines by their non-le label
+// signature.
+type histSeries struct {
+	buckets []int64
+	inf     *int64
+	count   *int64
+	sum     *float64
+}
+
+func histogramSeries(t *testing.T, lines []string, fam string) map[string]*histSeries {
+	t.Helper()
+	out := map[string]*histSeries{}
+	get := func(key string) *histSeries {
+		if out[key] == nil {
+			out[key] = &histSeries{}
+		}
+		return out[key]
+	}
+	for _, ln := range lines {
+		m := sampleLine.FindStringSubmatch(ln)
+		if m == nil {
+			continue
+		}
+		name, labels, val := m[1], m[2], m[3]
+		switch name {
+		case fam + "_bucket":
+			le, rest := extractLE(labels)
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Errorf("bucket value not an integer: %q", ln)
+				continue
+			}
+			s := get(rest)
+			if le == "+Inf" {
+				s.inf = &n
+			}
+			s.buckets = append(s.buckets, n)
+		case fam + "_count":
+			n, _ := strconv.ParseInt(val, 10, 64)
+			get(labels).count = &n
+		case fam + "_sum":
+			f, _ := strconv.ParseFloat(val, 64)
+			get(labels).sum = &f
+		}
+	}
+	return out
+}
+
+// extractLE pulls the le label out of a label block, returning its
+// value and the block with le removed (the series signature).
+func extractLE(labels string) (le, rest string) {
+	inner := labels[1 : len(labels)-1]
+	var kept []string
+	for _, pair := range splitLabelPairs(inner) {
+		if v, ok := strings.CutPrefix(pair, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if len(kept) == 0 {
+		return le, ""
+	}
+	return le, "{" + strings.Join(kept, ",") + "}"
+}
+
+// splitLabelPairs splits a label block body on commas outside quoted
+// values (label values may themselves contain commas).
+func splitLabelPairs(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\' && inQuote:
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+			continue
+		}
+		cur.WriteByte(c)
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func TestConformanceJSONMirrorsText(t *testing.T) {
+	// The JSON snapshot must agree with the text exposition on
+	// histogram totals (+Inf cumulative == count == sum of per-bucket
+	// counts).
+	r := conformanceRegistry()
+	for _, fam := range r.Snapshot() {
+		if fam.Type != "histogram" {
+			continue
+		}
+		for _, s := range fam.Series {
+			var perBucket int64
+			for _, b := range s.Buckets {
+				perBucket += b.Count
+			}
+			if s.Count == nil || perBucket != *s.Count {
+				t.Errorf("%s: per-bucket sum %d != count %v", fam.Name, perBucket, s.Count)
+			}
+			if s.Buckets[len(s.Buckets)-1].LE != "+Inf" {
+				t.Errorf("%s: last JSON bucket is %q, want +Inf", fam.Name, s.Buckets[len(s.Buckets)-1].LE)
+			}
+		}
+	}
+	_ = fmt.Sprintf // keep fmt if assertions above change
+}

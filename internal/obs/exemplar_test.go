@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestObserveExAttachesExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "t", []float64{0.1, 1, 10})
+	h.ObserveEx(0.05, "aaaa")
+	h.ObserveEx(5.0, "bbbb")
+	h.ObserveEx(100.0, "cccc") // +Inf bucket
+	h.ObserveEx(0.5, "")       // no exemplar: must not clobber anything
+
+	if e := h.exemplar(0); e == nil || e.TraceID != "aaaa" || e.Value != 0.05 {
+		t.Fatalf("bucket 0 exemplar = %+v", e)
+	}
+	if e := h.exemplar(1); e != nil {
+		t.Fatalf("bucket 1 unexpectedly has exemplar %+v", e)
+	}
+	if e := h.exemplar(2); e == nil || e.TraceID != "bbbb" {
+		t.Fatalf("bucket 2 exemplar = %+v", e)
+	}
+	if e := h.exemplar(3); e == nil || e.TraceID != "cccc" {
+		t.Fatalf("+Inf bucket exemplar = %+v", e)
+	}
+	// Newest wins.
+	h.ObserveEx(0.06, "dddd")
+	if e := h.exemplar(0); e == nil || e.TraceID != "dddd" {
+		t.Fatalf("bucket 0 exemplar after overwrite = %+v", e)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+}
+
+func TestQuantileExemplarAndSummary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "t", []float64{0.1, 1, 10})
+	// 98 fast observations, 2 slow ones carrying a trace: p99 lands in
+	// the slow bucket and must surface its exemplar.
+	for i := 0; i < 98; i++ {
+		h.Observe(0.01)
+	}
+	h.ObserveEx(5, "slow-trace")
+	h.ObserveEx(6, "slow-trace")
+	v, ex := h.QuantileExemplar(0.99)
+	if v <= 1 || ex != "slow-trace" {
+		t.Fatalf("QuantileExemplar(0.99) = (%v, %q), want slow bucket with slow-trace", v, ex)
+	}
+	s := h.Summary()
+	if s.P99Exemplar != "slow-trace" {
+		t.Fatalf("Summary().P99Exemplar = %q", s.P99Exemplar)
+	}
+	if s.P50Exemplar != "" {
+		t.Fatalf("P50 landed in an exemplar-free bucket but reported %q", s.P50Exemplar)
+	}
+	// Quantile values must be identical to the exemplar-free path.
+	if s.P50 != h.Quantile(0.50) || s.P99 != h.Quantile(0.99) {
+		t.Fatal("Summary quantiles diverge from Quantile()")
+	}
+}
+
+func TestSnapshotCarriesExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("snap_seconds", "t", []float64{1})
+	h.ObserveEx(0.5, "tr-1")
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Series) != 1 {
+		t.Fatalf("snapshot shape: %+v", snap)
+	}
+	bs := snap[0].Series[0].Buckets
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(bs))
+	}
+	if bs[0].Exemplar == nil || bs[0].Exemplar.TraceID != "tr-1" {
+		t.Fatalf("bucket exemplar = %+v", bs[0].Exemplar)
+	}
+	if bs[1].Exemplar != nil {
+		t.Fatalf("+Inf bucket exemplar = %+v, want nil", bs[1].Exemplar)
+	}
+}
+
+func TestExemplarsAbsentFromPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("plain_seconds", "t", []float64{1})
+	h.ObserveEx(0.5, "tr-9")
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if strings.Contains(out, "tr-9") || strings.Contains(out, "#{") {
+		t.Fatalf("Prometheus text leaked exemplars:\n%s", out)
+	}
+}
+
+func TestHTTPWrapAttachesTraceparentExemplar(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg)
+	handler := m.Wrap("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	})
+	req := httptest.NewRequest("POST", "/v1/jobs", nil)
+	req.Header.Set("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	handler(httptest.NewRecorder(), req)
+
+	hist := m.latency.With("/v1/jobs")
+	found := false
+	for i := range hist.ex {
+		if e := hist.exemplar(i); e != nil {
+			found = true
+			if e.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+				t.Fatalf("exemplar trace = %q", e.TraceID)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no exemplar attached from traceparent header")
+	}
+}
+
+func TestTraceIDFromHeader(t *testing.T) {
+	cases := []struct{ hdr, want string }{
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", "4bf92f3577b34da6a3ce929d0e0e4736"},
+		{"", ""},
+		{"garbage", ""},
+		{"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", ""}, // version
+		{"00-00000000000000000000000000000000-00f067aa0ba902b7-01", ""}, // zero id
+		{"00-4bf92f3577b34da6a3ce929d0e0e47ZZ-00f067aa0ba902b7-01", ""}, // non-hex
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest("GET", "/", nil)
+		if c.hdr != "" {
+			req.Header.Set("traceparent", c.hdr)
+		}
+		if got := traceIDFromHeader(req); got != c.want {
+			t.Errorf("traceIDFromHeader(%q) = %q, want %q", c.hdr, got, c.want)
+		}
+	}
+}

@@ -54,7 +54,9 @@ func (w *flushWriter) Flush() { w.f.Flush() }
 
 // Wrap instruments h under the given route label. The label is the
 // registration pattern, not the raw URL, so per-job paths aggregate
-// into one series instead of one per job id.
+// into one series instead of one per job id. Requests carrying a W3C
+// traceparent header attach its trace ID as the latency exemplar, so
+// a slow bucket names a trace to pull.
 func (m *HTTPMetrics) Wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 	hist := m.latency.With(route)
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -66,8 +68,37 @@ func (m *HTTPMetrics) Wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 			out = &flushWriter{statusWriter: sw, f: f}
 		}
 		h(out, r)
-		hist.Observe(time.Since(start).Seconds())
+		hist.ObserveEx(time.Since(start).Seconds(), traceIDFromHeader(r))
 		m.reqs.With(route, strconv.Itoa(sw.code)).Inc()
 		m.inFlight.Add(-1)
 	}
+}
+
+// traceIDFromHeader extracts the 32-hex trace ID from a version-00
+// traceparent header, without depending on internal/span (obs sits
+// below it). Malformed headers yield "" (no exemplar).
+func traceIDFromHeader(r *http.Request) string {
+	tp := r.Header.Get("traceparent")
+	if len(tp) != 55 || tp[:3] != "00-" || tp[35] != '-' {
+		return ""
+	}
+	id := tp[3:35]
+	zero := true
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9':
+			if c != '0' {
+				zero = false
+			}
+		case c >= 'a' && c <= 'f':
+			zero = false
+		default:
+			return ""
+		}
+	}
+	if zero {
+		return ""
+	}
+	return id
 }

@@ -7,13 +7,19 @@ package obs
 // interpolation inside the bucket containing the target rank — the same
 // estimate PromQL's histogram_quantile computes server-side.
 
-// Quantiles is a point-in-time latency summary of one histogram.
+// Quantiles is a point-in-time latency summary of one histogram. The
+// *Exemplar fields carry the trace ID attached to the bucket each
+// quantile lands in (empty when no exemplar was recorded there), so a
+// p99 spike in /v1/stats links to a causing trace.
 type Quantiles struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	P50   float64 `json:"p50"`
-	P90   float64 `json:"p90"`
-	P99   float64 `json:"p99"`
+	Count       int64   `json:"count"`
+	Sum         float64 `json:"sum"`
+	P50         float64 `json:"p50"`
+	P90         float64 `json:"p90"`
+	P99         float64 `json:"p99"`
+	P50Exemplar string  `json:"p50_exemplar,omitempty"`
+	P90Exemplar string  `json:"p90_exemplar,omitempty"`
+	P99Exemplar string  `json:"p99_exemplar,omitempty"`
 }
 
 // Quantile returns the approximate q-quantile (0 < q < 1) of the
@@ -22,9 +28,26 @@ type Quantiles struct {
 // finite bound (an underestimate, flagged by Prometheus convention).
 // An empty histogram reports 0.
 func (h *Histogram) Quantile(q float64) float64 {
+	v, _ := h.quantileAt(q)
+	return v
+}
+
+// QuantileExemplar returns the q-quantile and the trace ID of the
+// exemplar in its containing bucket ("" when none).
+func (h *Histogram) QuantileExemplar(q float64) (float64, string) {
+	v, i := h.quantileAt(q)
+	if e := h.exemplar(i); e != nil {
+		return v, e.TraceID
+	}
+	return v, ""
+}
+
+// quantileAt computes the quantile and the index of the bucket the
+// target rank landed in (-1 for an empty histogram).
+func (h *Histogram) quantileAt(q float64) (float64, int) {
 	total := h.n.Load()
 	if total <= 0 {
-		return 0
+		return 0, -1
 	}
 	if q < 0 {
 		q = 0
@@ -41,7 +64,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if cum+c >= rank {
 			if i >= len(h.bounds) {
 				// +Inf bucket: the last finite bound is all we know.
-				return h.bounds[len(h.bounds)-1]
+				return h.bounds[len(h.bounds)-1], i
 			}
 			lo := 0.0
 			if i > 0 {
@@ -49,20 +72,22 @@ func (h *Histogram) Quantile(q float64) float64 {
 			}
 			hi := h.bounds[i]
 			frac := (rank - cum) / c
-			return lo + frac*(hi-lo)
+			return lo + frac*(hi-lo), i
 		}
 		cum += c
 	}
-	return h.bounds[len(h.bounds)-1]
+	return h.bounds[len(h.bounds)-1], len(h.counts) - 1
 }
 
-// Summary snapshots count, sum, and the standard dashboard quantiles.
+// Summary snapshots count, sum, and the standard dashboard quantiles
+// with their bucket exemplars.
 func (h *Histogram) Summary() Quantiles {
-	return Quantiles{
+	q := Quantiles{
 		Count: h.n.Load(),
 		Sum:   h.sum.Load(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
 	}
+	q.P50, q.P50Exemplar = h.QuantileExemplar(0.50)
+	q.P90, q.P90Exemplar = h.QuantileExemplar(0.90)
+	q.P99, q.P99Exemplar = h.QuantileExemplar(0.99)
+	return q
 }

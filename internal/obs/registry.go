@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // kind is a metric family's type.
@@ -51,7 +52,7 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // atomicFloat is a float64 with atomic add/store via CAS on the bits.
 type atomicFloat struct{ bits atomic.Uint64 }
 
-func (f *atomicFloat) Load() float64  { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
 func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
 
 func (f *atomicFloat) Add(v float64) {
@@ -90,12 +91,26 @@ func (g *Gauge) Max(v float64) {
 func (g *Gauge) Value() float64 { return g.v.Load() }
 
 // Histogram is a fixed-bucket histogram: counts per upper bound
-// (cumulative only at exposition), plus sum and count.
+// (cumulative only at exposition), plus sum and count. Each bucket
+// additionally retains the most recent exemplar — the trace ID of an
+// observation that landed in it — so a latency spike in an exposition
+// links back to a concrete trace.
 type Histogram struct {
 	bounds []float64
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	ex     []atomic.Pointer[Exemplar]
 	sum    atomicFloat
 	n      atomic.Int64
+}
+
+// Exemplar links a histogram bucket to the trace of a recent
+// observation. Exposed in the JSON snapshot and /v1/stats quantiles;
+// deliberately absent from the Prometheus text output, which stays
+// plain 0.0.4.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
+	UnixMS  int64   `json:"unix_ms"`
 }
 
 // Observe records one value.
@@ -104,6 +119,27 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.n.Add(1)
+}
+
+// ObserveEx records one value and, when traceID is non-empty, replaces
+// the containing bucket's exemplar. One pointer store beyond Observe;
+// with an empty traceID it is exactly Observe.
+func (h *Histogram) ObserveEx(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+	if traceID != "" && h.ex != nil {
+		h.ex[i].Store(&Exemplar{TraceID: traceID, Value: v, UnixMS: time.Now().UnixMilli()})
+	}
+}
+
+// exemplar returns bucket i's exemplar (nil when none was attached).
+func (h *Histogram) exemplar(i int) *Exemplar {
+	if h.ex == nil || i < 0 || i >= len(h.ex) {
+		return nil
+	}
+	return h.ex[i].Load()
 }
 
 // Count returns the number of observations.
@@ -172,7 +208,11 @@ func (f *family) cell(vals []string) *series {
 	case kindGauge:
 		s.g = &Gauge{}
 	case kindHistogram:
-		s.h = &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+		s.h = &Histogram{
+			bounds: f.bounds,
+			counts: make([]atomic.Int64, len(f.bounds)+1),
+			ex:     make([]atomic.Pointer[Exemplar], len(f.bounds)+1),
+		}
 	}
 	f.series[key] = s
 	return s
@@ -449,10 +489,12 @@ type SeriesSnapshot struct {
 }
 
 // BucketSnapshot is one histogram bucket ("le" as a string so "+Inf"
-// survives JSON).
+// survives JSON). Exemplar, when present, names the trace of the most
+// recent observation that landed in the bucket.
 type BucketSnapshot struct {
-	LE    string `json:"le"`
-	Count int64  `json:"count"`
+	LE       string    `json:"le"`
+	Count    int64     `json:"count"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // FamilySnapshot is one metric family of the JSON exposition.
@@ -489,9 +531,9 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 				n, sum := s.h.Count(), s.h.Sum()
 				ss.Count, ss.Sum = &n, &sum
 				for i, bound := range f.bounds {
-					ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: formatFloat(bound), Count: s.h.counts[i].Load()})
+					ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: formatFloat(bound), Count: s.h.counts[i].Load(), Exemplar: s.h.exemplar(i)})
 				}
-				ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: "+Inf", Count: s.h.counts[len(f.bounds)].Load()})
+				ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: "+Inf", Count: s.h.counts[len(f.bounds)].Load(), Exemplar: s.h.exemplar(len(f.bounds))})
 			}
 			fs.Series = append(fs.Series, ss)
 		}

@@ -70,6 +70,32 @@ func ParseClass(s string) (Class, error) {
 // pool chose to admit higher-priority work instead of running it.
 var ErrShed = errors.New("sched: job shed under load")
 
+// ShedError is the concrete terminal error of an evicted job; it
+// records which class's arrival forced the eviction, so a shed job's
+// status can name the pressure that displaced it. errors.Is(err,
+// ErrShed) matches it.
+type ShedError struct {
+	// By is the SLO class of the arriving job that evicted this one.
+	By Class
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("sched: job shed under load (evicted by %s arrival)", e.By)
+}
+
+// Is makes errors.Is(err, ErrShed) true for ShedError.
+func (e *ShedError) Is(target error) bool { return target == ErrShed }
+
+// ShedBy returns the class whose arrival evicted this task. ok is
+// false while the task is not terminal or was not shed.
+func (t *Task) ShedBy() (Class, bool) {
+	var se *ShedError
+	if errors.As(t.Err(), &se) {
+		return se.By, true
+	}
+	return 0, false
+}
+
 // WithClass assigns the task's SLO tier (default ClassStandard).
 func WithClass(c Class) SubmitOption {
 	return func(t *Task) {

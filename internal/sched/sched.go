@@ -108,11 +108,12 @@ func (s State) String() string {
 
 // Task is a submitted job's handle.
 type Task struct {
-	fn      Func
-	label   string
-	class   Class
-	onProg  func(v any)
-	onStart func()
+	fn       Func
+	label    string
+	class    Class
+	exemplar string // trace ID attached to latency observations
+	onProg   func(v any)
+	onStart  func()
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -145,6 +146,13 @@ func WithLabel(label string) SubmitOption {
 // immediately before the job function runs (job-lifecycle logging).
 func WithOnStart(cb func()) SubmitOption {
 	return func(t *Task) { t.onStart = cb }
+}
+
+// WithExemplar attaches a trace ID to the task's queue/run latency
+// histogram observations, so a latency-bucket exemplar in /v1/stats
+// names the trace of the job that landed there.
+func WithExemplar(traceID string) SubmitOption {
+	return func(t *Task) { t.exemplar = traceID }
 }
 
 // Label returns the task's label ("" if none).
@@ -378,8 +386,9 @@ func (p *Pool) Submit(fn Func, opts ...SubmitOption) (*Task, error) {
 	p.mu.Unlock()
 	if victim != nil {
 		// The victim goes terminal outside the queue lock: finishTask
-		// only touches the victim's own state and the pool atomics.
-		p.finishTask(victim, ErrShed, false)
+		// only touches the victim's own state and the pool atomics. The
+		// ShedError names the evicting class for the victim's status.
+		p.finishTask(victim, &ShedError{By: t.class}, false)
 	}
 	return t, nil
 }
@@ -536,7 +545,7 @@ func (p *Pool) runTask(t *Task) {
 	p.queueLatencyNS.Add(int64(t.started.Sub(t.submitted)))
 	p.queueLatencyN.Add(1)
 	if p.queueSeconds != nil {
-		p.queueSeconds.Observe(t.started.Sub(t.submitted).Seconds())
+		p.queueSeconds.ObserveEx(t.started.Sub(t.submitted).Seconds(), t.exemplar)
 	}
 	t.state.Store(int32(StateRunning))
 	p.running.Add(1)
@@ -578,7 +587,7 @@ func (p *Pool) finishTask(t *Task, err error, ran bool) {
 		p.runLatencyNS.Add(int64(t.finished.Sub(t.started)))
 		p.runLatencyN.Add(1)
 		if p.runSeconds != nil {
-			p.runSeconds.Observe(t.finished.Sub(t.started).Seconds())
+			p.runSeconds.ObserveEx(t.finished.Sub(t.started).Seconds(), t.exemplar)
 		}
 	}
 	t.err = err

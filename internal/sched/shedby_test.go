@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"avfsim/internal/obs"
+)
+
+// TestShedByRecordsEvictingClass: a shed victim's error names the
+// class whose arrival displaced it, ShedBy exposes it, and errors.Is
+// still matches the ErrShed sentinel.
+func TestShedByRecordsEvictingClass(t *testing.T) {
+	p := New(Options{Workers: 1, QueueCap: 1})
+	defer p.Shutdown(context.Background())
+	fn, release := block()
+	defer release()
+	running := mustSubmit(t, p, fn)
+	waitState(t, running, StateRunning)
+
+	victim := mustSubmit(t, p, fn, WithClass(ClassBatch))
+	mustSubmit(t, p, fn, WithClass(ClassCritical))
+
+	err := victim.Wait(context.Background())
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("victim err = %v, want ErrShed", err)
+	}
+	if !strings.Contains(err.Error(), "evicted by critical") {
+		t.Fatalf("shed error does not name the evicting class: %q", err)
+	}
+	by, ok := victim.ShedBy()
+	if !ok || by != ClassCritical {
+		t.Fatalf("ShedBy = (%v, %v), want (critical, true)", by, ok)
+	}
+
+	// A non-shed task reports no evictor.
+	release()
+	if err := running.Wait(context.Background()); err != nil {
+		t.Fatalf("running job err = %v", err)
+	}
+	if _, ok := running.ShedBy(); ok {
+		t.Fatal("done task reported a ShedBy class")
+	}
+}
+
+// TestExemplarReachesLatencyHistograms: a task submitted with
+// WithExemplar must surface its trace ID on the queue and run phase
+// histograms.
+func TestExemplarReachesLatencyHistograms(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(Options{Workers: 1, QueueCap: 8, Metrics: reg})
+	defer p.Shutdown(context.Background())
+
+	task := mustSubmit(t, p,
+		func(ctx context.Context, _ func(any)) error { return nil },
+		WithExemplar("deadbeefdeadbeefdeadbeefdeadbeef"))
+	if err := task.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	for _, h := range []*obs.Histogram{p.queueSeconds, p.runSeconds} {
+		_, ex := h.QuantileExemplar(0.5)
+		if ex != "deadbeefdeadbeefdeadbeefdeadbeef" {
+			t.Fatalf("latency histogram exemplar = %q, want the submitted trace ID", ex)
+		}
+	}
+
+	// Stats quantiles carry the exemplar through to /v1/stats.
+	s := p.Stats()
+	if s.QueueLatency == nil || s.QueueLatency.P50Exemplar != "deadbeefdeadbeefdeadbeefdeadbeef" {
+		t.Fatalf("Stats.QueueLatency = %+v, want p50 exemplar", s.QueueLatency)
+	}
+}

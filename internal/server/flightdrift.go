@@ -251,6 +251,10 @@ const dashboardHTML = `<!doctype html>
 <h1>avfd live AVF <span id="conn">connecting&hellip;</span></h1>
 <h2>per-interval AVF (online estimator)</h2>
 <div class="charts" id="charts"></div>
+<h2>SLO error budgets</h2>
+<table id="slo"><thead><tr>
+<th>class</th><th>objective</th><th>budget left</th><th>burn 5m</th><th>burn 1h</th><th>good</th><th>bad</th><th>recent violators</th>
+</tr></thead><tbody></tbody></table>
 <h2>drift monitor</h2>
 <table id="drift"><thead><tr>
 <th>stream</th><th>n</th><th>baseline</th><th>&sigma;</th><th>ewma</th><th>cusum&plusmn;</th><th>last</th><th>alarms</th>
@@ -351,6 +355,25 @@ function onState(ev) {
     ]});
   }
   fill("#alarms", arows);
+  var srows = [];
+  var slo = (st.stats && st.stats.slo && st.stats.slo.classes) || [];
+  for (var i = 0; i < slo.length; i++) {
+    var c = slo[i];
+    var viol = "";
+    var rv = c.recent_violators || [];
+    for (var k = 0; k < rv.length && k < 3; k++) {
+      viol += (k ? ", " : "") + rv[k].job + " (" + rv[k].outcome + ")";
+    }
+    srows.push({ alarm: c.fast_burn || c.slow_burn, cells: [
+      c.class,
+      (c.objective.target * 100) + "% < " + c.objective.latency_seconds + "s",
+      (c.budget_remaining * 100).toFixed(1) + "%",
+      fmt(c.fast.burn_rate) + (c.fast_burn ? " PAGE" : ""),
+      fmt(c.slow.burn_rate) + (c.slow_burn ? " TICKET" : ""),
+      c.good_total, c.bad_total, viol,
+    ]});
+  }
+  fill("#slo", srows);
   document.getElementById("sched").textContent = JSON.stringify(st.stats, null, 1);
 }
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"avfsim/internal/pipeline"
+	"avfsim/internal/span"
 	"avfsim/internal/store"
 )
 
@@ -71,6 +72,24 @@ func (s *Server) Recover() (resumed int, err error) {
 		if badPoint {
 			s.orphan(j, "recover: corrupt persisted interval record")
 			continue
+		}
+
+		// Trace continuity: the persisted traceparent pins the trace ID
+		// (status keeps answering with it), and a terminal job's span
+		// summary re-seeds the span ring so /v1/jobs/{id}/spans and
+		// /v1/traces keep serving across restarts.
+		if s.spans != nil {
+			if t, _, _, e := span.ParseTraceparent(spec.Traceparent); e == nil {
+				j.trace = t
+			}
+			if jr.Terminal() && jr.Trace != nil {
+				var spans []span.Span
+				if e := json.Unmarshal(jr.Trace, &spans); e == nil {
+					for _, sp := range spans {
+						s.spans.Record(sp)
+					}
+				}
+			}
 		}
 
 		if jr.Terminal() {

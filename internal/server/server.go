@@ -11,10 +11,13 @@
 //	GET    /v1/jobs/{id}/stream  NDJSON live stream, one line per estimate
 //	GET    /v1/jobs/{id}/trace   NDJSON injection-lifecycle trace (needs WithMetrics)
 //	GET    /v1/jobs/{id}/flight  NDJSON propagation traces (needs "flight": true)
+//	GET    /v1/jobs/{id}/spans   NDJSON request spans of the job's trace (needs WithSpans)
 //	DELETE /v1/jobs/{id}      cancel (idempotent)
 //	GET    /v1/healthz        liveness
 //	GET    /v1/stats          scheduler counters + queue saturation + job-state census
 //	GET    /v1/drift          drift-monitor snapshot: stream charts + alarm log
+//	GET    /v1/traces         trace summaries (?min_dur=&class=&state=&limit=; needs WithSpans)
+//	GET    /v1/slo            per-class error budgets + burn rates (needs WithSLO)
 //	GET    /metrics           Prometheus text exposition (needs WithMetrics)
 //	GET    /v1/metrics        same registry as JSON (needs WithMetrics)
 //	GET    /debug/avf         live dashboard (HTML; SSE feed at /debug/avf/stream)
@@ -40,6 +43,7 @@ import (
 	"avfsim/internal/obs"
 	"avfsim/internal/pipeline"
 	"avfsim/internal/sched"
+	"avfsim/internal/span"
 	"avfsim/internal/store"
 	"avfsim/internal/workload"
 )
@@ -75,6 +79,12 @@ type JobSpec struct {
 	// (terminal state "shed") to admit higher tiers, and rejected
 	// submissions get a class-dependent Retry-After.
 	SLOClass string `json:"slo_class,omitempty"`
+	// Traceparent is the job's W3C trace context ("00-<trace>-<span>-<flags>").
+	// Clients may set it (or send a traceparent header) to stitch the
+	// job into a distributed trace; otherwise the server mints one. The
+	// server rewrites it to the canonical value before persisting, so a
+	// job resumed after a crash stays on its original trace.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // class resolves the spec's SLO tier (empty = standard).
@@ -155,6 +165,11 @@ type JobStatus struct {
 	Intervals []IntervalPoint `json:"intervals"`
 	Result    *JobResult      `json:"result,omitempty"`
 	Error     string          `json:"error,omitempty"`
+	// TraceID is the job's trace (set when the server runs WithSpans).
+	TraceID string `json:"trace_id,omitempty"`
+	// ShedBy names the SLO class whose arrival evicted this job (only
+	// on state "shed").
+	ShedBy string `json:"shed_by,omitempty"`
 }
 
 // subCap buffers a stream subscriber; a client that falls this many
@@ -172,6 +187,18 @@ type job struct {
 	// flight records error-bit events for propagation-trace export (nil
 	// unless the spec asked for it).
 	flight *flight.Recorder
+
+	// Request tracing (zero values when the server runs without
+	// WithSpans): the job's trace identity, the remote parent span ID
+	// adopted from an inbound traceparent, and the in-flight span
+	// handles. root lives submit→terminal; queueSpan and dispatchSpan
+	// are guarded by mu because the submit handler, the worker's
+	// OnStart hook, and the watcher can all touch them.
+	trace        span.TraceID
+	parentSpan   span.SpanID
+	root         *span.Active
+	queueSpan    *span.Active
+	dispatchSpan *span.Active
 
 	// skipTo, set when the job was recovered from the WAL, maps structure
 	// name → count of intervals already persisted (and preloaded into
@@ -286,7 +313,7 @@ func (j *job) end(errMsg string) {
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStatus{
+	st := JobStatus{
 		ID:        j.id,
 		State:     j.state(),
 		Benchmark: j.spec.Benchmark,
@@ -294,7 +321,14 @@ func (j *job) status() JobStatus {
 		Intervals: append([]IntervalPoint(nil), j.points...),
 		Result:    j.result,
 		Error:     j.errMsg,
+		TraceID:   j.traceID(),
 	}
+	if j.task != nil {
+		if by, ok := j.task.ShedBy(); ok {
+			st.ShedBy = by.String()
+		}
+	}
+	return st
 }
 
 // Server is the avfd HTTP API over a sched.Pool.
@@ -310,6 +344,13 @@ type Server struct {
 	httpm          *obs.HTTPMetrics
 	injc           *obs.InjectionCounters
 	streamedPoints *obs.Counter
+
+	// spans is the bounded ring of completed request spans (nil without
+	// WithSpans — every recording site is nil-safe, so disabled tracing
+	// costs only a pointer check). slo is the per-class error-budget
+	// engine fed by terminal job outcomes (nil without WithSLO).
+	spans *span.Recorder
+	slo   *span.Engine
 
 	// drift watches the per-interval AVF streams (always on; metrics
 	// mirrors are nil without WithMetrics). hub feeds the SSE dashboard.
@@ -365,6 +406,24 @@ func WithMetrics(r *obs.Registry) Option {
 		s.evictedJobs = r.Counter("avfd_jobs_evicted_total",
 			"Terminal jobs removed by the retention policy (TTL or max-completed cap).")
 	}
+}
+
+// WithSpans turns on request tracing: every job gets a trace (adopted
+// from an inbound traceparent or minted at submit) whose spans —
+// admission, queue wait, dispatch, run, per-interval batches, WAL
+// appends, stream sessions — land in rec and serve GET
+// /v1/jobs/{id}/spans and GET /v1/traces. Terminal span summaries are
+// persisted when the server also runs WithStore.
+func WithSpans(rec *span.Recorder) Option {
+	return func(s *Server) { s.spans = rec }
+}
+
+// WithSLO wires the per-class error-budget engine: terminal job
+// outcomes feed eng, which serves GET /v1/slo, the slo block of
+// /v1/stats, and (WithMetrics) the avfd_slo_budget_remaining /
+// avfd_slo_burn_rate gauges.
+func WithSLO(eng *span.Engine) Option {
+	return func(s *Server) { s.slo = eng }
 }
 
 // WithStore makes the server durable: job specs, lifecycle transitions,
@@ -452,6 +511,23 @@ func New(pool *sched.Pool, opts ...Option) *Server {
 			"value", a.Value, "baseline", a.Mean, "sigma", a.Sigma, "up", a.Up)
 		s.hub.broadcast("alarm", a)
 	}))
+	// SLO gauges are sampled cells: exposition reads the live engine, so
+	// no goroutine keeps them fresh. Registered here (not in WithMetrics)
+	// because they need both the registry and the engine, whatever the
+	// option order.
+	if s.reg != nil && s.slo != nil {
+		budget := s.reg.GaugeVec("avfd_slo_budget_remaining",
+			"Fraction of the class's rolling 1h error budget still unspent.", "class")
+		burn := s.reg.GaugeVec("avfd_slo_burn_rate",
+			"Error-budget burn rate by class and window (1.0 = exactly on budget).",
+			"class", "window")
+		for _, class := range s.slo.Classes() {
+			class := class
+			budget.WithFunc(func() float64 { return s.slo.BudgetRemaining(class) }, class)
+			burn.WithFunc(func() float64 { return s.slo.BurnRate(class, "5m") }, class, "5m")
+			burn.WithFunc(func() float64 { return s.slo.BurnRate(class, "1h") }, class, "1h")
+		}
+	}
 	return s
 }
 
@@ -475,10 +551,13 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/jobs/{id}/stream", s.handleStream)
 	handle("GET /v1/jobs/{id}/trace", s.handleTrace)
 	handle("GET /v1/jobs/{id}/flight", s.handleFlight)
+	handle("GET /v1/jobs/{id}/spans", s.handleSpans)
 	handle("DELETE /v1/jobs/{id}", s.handleCancel)
 	handle("GET /v1/healthz", s.handleHealthz)
 	handle("GET /v1/stats", s.handleStats)
 	handle("GET /v1/drift", s.handleDrift)
+	handle("GET /v1/traces", s.handleTraces)
+	handle("GET /v1/slo", s.handleSLO)
 	handle("GET /debug/avf", s.handleDashboard)
 	handle("GET /debug/avf/stream", s.handleDashboardStream)
 	if s.reg != nil {
@@ -553,6 +632,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Admission control starts at the wire: a spec is a handful of
 	// fields, so cap the body before the decoder touches it.
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	admitStart := time.Now()
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -565,6 +645,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		return
+	}
+	// The spec's traceparent wins over the transport header: a spec is
+	// replayable (recovery re-reads it) while headers are not.
+	if spec.Traceparent == "" {
+		spec.Traceparent = r.Header.Get("traceparent")
 	}
 	rc, err := spec.runConfig()
 	if err != nil {
@@ -594,6 +679,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// shutdown, where retrying the same instance is pointless). The
 		// retry horizon is class-dependent: background tiers are asked to
 		// back off longer so interactive traffic sees the freed slots.
+		// A rejection burns error budget — it is the service failing to
+		// accept work the class was promised — so it feeds the SLO engine
+		// with the admission latency, never a run latency.
+		s.finishRejected(j, class, admitStart)
 		ps := s.pool.Stats()
 		retry := retryAfterSeconds(class)
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
@@ -603,23 +692,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			"queue_capacity":      ps.QueueCap,
 			"slo_class":           class.String(),
 			"retry_after_seconds": retry,
+			"trace_id":            j.traceID(),
 		})
 		return
 	case errors.Is(err, sched.ErrShutdown):
+		s.finishRejected(j, class, admitStart)
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	case err != nil:
+		s.finishRejected(j, class, admitStart)
 		writeError(w, http.StatusInternalServerError, "submit: %v", err)
 		return
+	}
+
+	// The admission span covers decode → validate → enqueue; recorded
+	// only now so rejected submissions carry status "rejected" instead.
+	if adm := s.spans.StartAt(j.trace, j.root.ID(), "admission", admitStart); adm != nil {
+		adm.SetJob(j.id, class.String())
+		adm.End("ok")
 	}
 
 	// Durability point: the spec frame is fsync'd before the 202 goes
 	// out, so every acknowledged job survives a crash. (Interval frames
 	// racing ahead of the spec frame are ignored by the store and simply
 	// re-derived at resume — harmless, since un-acked jobs carry no
-	// durability promise yet.)
+	// durability promise yet.) launch rewrote the spec's traceparent to
+	// its canonical value, so the persisted copy pins the trace.
 	if s.st != nil {
-		if err := s.st.AppendSpec(j.id, &spec, j.submitted); err != nil {
+		if err := s.st.AppendSpec(j.id, &j.spec, j.submitted); err != nil {
 			j.task.Cancel()
 			s.log.Error("persist job spec", "job", j.id, "error", err)
 			writeError(w, http.StatusInternalServerError, "persist job: %v", err)
@@ -628,7 +728,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.log.Info("job submitted", "job", j.id, "benchmark", spec.Benchmark, "state", j.state())
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": j.state()})
+	resp := map[string]string{"id": j.id, "state": j.state()}
+	if tid := j.traceID(); tid != "" {
+		resp["trace_id"] = tid
+		w.Header().Set("traceparent", j.spec.Traceparent)
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// finishRejected closes the trace of a submission the pool refused
+// (queue full, shutdown) and charges the rejection to the class's
+// error budget with the admission latency.
+func (s *Server) finishRejected(j *job, class sched.Class, admitStart time.Time) {
+	lat := time.Since(admitStart).Seconds()
+	if adm := s.spans.StartAt(j.trace, j.root.ID(), "admission", admitStart); adm != nil {
+		adm.SetJob(j.id, class.String())
+		adm.End("rejected")
+	}
+	j.root.End("rejected")
+	s.slo.Record(class.String(), "rejected", lat, j.id, j.traceID())
+}
+
+// traceID returns the job's trace ID as a hex string ("" when tracing
+// is off).
+func (j *job) traceID() string {
+	if j.trace.IsZero() {
+		return ""
+	}
+	return j.trace.String()
 }
 
 // retryAfterSeconds is the class-dependent 429 backoff hint: interactive
@@ -662,6 +789,33 @@ func (s *Server) effectiveDeadline(spec *JobSpec) time.Duration {
 // shared path of fresh submissions and WAL recovery; on success the job
 // is registered and a watcher goroutine owns its terminal transition.
 func (s *Server) launch(j *job, rc experiment.RunConfig) error {
+	// Recovery reuses this path, so re-derive the class here; a persisted
+	// spec with a class this build no longer knows falls back to standard
+	// rather than orphaning the job.
+	class, cerr := j.spec.class()
+	if cerr != nil {
+		class = sched.ClassStandard
+	}
+
+	// Trace identity: adopt the spec's traceparent (client-supplied or
+	// persisted by a previous boot) or mint one, then open the root
+	// span and rewrite the spec's traceparent to the canonical value —
+	// trace ID plus *this* root's span ID — so a job resumed after a
+	// crash chains its new root under the pre-crash one on the same
+	// trace.
+	if s.spans != nil {
+		if t, p, _, err := span.ParseTraceparent(j.spec.Traceparent); err == nil {
+			j.trace, j.parentSpan = t, p
+		} else {
+			// Per the trace-context spec an invalid traceparent restarts
+			// the trace rather than failing the request.
+			j.trace, j.parentSpan = span.MintTraceID(), span.SpanID{}
+		}
+		j.root = s.spans.StartAt(j.trace, j.parentSpan, "job", j.submitted)
+		j.root.SetJob(j.id, class.String())
+		j.spec.Traceparent = span.FormatTraceparent(j.trace, j.root.ID(), 0x01)
+	}
+
 	spec := j.spec
 	rc.OnInterval = func(est core.Estimate) {
 		pt := IntervalPoint{
@@ -683,8 +837,13 @@ func (s *Server) launch(j *job, rc experiment.RunConfig) error {
 		// WAL first, then fan-out: an estimate a client saw is always
 		// durable, so a crash can never un-deliver data.
 		if s.st != nil {
+			wal := s.spans.Start(j.trace, j.root.ID(), "wal")
 			if err := s.st.AppendInterval(j.id, &pt); err != nil && !errors.Is(err, store.ErrClosed) {
 				s.log.Error("persist interval", "job", j.id, "error", err)
+				wal.End("error")
+			} else if wal != nil {
+				wal.SetJob(j.id, class.String())
+				wal.End("ok")
 			}
 		}
 		j.publish(pt)
@@ -692,6 +851,19 @@ func (s *Server) launch(j *job, rc experiment.RunConfig) error {
 		// its binomial stderr) and the live dashboard.
 		s.observeDrift(avfStream(spec.Benchmark, pt.Structure), est.AVF, est.StdErr())
 		s.hub.broadcast("estimate", estimateEvent{Job: j.id, Benchmark: spec.Benchmark, IntervalPoint: pt})
+	}
+	if s.spans != nil {
+		// One span per completed estimation interval, stamped with the
+		// simulator's wall window (explicit instants: the estimator owns
+		// the clock reads, and only when the hook is installed).
+		rc.OnIntervalSpan = func(est core.Estimate, wallStart, wallEnd time.Time) {
+			a := s.spans.StartAt(j.trace, j.root.ID(), "interval", wallStart)
+			a.SetJob(j.id, class.String())
+			a.SetAttr("structure", est.Structure.String())
+			a.SetAttr("interval", strconv.Itoa(est.Interval))
+			a.SetAttr("avf", strconv.FormatFloat(est.AVF, 'g', 6, 64))
+			a.EndAt("ok", wallEnd)
+		}
 	}
 	if s.injc != nil {
 		j.tracer = obs.NewJobTracer(s.injc, 0)
@@ -701,15 +873,25 @@ func (s *Server) launch(j *job, rc experiment.RunConfig) error {
 		j.flight = flight.New(spec.FlightCap)
 		rc.Recorder = j.flight
 	}
-	// Recovery reuses this path, so re-derive the class here; a persisted
-	// spec with a class this build no longer knows falls back to standard
-	// rather than orphaning the job.
-	class, cerr := spec.class()
-	if cerr != nil {
-		class = sched.ClassStandard
-	}
 	deadline := s.effectiveDeadline(&spec)
+	// The queue span opens before Submit (its start is the enqueue
+	// instant) and is closed by whoever ends the wait: the worker's
+	// OnStart on dispatch, or the watcher when the job dies queued
+	// (shed/canceled). Set under j.mu — OnStart can fire before Submit
+	// returns.
+	j.mu.Lock()
+	j.queueSpan = s.spans.Start(j.trace, j.root.ID(), "queue")
+	j.queueSpan.SetJob(j.id, class.String())
+	j.mu.Unlock()
 	task, err := s.pool.Submit(func(ctx context.Context, _ func(any)) error {
+		// The worker thread has the task: the dispatch handoff is over,
+		// the run begins.
+		j.mu.Lock()
+		j.dispatchSpan.End("ok")
+		j.dispatchSpan = nil
+		j.mu.Unlock()
+		run := s.spans.Start(j.trace, j.root.ID(), "run")
+		run.SetJob(j.id, class.String())
 		if deadline > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, deadline)
@@ -717,8 +899,10 @@ func (s *Server) launch(j *job, rc experiment.RunConfig) error {
 		}
 		res, err := experiment.RunCtx(ctx, rc)
 		if err != nil {
+			run.End(outcomeOf(err))
 			return err
 		}
+		run.End("done")
 		j.setResult(res)
 		// The finished run carries the SoftArch reference series; feed
 		// the online-vs-reference gap to the divergence detectors.
@@ -729,7 +913,14 @@ func (s *Server) launch(j *job, rc experiment.RunConfig) error {
 		return nil
 	}, sched.WithLabel(j.id+" "+spec.Benchmark),
 		sched.WithClass(class),
+		sched.WithExemplar(j.traceID()),
 		sched.WithOnStart(func() {
+			j.mu.Lock()
+			j.queueSpan.End("ok")
+			j.queueSpan = nil
+			j.dispatchSpan = s.spans.Start(j.trace, j.root.ID(), "dispatch")
+			j.dispatchSpan.SetJob(j.id, class.String())
+			j.mu.Unlock()
 			s.log.Info("job started", "job", j.id, "benchmark", spec.Benchmark)
 			if s.st != nil {
 				if err := s.st.AppendState(j.id, "running", ""); err != nil && !errors.Is(err, store.ErrClosed) {
@@ -761,6 +952,7 @@ func (s *Server) watch(j *job) {
 	j.end(msg)
 
 	state := task.State().String()
+	s.closeTrace(j, task)
 	// A cancellation during drain is a checkpoint, not a verdict: the
 	// job's interval frames are durable and the next boot resumes it.
 	persistState := state
@@ -800,6 +992,71 @@ func (s *Server) watch(j *job) {
 		s.log.Warn("job failed", append(attrs, "error", msg)...)
 	}
 	s.sweepRetention(time.Now())
+}
+
+// outcomeOf maps a terminal task error to the span/SLO outcome noun. A
+// deadline-canceled run is its own outcome: the service ran out of
+// time, which burns budget, unlike a client's own cancel.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "done"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, sched.ErrShed):
+		return "shed"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return "failed"
+}
+
+// closeTrace ends the job's open spans with the terminal outcome and
+// charges it to the class's error budget. Runs once, from the watcher,
+// strictly after the task is terminal (so OnStart and the run fn have
+// already released their span handles).
+func (s *Server) closeTrace(j *job, task *sched.Task) {
+	outcome := outcomeOf(task.Err())
+	class := task.Class().String()
+
+	j.mu.Lock()
+	if j.queueSpan != nil { // died queued: shed or canceled before start
+		j.queueSpan.End(outcome)
+		j.queueSpan = nil
+	}
+	if j.dispatchSpan != nil {
+		j.dispatchSpan.End(outcome)
+		j.dispatchSpan = nil
+	}
+	j.mu.Unlock()
+
+	if j.root != nil {
+		if by, ok := task.ShedBy(); ok {
+			j.root.SetAttr("shed_by", by.String())
+		}
+		submitted, _, finished := task.Timing()
+		j.root.SetAttr("latency_seconds",
+			strconv.FormatFloat(finished.Sub(submitted).Seconds(), 'g', 6, 64))
+		j.root.EndAt(outcome, finished)
+	}
+
+	// Client cancels are excluded by design: a user abort is not a
+	// service failure. Deadline overruns are the service's miss and do
+	// count.
+	if s.slo != nil && outcome != "canceled" {
+		submitted, _, finished := task.Timing()
+		s.slo.Record(class, outcome, finished.Sub(submitted).Seconds(), j.id, j.traceID())
+	}
+
+	// Persist the terminal span summary so a restarted server still
+	// serves this job's trace.
+	if s.st != nil && s.spans != nil {
+		if spans := s.spans.ForJob(j.id); len(spans) > 0 {
+			if err := s.st.AppendTrace(j.id, spans); err != nil && !errors.Is(err, store.ErrClosed) {
+				s.log.Error("persist trace", "job", j.id, "error", err)
+			}
+		}
+	}
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -854,6 +1111,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 
+	// The stream session is a span on the job's trace: how long a client
+	// watched and how many estimates it absorbed.
+	points := 0
+	if ss := s.spans.Start(j.trace, j.root.ID(), "stream"); ss != nil {
+		ss.SetJob(j.id, j.className())
+		defer func() {
+			ss.SetAttr("points", strconv.Itoa(points))
+			ss.End("ok")
+		}()
+	}
+
 	enc := json.NewEncoder(w)
 	arm := s.armStreamWrite(w)
 	emit := func(ev StreamEvent) bool {
@@ -862,8 +1130,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return false
 		}
 		flusher.Flush() // one line per estimate: the client watches AVF evolve live
-		if ev.Type == "interval" && s.streamedPoints != nil {
-			s.streamedPoints.Inc()
+		if ev.Type == "interval" {
+			points++
+			if s.streamedPoints != nil {
+				s.streamedPoints.Inc()
+			}
 		}
 		return true
 	}
@@ -918,6 +1189,84 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j.tracer.WriteNDJSON(w)
 }
 
+// className resolves the job's SLO tier for span attribution, working
+// for live tasks and WAL-restored jobs alike.
+func (j *job) className() string {
+	if j.task != nil {
+		return j.task.Class().String()
+	}
+	c, err := j.spec.class()
+	if err != nil {
+		c = sched.ClassStandard
+	}
+	return c.String()
+}
+
+// handleSpans serves the job's retained request spans as NDJSON, one
+// span per line, sorted by start time.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if s.spans == nil {
+		writeError(w, http.StatusNotFound, "span recording disabled (server built without WithSpans)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	s.armStreamWrite(w)() // one bulk write: a single rolling deadline
+	span.WriteNDJSON(w, s.spans.ForJob(j.id))
+}
+
+// handleTraces serves trace summaries, newest first. Query params:
+// min_dur (seconds, float), class, state filter; limit bounds the
+// result (default 100).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.spans == nil {
+		writeError(w, http.StatusNotFound, "span recording disabled (server built without WithSpans)")
+		return
+	}
+	q := r.URL.Query()
+	var minDur float64
+	if v := q.Get("min_dur"); v != "" {
+		d, err := strconv.ParseFloat(v, 64)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "bad min_dur %q", v)
+			return
+		}
+		minDur = d
+	}
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	traces := s.spans.Traces(minDur, q.Get("class"), q.Get("state"), limit)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces":  traces,
+		"spans":   s.spans.Len(),
+		"dropped": s.spans.Dropped(),
+	})
+}
+
+// handleSLO serves the per-class error-budget snapshot: rolling 5m/1h
+// windows, burn rates against the page/ticket thresholds, remaining
+// budget, and the recent budget-burning jobs with their trace IDs.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		writeError(w, http.StatusNotFound, "SLO accounting disabled (server built without WithSLO)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.slo.Snapshot())
+}
+
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"metrics": s.reg.Snapshot()})
 }
@@ -961,6 +1310,16 @@ func (s *Server) statsPayload() map[string]any {
 		"classes": ps.Classes,
 		"jobs":    map[string]any{"total": total, "by_state": census},
 		"drift":   map[string]any{"total_alarms": s.drift.TotalAlarms()},
+	}
+	if s.spans != nil {
+		out["spans"] = map[string]any{
+			"retained": s.spans.Len(),
+			"total":    s.spans.Total(),
+			"dropped":  s.spans.Dropped(),
+		}
+	}
+	if s.slo != nil {
+		out["slo"] = s.slo.Snapshot()
 	}
 	if s.st != nil {
 		out["store"] = map[string]any{

@@ -1,0 +1,329 @@
+// SLO error budgets and burn-rate accounting over terminal job
+// outcomes, in the multi-window style of the Google SRE workbook: a
+// fast (5m) window catches sudden budget burn, a slow (1h) window
+// catches sustained erosion, and the remaining budget is read off the
+// slow window. Everything is per SLO class, driven by the terminal
+// span events the server emits, with an injectable clock for tests.
+
+package span
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Objective declares one class's service-level objective: a job is
+// "good" when it completes (state done) within LatencySeconds, and
+// Target is the fraction of jobs that must be good. 1-Target is the
+// error budget.
+type Objective struct {
+	LatencySeconds float64 `json:"latency_seconds"`
+	Target         float64 `json:"target"`
+}
+
+// Burn-rate alert thresholds, per the SRE-workbook multiwindow
+// recipe: a burn rate of 1.0 consumes exactly the budget over the
+// window; 14.4 over 5 minutes exhausts a 30-day budget in ~2 days
+// (page), 3.0 over an hour exhausts it in 10 days (ticket).
+const (
+	FastBurnThreshold = 14.4
+	SlowBurnThreshold = 3.0
+
+	fastWindow = 5 * time.Minute
+	slowWindow = time.Hour
+)
+
+// Violator identifies one budget-burning job so an SLO regression
+// links back to a concrete trace.
+type Violator struct {
+	Job            string  `json:"job"`
+	Trace          string  `json:"trace_id,omitempty"`
+	Outcome        string  `json:"outcome"`
+	LatencySeconds float64 `json:"latency_seconds"`
+}
+
+const maxViolators = 8
+
+// secBucket accumulates one second of outcomes.
+type secBucket struct{ good, bad int32 }
+
+// window is a rolling per-second ring covering len(buckets) seconds.
+type window struct {
+	buckets []secBucket
+	lastSec int64 // unix second the cursor points at (0 = empty)
+}
+
+func newWindow(d time.Duration) *window {
+	return &window{buckets: make([]secBucket, int(d/time.Second))}
+}
+
+// advance moves the cursor to unix second sec, zeroing skipped
+// buckets.
+func (w *window) advance(sec int64) {
+	n := int64(len(w.buckets))
+	if w.lastSec == 0 || sec-w.lastSec >= n {
+		for i := range w.buckets {
+			w.buckets[i] = secBucket{}
+		}
+		w.lastSec = sec
+		return
+	}
+	for s := w.lastSec + 1; s <= sec; s++ {
+		w.buckets[s%n] = secBucket{}
+	}
+	if sec > w.lastSec {
+		w.lastSec = sec
+	}
+}
+
+func (w *window) add(sec int64, good bool) {
+	w.advance(sec)
+	b := &w.buckets[sec%int64(len(w.buckets))]
+	if good {
+		b.good++
+	} else {
+		b.bad++
+	}
+}
+
+func (w *window) sum(sec int64) (good, bad int64) {
+	w.advance(sec)
+	for i := range w.buckets {
+		good += int64(w.buckets[i].good)
+		bad += int64(w.buckets[i].bad)
+	}
+	return good, bad
+}
+
+// classBudget is the per-class accounting state.
+type classBudget struct {
+	obj       Objective
+	fast      *window
+	slow      *window
+	good, bad int64 // cumulative since start
+	violators []Violator
+	vhead     int
+}
+
+// Engine maintains per-class error budgets. Classes are fixed at
+// construction; outcomes for unknown classes are ignored.
+type Engine struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	order   []string
+	classes map[string]*classBudget
+}
+
+// DefaultObjectives returns the built-in per-class objectives used
+// when avfd runs without an SLO config: tighter latency and
+// availability for higher classes, a loose floor for batch.
+func DefaultObjectives() map[string]Objective {
+	return map[string]Objective{
+		"critical":  {LatencySeconds: 60, Target: 0.999},
+		"standard":  {LatencySeconds: 120, Target: 0.99},
+		"sheddable": {LatencySeconds: 300, Target: 0.95},
+		"batch":     {LatencySeconds: 600, Target: 0.80},
+	}
+}
+
+// ValidateObjectives rejects non-positive latency bounds and targets
+// outside (0, 1).
+func ValidateObjectives(objs map[string]Objective) error {
+	for class, o := range objs {
+		if o.LatencySeconds <= 0 {
+			return fmt.Errorf("span: slo class %q: latency_seconds must be > 0", class)
+		}
+		if o.Target <= 0 || o.Target >= 1 {
+			return fmt.Errorf("span: slo class %q: target must be in (0, 1)", class)
+		}
+	}
+	return nil
+}
+
+// NewEngine builds an engine for the given objectives.
+func NewEngine(objs map[string]Objective) *Engine {
+	e := &Engine{now: time.Now, classes: make(map[string]*classBudget, len(objs))}
+	for class := range objs {
+		e.order = append(e.order, class)
+	}
+	sort.Strings(e.order)
+	for _, class := range e.order {
+		e.classes[class] = &classBudget{
+			obj:  objs[class],
+			fast: newWindow(fastWindow),
+			slow: newWindow(slowWindow),
+		}
+	}
+	return e
+}
+
+// SetNow injects a clock (tests only).
+func (e *Engine) SetNow(now func() time.Time) {
+	e.mu.Lock()
+	e.now = now
+	e.mu.Unlock()
+}
+
+// Record accounts one terminal job outcome. outcome is the terminal
+// state (done | failed | shed | deadline | rejected); a job is good
+// iff it is done within the class's latency bound. Client-initiated
+// cancellations are the caller's to exclude — a user abort is not a
+// service failure. Nil-safe.
+func (e *Engine) Record(class, outcome string, latencySeconds float64, job, trace string) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cb := e.classes[class]
+	if cb == nil {
+		return
+	}
+	sec := e.now().Unix()
+	good := outcome == "done" && latencySeconds <= cb.obj.LatencySeconds
+	cb.fast.add(sec, good)
+	cb.slow.add(sec, good)
+	if good {
+		cb.good++
+		return
+	}
+	cb.bad++
+	v := Violator{Job: job, Trace: trace, Outcome: outcome, LatencySeconds: latencySeconds}
+	if len(cb.violators) < maxViolators {
+		cb.violators = append(cb.violators, v)
+	} else {
+		cb.violators[cb.vhead] = v
+		cb.vhead = (cb.vhead + 1) % maxViolators
+	}
+}
+
+// WindowStats is one window's reduction.
+type WindowStats struct {
+	Window      string  `json:"window"`
+	Total       int64   `json:"total"`
+	Bad         int64   `json:"bad"`
+	BadFraction float64 `json:"bad_fraction"`
+	BurnRate    float64 `json:"burn_rate"`
+}
+
+// ClassStatus is one class's budget position.
+type ClassStatus struct {
+	Class     string      `json:"class"`
+	Objective Objective   `json:"objective"`
+	Fast      WindowStats `json:"fast"`
+	Slow      WindowStats `json:"slow"`
+	// BudgetRemaining is the fraction of the slow-window error budget
+	// still unspent, clamped to [0, 1].
+	BudgetRemaining float64    `json:"budget_remaining"`
+	FastBurn        bool       `json:"fast_burn"`
+	SlowBurn        bool       `json:"slow_burn"`
+	GoodTotal       int64      `json:"good_total"`
+	BadTotal        int64      `json:"bad_total"`
+	RecentViolators []Violator `json:"recent_violators,omitempty"`
+}
+
+// Snapshot is the full engine state served at GET /v1/slo.
+type Snapshot struct {
+	Time    time.Time     `json:"time"`
+	Classes []ClassStatus `json:"classes"`
+}
+
+func windowStats(name string, w *window, sec int64, budget float64) WindowStats {
+	good, bad := w.sum(sec)
+	ws := WindowStats{Window: name, Total: good + bad, Bad: bad}
+	if ws.Total > 0 {
+		ws.BadFraction = float64(bad) / float64(ws.Total)
+		ws.BurnRate = ws.BadFraction / budget
+	}
+	return ws
+}
+
+func (e *Engine) classStatus(class string, cb *classBudget, sec int64) ClassStatus {
+	budget := 1 - cb.obj.Target
+	st := ClassStatus{
+		Class:     class,
+		Objective: cb.obj,
+		Fast:      windowStats("5m", cb.fast, sec, budget),
+		Slow:      windowStats("1h", cb.slow, sec, budget),
+		GoodTotal: cb.good,
+		BadTotal:  cb.bad,
+	}
+	st.FastBurn = st.Fast.BurnRate >= FastBurnThreshold
+	st.SlowBurn = st.Slow.BurnRate >= SlowBurnThreshold
+	st.BudgetRemaining = 1 - st.Slow.BurnRate
+	if st.BudgetRemaining < 0 {
+		st.BudgetRemaining = 0
+	}
+	if st.BudgetRemaining > 1 {
+		st.BudgetRemaining = 1
+	}
+	if n := len(cb.violators); n > 0 {
+		st.RecentViolators = make([]Violator, 0, n)
+		for i := 0; i < n; i++ {
+			st.RecentViolators = append(st.RecentViolators, cb.violators[(cb.vhead+i)%n])
+		}
+	}
+	return st
+}
+
+// Snapshot reduces every class at the current clock. Nil-safe (nil
+// engine returns nil).
+func (e *Engine) Snapshot() *Snapshot {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	sec := now.Unix()
+	snap := &Snapshot{Time: now, Classes: make([]ClassStatus, 0, len(e.order))}
+	for _, class := range e.order {
+		snap.Classes = append(snap.Classes, e.classStatus(class, e.classes[class], sec))
+	}
+	return snap
+}
+
+// Classes lists the configured class names, sorted.
+func (e *Engine) Classes() []string {
+	if e == nil {
+		return nil
+	}
+	return append([]string(nil), e.order...)
+}
+
+// BudgetRemaining returns the class's remaining slow-window budget
+// fraction (1 when the class is unknown or nothing was recorded) —
+// the avfd_slo_budget_remaining gauge.
+func (e *Engine) BudgetRemaining(class string) float64 {
+	if e == nil {
+		return 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cb := e.classes[class]
+	if cb == nil {
+		return 1
+	}
+	return e.classStatus(class, cb, e.now().Unix()).BudgetRemaining
+}
+
+// BurnRate returns the class's burn rate over window "5m" or "1h" —
+// the avfd_slo_burn_rate gauge.
+func (e *Engine) BurnRate(class, win string) float64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cb := e.classes[class]
+	if cb == nil {
+		return 0
+	}
+	st := e.classStatus(class, cb, e.now().Unix())
+	if win == "5m" {
+		return st.Fast.BurnRate
+	}
+	return st.Slow.BurnRate
+}

@@ -1,0 +1,198 @@
+package span
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock steps a deterministic clock for engine tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func newTestEngine(c *fakeClock) *Engine {
+	e := NewEngine(map[string]Objective{
+		"critical": {LatencySeconds: 10, Target: 0.99},
+		"batch":    {LatencySeconds: 100, Target: 0.80},
+	})
+	e.SetNow(c.now)
+	return e
+}
+
+func TestEngineAllGood(t *testing.T) {
+	c := newClock()
+	e := newTestEngine(c)
+	for i := 0; i < 50; i++ {
+		e.Record("critical", "done", 1.0, fmt.Sprintf("job-%d", i), "t")
+		c.advance(time.Second)
+	}
+	snap := e.Snapshot()
+	if len(snap.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(snap.Classes))
+	}
+	var crit ClassStatus
+	for _, cs := range snap.Classes {
+		if cs.Class == "critical" {
+			crit = cs
+		}
+	}
+	if crit.BadTotal != 0 || crit.GoodTotal != 50 {
+		t.Fatalf("good/bad = %d/%d", crit.GoodTotal, crit.BadTotal)
+	}
+	if crit.BudgetRemaining != 1 {
+		t.Fatalf("budget = %v, want 1", crit.BudgetRemaining)
+	}
+	if crit.Fast.BurnRate != 0 || crit.Slow.BurnRate != 0 {
+		t.Fatalf("burn rates nonzero on all-good stream: %+v", crit)
+	}
+	if crit.FastBurn || crit.SlowBurn {
+		t.Fatal("alerts fired on all-good stream")
+	}
+}
+
+func TestEngineLatencyViolationIsBad(t *testing.T) {
+	c := newClock()
+	e := newTestEngine(c)
+	e.Record("critical", "done", 11.0, "slow-job", "trace-slow") // over 10s bound
+	snap := e.Snapshot()
+	cs := classOf(t, snap, "critical")
+	if cs.BadTotal != 1 {
+		t.Fatalf("latency violation not counted bad: %+v", cs)
+	}
+	if len(cs.RecentViolators) != 1 || cs.RecentViolators[0].Job != "slow-job" ||
+		cs.RecentViolators[0].Trace != "trace-slow" {
+		t.Fatalf("violators = %+v", cs.RecentViolators)
+	}
+}
+
+func TestEngineBurnRatesAndAlerts(t *testing.T) {
+	c := newClock()
+	e := newTestEngine(c)
+	// critical budget = 0.01. 30% bad => burn rate 30 in both windows:
+	// above both thresholds.
+	for i := 0; i < 100; i++ {
+		outcome := "done"
+		if i%10 < 3 {
+			outcome = "failed"
+		}
+		e.Record("critical", outcome, 1.0, fmt.Sprintf("j%d", i), "")
+		c.advance(time.Second)
+	}
+	cs := classOf(t, e.Snapshot(), "critical")
+	if cs.Fast.Bad != 30 || cs.Fast.Total != 100 {
+		t.Fatalf("fast window = %+v", cs.Fast)
+	}
+	wantBurn := 0.3 / 0.01
+	if !close(cs.Fast.BurnRate, wantBurn) || !close(cs.Slow.BurnRate, wantBurn) {
+		t.Fatalf("burn rates = %v/%v, want %v", cs.Fast.BurnRate, cs.Slow.BurnRate, wantBurn)
+	}
+	if !cs.FastBurn || !cs.SlowBurn {
+		t.Fatalf("alerts did not fire: %+v", cs)
+	}
+	if cs.BudgetRemaining != 0 {
+		t.Fatalf("budget = %v, want 0 (clamped)", cs.BudgetRemaining)
+	}
+
+	// The batch class saw nothing: full budget, no alerts.
+	b := classOf(t, e.Snapshot(), "batch")
+	if b.BudgetRemaining != 1 || b.FastBurn || b.SlowBurn {
+		t.Fatalf("idle class disturbed: %+v", b)
+	}
+}
+
+func TestEngineWindowsExpire(t *testing.T) {
+	c := newClock()
+	e := newTestEngine(c)
+	e.Record("critical", "shed", 0.5, "j0", "")
+	// After 6 minutes the failure has left the 5m window but not the 1h.
+	c.advance(6 * time.Minute)
+	cs := classOf(t, e.Snapshot(), "critical")
+	if cs.Fast.Total != 0 {
+		t.Fatalf("fast window did not expire: %+v", cs.Fast)
+	}
+	if cs.Slow.Bad != 1 {
+		t.Fatalf("slow window lost the sample: %+v", cs.Slow)
+	}
+	// After another hour everything has rolled off; cumulative totals
+	// remain.
+	c.advance(time.Hour)
+	cs = classOf(t, e.Snapshot(), "critical")
+	if cs.Slow.Total != 0 || cs.BadTotal != 1 {
+		t.Fatalf("slow window did not expire cleanly: %+v", cs)
+	}
+	if cs.BudgetRemaining != 1 {
+		t.Fatalf("budget after expiry = %v, want 1", cs.BudgetRemaining)
+	}
+}
+
+func TestEngineViolatorRingBound(t *testing.T) {
+	c := newClock()
+	e := newTestEngine(c)
+	for i := 0; i < 20; i++ {
+		e.Record("batch", "shed", 1, fmt.Sprintf("j%02d", i), "")
+	}
+	cs := classOf(t, e.Snapshot(), "batch")
+	if len(cs.RecentViolators) != maxViolators {
+		t.Fatalf("violators = %d, want %d", len(cs.RecentViolators), maxViolators)
+	}
+	// Oldest retained first, newest last.
+	if cs.RecentViolators[0].Job != "j12" || cs.RecentViolators[7].Job != "j19" {
+		t.Fatalf("violator window wrong: %+v", cs.RecentViolators)
+	}
+}
+
+func TestEngineAccessorsAndNilSafety(t *testing.T) {
+	c := newClock()
+	e := newTestEngine(c)
+	e.Record("critical", "failed", 1, "j", "")
+	if got := e.BudgetRemaining("critical"); got != 0 {
+		t.Fatalf("BudgetRemaining = %v, want 0 (one failure, tiny budget)", got)
+	}
+	if got := e.BurnRate("critical", "5m"); got <= 0 {
+		t.Fatalf("BurnRate(5m) = %v, want > 0", got)
+	}
+	if got := e.BudgetRemaining("nope"); got != 1 {
+		t.Fatalf("unknown class budget = %v, want 1", got)
+	}
+	e.Record("nope", "done", 1, "j", "") // unknown class ignored, no panic
+
+	var nilE *Engine
+	nilE.Record("critical", "done", 1, "j", "")
+	if nilE.Snapshot() != nil || nilE.BudgetRemaining("x") != 1 || nilE.BurnRate("x", "5m") != 0 {
+		t.Fatal("nil engine misbehaved")
+	}
+}
+
+func TestValidateObjectives(t *testing.T) {
+	if err := ValidateObjectives(DefaultObjectives()); err != nil {
+		t.Fatalf("default objectives invalid: %v", err)
+	}
+	bad := []map[string]Objective{
+		{"x": {LatencySeconds: 0, Target: 0.9}},
+		{"x": {LatencySeconds: 1, Target: 0}},
+		{"x": {LatencySeconds: 1, Target: 1}},
+	}
+	for _, objs := range bad {
+		if err := ValidateObjectives(objs); err == nil {
+			t.Errorf("ValidateObjectives(%+v) accepted invalid objective", objs)
+		}
+	}
+}
+
+func classOf(t *testing.T, snap *Snapshot, class string) ClassStatus {
+	t.Helper()
+	for _, cs := range snap.Classes {
+		if cs.Class == class {
+			return cs
+		}
+	}
+	t.Fatalf("class %q not in snapshot", class)
+	return ClassStatus{}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

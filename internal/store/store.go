@@ -47,6 +47,7 @@ const (
 	KindState    = "state"    // lifecycle transition: State (+ Error)
 	KindInterval = "interval" // one per-interval estimate: Data = point
 	KindResult   = "result"   // final series: Data = result
+	KindTrace    = "trace"    // terminal span summary: Data = []span JSON
 	KindEvict    = "evict"    // retention removed the job
 )
 
@@ -77,6 +78,11 @@ type JobRecord struct {
 	// order — the job's checkpoint: a resumed run skips re-emitting them.
 	Intervals []json.RawMessage `json:"intervals,omitempty"`
 	Result    json.RawMessage   `json:"result,omitempty"`
+	// Trace is the job's terminal span summary (the retained spans of
+	// its trace at completion), persisted so a restarted server can
+	// re-seed its span ring and keep /v1/jobs/{id}/spans answering for
+	// jobs that finished before the restart.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // Terminal reports whether the record's last persisted state is a clean
@@ -309,6 +315,10 @@ func (s *Store) apply(rec *Record) {
 		if jr := s.jobs[rec.Job]; jr != nil {
 			jr.Result = rec.Data
 		}
+	case KindTrace:
+		if jr := s.jobs[rec.Job]; jr != nil {
+			jr.Trace = rec.Data
+		}
 	case KindEvict:
 		if _, ok := s.jobs[rec.Job]; ok {
 			delete(s.jobs, rec.Job)
@@ -402,6 +412,16 @@ func (s *Store) AppendResult(job string, result any) error {
 		return fmt.Errorf("store: marshal result: %w", err)
 	}
 	return s.append(&Record{Kind: KindResult, Job: job, Data: data})
+}
+
+// AppendTrace persists a terminal job's span summary (trace
+// continuity across restarts).
+func (s *Store) AppendTrace(job string, trace any) error {
+	data, err := json.Marshal(trace)
+	if err != nil {
+		return fmt.Errorf("store: marshal trace: %w", err)
+	}
+	return s.append(&Record{Kind: KindTrace, Job: job, Data: data})
 }
 
 // Evict removes a job from the store (retention). The history frames

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the avfd daemon: build it, boot it, run a
-# flight-recorded estimation job, and assert the observability surface
-# works — /metrics families, /v1/drift streams, the /debug/avf
-# dashboard, and the flight export, whose propagation traces must
-# reconcile with the estimator's own per-interval counters.
+# flight-recorded estimation job submitted with an injected W3C
+# traceparent, and assert the observability surface works — /metrics
+# families, /v1/drift streams, the /debug/avf dashboard, the flight
+# export (whose propagation traces must reconcile with the estimator's
+# own per-interval counters), the job's span tree (which must carry the
+# injected trace ID end to end and reconcile with the job status), and
+# /v1/slo. The span NDJSON is left at $SPAN_OUT (default
+# avfd-spans.ndjson) for the CI workflow to archive.
 #
 # A second leg exercises crash recovery: a durable daemon (-data-dir)
 # is SIGKILLed mid-job, restarted on the same directory, and the
@@ -24,6 +28,12 @@ BIN="${TMPDIR:-/tmp}/avfd-smoke-$$"
 DATA_DIR=""
 CLEANUP_PIDS=""
 JOB_SPEC='{"benchmark":"bzip2","scale":0.02,"seed":3,"m":400,"n":50,"intervals":3,"flight":true}'
+# Injected W3C trace context: the daemon must adopt this trace ID and
+# chain the job's root span under the caller span.
+TRACE_ID="4bf92f3577b34da6a3ce929d0e0e4736"
+PARENT_SPAN="00f067aa0ba902b7"
+TRACEPARENT="00-$TRACE_ID-$PARENT_SPAN-01"
+SPAN_OUT="${SPAN_OUT:-avfd-spans.ndjson}"
 # Long enough (40 intervals x 100k cycles) that the SIGKILL below lands
 # mid-run with checkpoints already durable and plenty still to go.
 RECOVERY_SPEC='{"benchmark":"bzip2","scale":0.02,"seed":7,"m":2000,"n":50,"intervals":40}'
@@ -95,10 +105,12 @@ CLEANUP_PIDS="$AVFD_PID"
 wait_healthy "$BASE" || fail "daemon never became healthy on $ADDR"
 echo "ok: daemon healthy"
 
-SUBMIT=$(curl -fsS "$BASE/v1/jobs" -d "$JOB_SPEC")
+SUBMIT=$(curl -fsS "$BASE/v1/jobs" -H "traceparent: $TRACEPARENT" -d "$JOB_SPEC")
 JOB=$(printf '%s' "$SUBMIT" | json_str id)
 [ -n "$JOB" ] || fail "submit returned no job id: $SUBMIT"
-echo "ok: submitted $JOB"
+[ "$(printf '%s' "$SUBMIT" | json_str trace_id)" = "$TRACE_ID" ] ||
+    fail "submit response did not adopt injected trace id: $SUBMIT"
+echo "ok: submitted $JOB (trace $TRACE_ID adopted)"
 
 STATE=""
 for i in $(seq 1 300); do
@@ -145,6 +157,58 @@ GOT_CLOSED=$(printf '%s\n' "$FLIGHT" | grep -cE '"outcome":"(failure|masked|pend
 [ "$GOT_CLOSED" -eq "$WANT_CLOSED" ] ||
     fail "flight closed traces ($GOT_CLOSED) != estimator injections ($WANT_CLOSED)"
 echo "ok: flight traces reconcile ($GOT_CLOSED closed, $GOT_FAIL failures)"
+
+# ---------------------------------------------------------------------
+# Span leg: the injected traceparent must round-trip through the job
+# status and every recorded span, and the span tree must reconcile
+# with the job status — one admission/queue/dispatch/run span, one
+# interval span per estimate, root chained under the caller's span and
+# ending with the job's terminal state.
+# ---------------------------------------------------------------------
+
+[ "$(printf '%s' "$STATUS" | json_str trace_id)" = "$TRACE_ID" ] ||
+    fail "job status trace_id is not the injected trace"
+
+# The watcher goroutine records the root span just after the status
+# flips terminal; poll briefly for it.
+for i in $(seq 1 50); do
+    curl -fsS "$BASE/v1/jobs/$JOB/spans" >"$SPAN_OUT"
+    grep -q '"name":"job"' "$SPAN_OUT" && break
+    sleep 0.1
+done
+grep -q '"name":"job"' "$SPAN_OUT" || fail "root job span never appeared in the export"
+SPAN_LINES=$(wc -l <"$SPAN_OUT")
+OFF_TRACE=$(grep -cv "\"trace_id\":\"$TRACE_ID\"" "$SPAN_OUT" || true)
+[ "$OFF_TRACE" -eq 0 ] || fail "$OFF_TRACE of $SPAN_LINES spans carry a foreign trace id"
+for name in admission queue dispatch run; do
+    n=$(grep -c "\"name\":\"$name\"" "$SPAN_OUT" || true)
+    [ "$n" -eq 1 ] || fail "expected exactly one '$name' span, got $n"
+done
+ROOT=$(grep '"name":"job"' "$SPAN_OUT")
+[ "$(printf '%s' "$ROOT" | json_str parent_id)" = "$PARENT_SPAN" ] ||
+    fail "root span not chained under the caller span: $ROOT"
+[ "$(printf '%s' "$ROOT" | json_str status)" = "$STATE" ] ||
+    fail "root span status does not match job state '$STATE': $ROOT"
+# One interval span per checkpointed estimate: intervals x 4
+# structures ("start_cycle" appears only in interval points, not in
+# the final series blocks).
+WANT_IV=$(printf '%s' "$STATUS" | grep -c '"start_cycle"' || true)
+GOT_IV=$(grep -c '"name":"interval"' "$SPAN_OUT" || true)
+[ "$GOT_IV" -eq "$WANT_IV" ] ||
+    fail "interval spans ($GOT_IV) != status estimates ($WANT_IV)"
+echo "ok: span tree reconciles ($SPAN_LINES spans, $GOT_IV intervals) -> $SPAN_OUT"
+
+curl -fsS "$BASE/v1/traces" | grep -q "$TRACE_ID" ||
+    fail "/v1/traces does not list the injected trace"
+echo "ok: /v1/traces lists the trace"
+
+SLO=$(curl -fsS "$BASE/v1/slo")
+printf '%s' "$SLO" | grep -q '"class": *"standard"' || fail "/v1/slo missing standard class"
+GOOD=$(printf '%s' "$SLO" | json_int_sum good_total)
+[ "$GOOD" -ge 1 ] || fail "/v1/slo recorded no good completions: $SLO"
+printf '%s\n' "$METRICS" | grep -q '^avfd_slo_budget_remaining{' ||
+    fail "/metrics missing avfd_slo_budget_remaining"
+echo "ok: /v1/slo charged the completed job ($GOOD good)"
 
 # ---------------------------------------------------------------------
 # Crash-recovery leg: kill -9 a durable daemon mid-job, restart on the

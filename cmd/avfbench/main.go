@@ -16,7 +16,12 @@
 // estimate into a bounded ring, the write avfd makes when -spans is on:
 // estimator+span and fused+span. With -sched two scheduler-dispatch
 // scenarios compare single-class submission against a four-SLO-class
-// mix (ns per dispatched task): sched-single and sched-classes.
+// mix (ns per dispatched task): sched-single and sched-classes. With
+// -lanes 8,32,64 the estimator and fused scenarios are re-measured with
+// the multi-lane injection engine (estimator+lanes<k>, fused+lanes<k>);
+// the inj/sec column — injections concluded per wall-second — is the
+// lane engine's headline throughput, with the plain estimator scenario
+// as the lanes=1 baseline.
 //
 // Each scenario simulates the same workload for a fixed cycle budget
 // after a warm-up, reporting ns/cycle, cycles/sec and allocation rates.
@@ -34,6 +39,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"avfsim/internal/config"
@@ -63,6 +69,9 @@ type scenarioDef struct {
 	flight    bool
 	wal       bool
 	span      bool
+	// lanes > 1 runs the estimator's multi-lane injection engine with
+	// that many concurrent experiments (see core.Options.Lanes).
+	lanes int
 }
 
 var scenarios = []scenarioDef{
@@ -133,6 +142,7 @@ func main() {
 		doWAL     = flag.Bool("wal", false, "also measure estimator/fused with per-interval WAL checkpointing attached")
 		doSpan    = flag.Bool("span", false, "also measure estimator/fused with per-interval request-span recording attached")
 		doSched   = flag.Bool("sched", false, "also measure scheduler dispatch: single-class vs per-SLO-class queues (ns per task)")
+		doLanes   = flag.String("lanes", "", "comma-separated lane counts >1 (e.g. 8,32,64): also measure estimator/fused with the multi-lane injection engine")
 	)
 	flag.Parse()
 	if *quick {
@@ -169,8 +179,24 @@ func main() {
 	if *doSpan {
 		defs = append(defs, spanScenarios...)
 	}
-	fmt.Printf("%-16s %12s %14s %12s %12s %8s\n",
-		"scenario", "ns/cycle", "cycles/sec", "allocs/cyc", "bytes/cyc", "ipc")
+	if *doLanes != "" {
+		lanes, err := parseLaneCounts(*doLanes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avfbench: -lanes: %v\n", err)
+			os.Exit(1)
+		}
+		// Lane scenarios ride on estimator and fused; lanes=1 IS the base
+		// estimator/fused scenario (the classic engine), so the axis only
+		// adds the multi-lane points.
+		for _, k := range lanes {
+			defs = append(defs,
+				scenarioDef{name: fmt.Sprintf("estimator+lanes%d", k), estimator: true, lanes: k},
+				scenarioDef{name: fmt.Sprintf("fused+lanes%d", k), softarch: true, estimator: true, lanes: k},
+			)
+		}
+	}
+	fmt.Printf("%-18s %12s %14s %12s %12s %8s %12s\n",
+		"scenario", "ns/cycle", "cycles/sec", "allocs/cyc", "bytes/cyc", "ipc", "inj/sec")
 	for _, def := range defs {
 		sc, err := runScenario(def, *bench, *seed, *warmup, *cycles)
 		if err != nil {
@@ -178,9 +204,9 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Scenarios = append(rep.Scenarios, *sc)
-		fmt.Printf("%-16s %12.1f %14.0f %12.4f %12.1f %8.4f\n",
+		fmt.Printf("%-18s %12.1f %14.0f %12.4f %12.1f %8.4f %12.0f\n",
 			sc.Name, sc.NsPerCycle, sc.CyclesPerSec,
-			sc.AllocsPerCycle, sc.BytesPerCycle, sc.IPC)
+			sc.AllocsPerCycle, sc.BytesPerCycle, sc.IPC, sc.InjPerSec)
 	}
 	if *doSched {
 		// Dispatch is µs-scale per task where the cycle loop is ns-scale
@@ -196,9 +222,9 @@ func main() {
 				os.Exit(1)
 			}
 			rep.Scenarios = append(rep.Scenarios, *sc)
-			fmt.Printf("%-16s %12.1f %14.0f %12.4f %12.1f %8.4f\n",
+			fmt.Printf("%-18s %12.1f %14.0f %12.4f %12.1f %8.4f %12s\n",
 				sc.Name, sc.NsPerCycle, sc.CyclesPerSec,
-				sc.AllocsPerCycle, sc.BytesPerCycle, sc.IPC)
+				sc.AllocsPerCycle, sc.BytesPerCycle, sc.IPC, "-")
 		}
 	}
 
@@ -256,7 +282,7 @@ func runScenario(def scenarioDef, bench string, seed uint64, warmup, cycles int6
 	var ref *softarch.Analyzer
 	hooks := pipeline.Hooks{}
 	if def.estimator {
-		opt := core.Options{M: benchM, N: benchN}
+		opt := core.Options{M: benchM, N: benchN, Lanes: def.lanes}
 		if def.wal {
 			// The checkpoint write avfd -data-dir makes on every completed
 			// per-interval estimate: a CRC-framed, fsync'd WAL append.
@@ -307,7 +333,13 @@ func runScenario(def scenarioDef, bench string, seed uint64, warmup, cycles int6
 		if err != nil {
 			return nil, err
 		}
-		hooks.OnFailure = est.HandleFailure
+		if def.lanes > 1 {
+			// Lane layout: retired masks carry lane bits only the
+			// estimator's lane table can attribute.
+			hooks.OnFailureMask = est.HandleFailureMask
+		} else {
+			hooks.OnFailure = est.HandleFailure
+		}
 	}
 	if def.softarch {
 		ref, err = softarch.NewAnalyzer(p, softarch.Options{
@@ -350,6 +382,10 @@ func runScenario(def scenarioDef, bench string, seed uint64, warmup, cycles int6
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	retired0 := p.Retired()
+	var inj0 int64
+	if est != nil {
+		inj0 = est.ConcludedInjections()
+	}
 	start := time.Now()
 	for i := int64(0); i < cycles; i++ {
 		if err := step(); err != nil {
@@ -371,7 +407,30 @@ func runScenario(def scenarioDef, bench string, seed uint64, warmup, cycles int6
 	if sc.NsPerCycle > 0 {
 		sc.CyclesPerSec = 1e9 / sc.NsPerCycle
 	}
+	if est != nil {
+		sc.Injections = est.ConcludedInjections() - inj0
+		if secs := wall.Seconds(); secs > 0 {
+			sc.InjPerSec = float64(sc.Injections) / secs
+		}
+	}
 	return sc, nil
+}
+
+// parseLaneCounts parses the -lanes axis: comma-separated counts, each
+// in (1, MaxLanes].
+func parseLaneCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if k <= 1 || k > pipeline.MaxLanes {
+			return nil, fmt.Errorf("lane count %d out of range (1, %d]", k, pipeline.MaxLanes)
+		}
+		out = append(out, k)
+	}
+	return out, nil
 }
 
 // runSchedScenario pushes `tasks` no-op jobs through a worker pool,

@@ -85,6 +85,17 @@ type Options struct {
 	// equivalent per-injection, 4× faster wall-clock for four
 	// structures.)
 	Multiplex bool
+	// Lanes > 1 turns on the multi-lane injection engine: up to
+	// pipeline.MaxLanes independent experiments ride the same cycle loop,
+	// each on its own error-bit lane, assigned round-robin to the
+	// monitored structures (lane i → Structures[i % len]). Error
+	// propagation is purely bitwise, so the experiments compose without
+	// interacting, and N injections complete ~Lanes/len(Structures)
+	// times faster in simulated cycles. Lanes <= 1 (the default) keeps
+	// the classic one-plane-per-structure estimator — byte-identical
+	// output, golden-digest guaranteed. Incompatible with Multiplex
+	// (whose point is ONE live error machine-wide).
+	Lanes int
 }
 
 // validate applies defaults and checks ranges.
@@ -110,6 +121,18 @@ func (o *Options) validate() error {
 			return fmt.Errorf("core: duplicate structure %v", s)
 		}
 		seen[s] = true
+	}
+	if o.Lanes > pipeline.MaxLanes {
+		return fmt.Errorf("core: Options.Lanes %d exceeds %d", o.Lanes, pipeline.MaxLanes)
+	}
+	if o.Lanes > 1 {
+		if o.Multiplex {
+			return errors.New("core: Options.Lanes > 1 is incompatible with Multiplex")
+		}
+		if o.Lanes < len(o.Structures) {
+			return fmt.Errorf("core: Options.Lanes %d < %d monitored structures (each needs at least one lane)",
+				o.Lanes, len(o.Structures))
+		}
 	}
 	return nil
 }
@@ -182,6 +205,16 @@ type Estimator struct {
 	// muxTurn is the index of the structure receiving the next injection
 	// in Multiplex mode.
 	muxTurn int
+
+	// concluded counts every concluded injection across all structures
+	// and lanes — the AVF-estimate throughput numerator avfbench reports.
+	concluded int64
+
+	// Multi-lane engine state (lanes.go); laneMode gates Tick's dispatch.
+	laneMode  bool
+	lanes     []laneState
+	nextEvent int64
+	lanePops  [pipeline.MaxLanes]int
 }
 
 // NewEstimator builds an estimator for p.
@@ -204,13 +237,20 @@ func NewEstimator(p *pipeline.Pipeline, opt Options) (*Estimator, error) {
 		e.active = append(e.active, st)
 	}
 	e.nextInject = p.Cycle() // inject immediately on the first Tick
+	if opt.Lanes > 1 {
+		e.initLanes()
+	}
 	return e, nil
 }
 
 // Attach installs the estimator's failure handler as the pipeline's hooks.
-// Use HandleFailure directly if you need to fan hooks out to several
-// consumers.
+// Use HandleFailure (or HandleFailureMask in lane mode) directly if you
+// need to fan hooks out to several consumers.
 func (e *Estimator) Attach() {
+	if e.laneMode {
+		e.p.SetHooks(pipeline.Hooks{OnFailureMask: e.HandleFailureMask})
+		return
+	}
 	e.p.SetHooks(pipeline.Hooks{OnFailure: e.HandleFailure})
 }
 
@@ -246,6 +286,10 @@ func (e *Estimator) rand() uint64 {
 // clears all error bits, and injects the next error into each monitored
 // structure.
 func (e *Estimator) Tick() {
+	if e.laneMode {
+		e.tickLanes()
+		return
+	}
 	cycle := e.p.Cycle()
 	if cycle < e.nextInject {
 		return
@@ -279,6 +323,7 @@ func (e *Estimator) conclude(st *structState, cycle int64) {
 		return
 	}
 	st.injections++
+	e.concluded++
 	if st.failed {
 		st.failures++
 	}
@@ -330,6 +375,7 @@ func (e *Estimator) recordInjection(st *structState, cycle int64) {
 		InjectCycle:   st.injectedAt,
 		ConcludeCycle: cycle,
 		ErrBits:       e.p.PlanePopulation(st.s),
+		Lane:          -1,
 	}
 	switch {
 	case st.failed:
@@ -398,6 +444,20 @@ func (e *Estimator) PendingInjections(s pipeline.Structure) int {
 		return st.injections
 	}
 	return 0
+}
+
+// ConcludedInjections returns the total number of injections concluded
+// so far across all structures and lanes — the numerator of the
+// AVF-estimate throughput metric (injections per wall-second) avfbench
+// tracks across lane counts.
+func (e *Estimator) ConcludedInjections() int64 { return e.concluded }
+
+// Lanes returns the configured lane count (1 for the classic estimator).
+func (e *Estimator) Lanes() int {
+	if e.laneMode {
+		return e.opt.Lanes
+	}
+	return 1
 }
 
 // Structures returns the monitored structures.

@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"avfsim/internal/pipeline"
+)
+
+// Statistical equivalence of the multi-lane engine.
+//
+// Error bits never affect simulated timing, so a lane run executes the
+// byte-identical instruction stream on the byte-identical cycle schedule
+// as the single-lane run — only the injection bookkeeping differs. Both
+// engines therefore sample the same time-varying failure probability
+// p(t); pooled over the SAME cycle span, failures/injections from each
+// must estimate the same time-averaged proportion. A lane run's
+// intervals are shorter in cycles (a pool of k lanes concludes k
+// injections per M-cycle boundary, so N injections take ceil(N/k)*M
+// cycles instead of N*M), so the lane run gets proportionally more
+// intervals to cover the span, and the comparison pools across all of
+// them before the two-proportion z-test.
+
+const (
+	equivM         = 400
+	equivN         = 50
+	equivIntervals = 6 // single-lane: 6 * 400*50 = 120k cycles per structure
+	equivZLimit    = 3.5
+)
+
+// pooled sums failures and injections across every estimate of s.
+func pooled(t *testing.T, res *Result, s pipeline.Structure) (fail, inj int) {
+	t.Helper()
+	for _, est := range res.Estimator.Estimates(s) {
+		fail += est.Failures
+		inj += est.Injections
+	}
+	if inj == 0 {
+		t.Fatalf("%v: no injections concluded", s)
+	}
+	return fail, inj
+}
+
+// zTwoProportion is the standard pooled two-proportion z statistic.
+func zTwoProportion(f1, n1, f2, n2 int) float64 {
+	p1 := float64(f1) / float64(n1)
+	p2 := float64(f2) / float64(n2)
+	ph := float64(f1+f2) / float64(n1+n2)
+	se := math.Sqrt(ph * (1 - ph) * (1/float64(n1) + 1/float64(n2)))
+	if se == 0 {
+		return 0 // both proportions degenerate and equal
+	}
+	return (p1 - p2) / se
+}
+
+func TestLaneEstimatesStatisticallyEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full runs")
+	}
+	base, err := Run(RunConfig{
+		Benchmark: "bzip2", Scale: 0.02, Seed: goldenSeed,
+		M: equivM, N: equivN, Intervals: equivIntervals,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	structs := append([]pipeline.Structure(nil), pipeline.PaperStructures...)
+	baseSpan := int64(equivM) * int64(equivN) * int64(equivIntervals)
+
+	for _, lanes := range []int{8, 32, 64} {
+		pool := lanes / len(structs)
+		laneIntervalCycles := int64(equivM) * int64((equivN+pool-1)/pool)
+		// Round to the interval count covering (closest to) the same
+		// cycle span as the single-lane run.
+		laneIntervals := int((baseSpan + laneIntervalCycles/2) / laneIntervalCycles)
+		res, err := Run(RunConfig{
+			Benchmark: "bzip2", Scale: 0.02, Seed: goldenSeed,
+			M: equivM, N: equivN, Intervals: laneIntervals, Lanes: lanes,
+		})
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		for _, s := range structs {
+			f1, n1 := pooled(t, base, s)
+			f2, n2 := pooled(t, res, s)
+			z := zTwoProportion(f1, n1, f2, n2)
+			t.Logf("lanes=%d %-8v single %d/%d=%.4f  lane %d/%d=%.4f  z=%+.2f",
+				lanes, s, f1, n1, float64(f1)/float64(n1),
+				f2, n2, float64(f2)/float64(n2), z)
+			if math.Abs(z) > equivZLimit {
+				t.Errorf("lanes=%d %v: pooled AVF differs beyond chance: single %d/%d, lane %d/%d, |z|=%.2f > %.1f",
+					lanes, s, f1, n1, f2, n2, math.Abs(z), equivZLimit)
+			}
+			// The lane run must actually deliver more samples over the
+			// same span — that is the variance-shrinkage claim.
+			if n2 <= n1 {
+				t.Errorf("lanes=%d %v: lane run pooled only %d injections vs %d single-lane",
+					lanes, s, n2, n1)
+			}
+		}
+	}
+}

@@ -58,6 +58,12 @@ type RunConfig struct {
 	// Multiplex emulates single-error-bit hardware: injections rotate
 	// across the monitored structures (see core.Options.Multiplex).
 	Multiplex bool
+	// Lanes > 1 runs the multi-lane injection engine (see
+	// core.Options.Lanes): up to 64 concurrent experiments, assigned
+	// round-robin to the monitored structures. The run then completes
+	// when every structure has Intervals estimates rather than at a
+	// fixed cycle count. 0 or 1 keeps the classic estimator.
+	Lanes int
 	// Config overrides the processor configuration when non-nil.
 	Config *config.Config
 	// OnInterval, when non-nil, receives each online estimate as soon
@@ -289,6 +295,7 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 		Seed:           rc.Seed,
 		RecordLatency:  rc.RecordLatency,
 		Multiplex:      rc.Multiplex,
+		Lanes:          rc.Lanes,
 		OnInterval:     rc.OnInterval,
 		OnIntervalSpan: rc.OnIntervalSpan,
 		StartInterval:  rc.StartInterval,
@@ -302,6 +309,13 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 		// One live error rotating across K structures: each structure
 		// completes its N injections only every K*M*N cycles.
 		intervalCycles *= int64(len(rc.Structures))
+	}
+	if rc.Lanes > 1 {
+		// Each structure's pool of ~Lanes/K lanes concludes poolSize
+		// injections per M-cycle boundary, so its interval takes
+		// ceil(N/poolSize)*M cycles; the smallest pool is the slowest.
+		minPool := rc.Lanes / len(rc.Structures)
+		intervalCycles = rc.M * int64((rc.N+minPool-1)/minPool)
 	}
 	ref, err := softarch.NewAnalyzer(p, softarch.Options{
 		IntervalCycles: intervalCycles,
@@ -326,24 +340,58 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 
 	// Fan the pipeline hooks out to both consumers.
 	refHooks := ref.Hooks()
-	p.SetHooks(pipeline.Hooks{
+	hooks := pipeline.Hooks{
 		OnFailure:   est.HandleFailure,
 		OnRetire:    refHooks.OnRetire,
 		OnRegWrite:  refHooks.OnRegWrite,
 		OnRegRead:   refHooks.OnRegRead,
 		OnTLBAccess: refHooks.OnTLBAccess,
-	})
+	}
+	if rc.Lanes > 1 {
+		// Lane layout: retired masks carry lane bits, which only the
+		// estimator's lane table can attribute.
+		hooks.OnFailure = nil
+		hooks.OnFailureMask = est.HandleFailureMask
+	}
+	p.SetHooks(hooks)
 
 	occ := core.NewOccupancy(p)
 	feat := newFeatureSampler(p)
 
 	// Drive. The estimator emits an estimate every intervalCycles; run
 	// until every monitored structure has Intervals of them, plus a
-	// settling margin for the reference's deferred attribution.
+	// settling margin for the reference's deferred attribution. In lane
+	// mode the random schedule makes conclusion cycles data-dependent,
+	// so the loop is condition-driven — stop when every structure has
+	// its Intervals estimates — with a hard cycle cap as a backstop.
 	totalCycles := intervalCycles * int64(rc.Intervals)
+	capCycles := 4*totalCycles + 4*rc.M
+	lanesDone := func() bool {
+		for _, s := range rc.Structures {
+			if len(est.Estimates(s)) < rc.Intervals {
+				return false
+			}
+		}
+		return true
+	}
 	nextSample := intervalCycles
 	nextCtxCheck := int64(ctxCheckStride)
-	for p.Cycle() < totalCycles+1 {
+	lastConcluded := int64(-1)
+	for {
+		if rc.Lanes > 1 {
+			if c := est.ConcludedInjections(); c != lastConcluded {
+				lastConcluded = c
+				if lanesDone() {
+					break
+				}
+			}
+			if p.Cycle() > capCycles {
+				return nil, fmt.Errorf("experiment: lane run exceeded %d cycles without completing %d intervals",
+					capCycles, rc.Intervals)
+			}
+		} else if p.Cycle() >= totalCycles+1 {
+			break
+		}
 		if p.Cycle() >= nextCtxCheck {
 			if err := ctx.Err(); err != nil {
 				return nil, err

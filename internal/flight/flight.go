@@ -132,6 +132,10 @@ type Trace struct {
 	// Structure is the injected plane; Entry its entry/unit index.
 	Structure string `json:"structure"`
 	Entry     int    `json:"entry"`
+	// Lane is the error-bit lane the injection rode. Under the plane
+	// layout it equals the structure's bit index; under the multi-lane
+	// engine it is the experiment's lane id.
+	Lane int `json:"lane"`
 	// InjectCycle..ConcludeCycle delimit the window (ConcludeCycle -1
 	// while the window is still open at snapshot time).
 	InjectCycle   int64 `json:"inject_cycle"`
@@ -178,11 +182,12 @@ type window struct {
 	inject int           // hop 0
 }
 
-func newWindow(ev pipeline.ErrEvent) *window {
+func newWindow(ev pipeline.ErrEvent, lane int) *window {
 	w := &window{
 		t: Trace{
 			Structure:     ev.Structure.String(),
 			Entry:         ev.Entry,
+			Lane:          lane,
 			InjectCycle:   ev.Cycle,
 			ConcludeCycle: -1,
 			Outcome:       OutcomeOpen,
@@ -329,40 +334,39 @@ type Reconstruction struct {
 }
 
 // Reconstruct rebuilds propagation traces from an event stream (oldest
-// first). An event belongs to the open window of every plane set in its
-// Mask; inject opens a plane's window and clear-plane closes it.
-// Windows still open when the stream ends are emitted with outcome
-// "open" (ConcludeCycle -1).
+// first). Windows are keyed by error-bit *lane* — the set bit of the
+// inject event's Mask — which subsumes both layouts: under the plane
+// layout the bit index is the structure, under the multi-lane engine it
+// is the experiment's lane, and in either case an event belongs to the
+// open window of every lane set in its Mask. Inject opens a lane's
+// window, clear-plane closes it. Windows still open when the stream ends
+// are emitted with outcome "open" (ConcludeCycle -1).
 func Reconstruct(events []pipeline.ErrEvent) *Reconstruction {
 	rec := &Reconstruction{}
-	var open [pipeline.NumStructures]*window
+	var open [pipeline.MaxLanes]*window
 	for _, ev := range events {
 		switch ev.Kind {
 		case pipeline.EvInject:
-			s := ev.Structure
-			if w := open[s]; w != nil {
+			lane := trailingZeros(uint64(ev.Mask))
+			if w := open[lane]; w != nil {
 				// A new injection before the previous clear should not
 				// happen under Algorithm 1; close defensively as open.
 				rec.Traces = append(rec.Traces, w.t)
 			}
-			open[s] = newWindow(ev)
+			open[lane] = newWindow(ev, lane)
 		case pipeline.EvClearPlane:
-			s := ev.Structure
-			if w := open[s]; w != nil {
+			lane := trailingZeros(uint64(ev.Mask))
+			if w := open[lane]; w != nil {
 				rec.Traces = append(rec.Traces, w.close(ev))
-				open[s] = nil
+				open[lane] = nil
 			}
 			// A clear with no open window is the estimator's routine
 			// between-injection wipe of an already-truncated stream; not
 			// an orphan worth counting.
 		default:
 			matched := false
-			for m := uint32(ev.Mask); m != 0; m &= m - 1 {
-				s := pipeline.Structure(trailingZeros(m))
-				if int(s) >= pipeline.NumStructures {
-					continue
-				}
-				if w := open[s]; w != nil {
+			for m := uint64(ev.Mask); m != 0; m &= m - 1 {
+				if w := open[trailingZeros(m)]; w != nil {
 					w.observe(ev)
 					matched = true
 				}
@@ -372,16 +376,16 @@ func Reconstruct(events []pipeline.ErrEvent) *Reconstruction {
 			}
 		}
 	}
-	for s := 0; s < pipeline.NumStructures; s++ {
-		if w := open[s]; w != nil {
+	for lane := 0; lane < pipeline.MaxLanes; lane++ {
+		if w := open[lane]; w != nil {
 			rec.Traces = append(rec.Traces, w.t)
 		}
 	}
 	return rec
 }
 
-// trailingZeros avoids importing math/bits for one call site.
-func trailingZeros(m uint32) int {
+// trailingZeros avoids importing math/bits for these call sites.
+func trailingZeros(m uint64) int {
 	n := 0
 	for m&1 == 0 {
 		m >>= 1

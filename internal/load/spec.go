@@ -106,8 +106,11 @@ type JobTemplate struct {
 	N               int      `json:"n,omitempty"`
 	Intervals       int      `json:"intervals,omitempty"`
 	Structures      []string `json:"structures,omitempty"`
-	Flight          bool     `json:"flight,omitempty"`
-	DeadlineSeconds float64  `json:"deadline_seconds,omitempty"`
+	// Lanes > 1 submits multi-lane jobs (see the avfd lanes field):
+	// concurrent injection experiments sharing one cycle loop.
+	Lanes           int     `json:"lanes,omitempty"`
+	Flight          bool    `json:"flight,omitempty"`
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 }
 
 // EventSpec is one scheduled load change.
@@ -352,6 +355,7 @@ type wireJob struct {
 	N               int      `json:"n,omitempty"`
 	Intervals       int      `json:"intervals,omitempty"`
 	Structures      []string `json:"structures,omitempty"`
+	Lanes           int      `json:"lanes,omitempty"`
 	Flight          bool     `json:"flight,omitempty"`
 	DeadlineSeconds float64  `json:"deadline_seconds,omitempty"`
 	SLOClass        string   `json:"slo_class,omitempty"`
@@ -369,6 +373,7 @@ func (s *Spec) Body(client int, i int) []byte {
 		N:               c.Job.N,
 		Intervals:       c.Job.Intervals,
 		Structures:      c.Job.Structures,
+		Lanes:           c.Job.Lanes,
 		Flight:          c.Job.Flight,
 		DeadlineSeconds: c.Job.DeadlineSeconds,
 		SLOClass:        c.SLOClass,

@@ -64,6 +64,9 @@ type Injection struct {
 	// ErrBits is the live error-bit population of the structure's
 	// plane at conclusion (before the estimator clears it).
 	ErrBits int
+	// Lane is the error-bit lane the injection rode, or -1 under the
+	// classic one-plane-per-structure estimator.
+	Lane int
 }
 
 // Sink receives estimator lifecycle events. Implementations must be
@@ -188,6 +191,8 @@ type TraceRecord struct {
 	FailSeq       int64  `json:"fail_seq,omitempty"`
 	FailClass     string `json:"fail_class,omitempty"`
 	ErrBits       int    `json:"err_bits,omitempty"`
+	// Lane is omitted for the classic estimator (lane -1).
+	Lane *int `json:"lane,omitempty"`
 }
 
 // Wire converts an Injection to its NDJSON form.
@@ -205,6 +210,10 @@ func (rec Injection) Wire() TraceRecord {
 		tr.LatencyCycles = rec.Latency
 		tr.FailSeq = rec.FailSeq
 		tr.FailClass = rec.FailClass.String()
+	}
+	if rec.Lane >= 0 {
+		lane := rec.Lane
+		tr.Lane = &lane
 	}
 	return tr
 }

@@ -39,6 +39,14 @@ type Scenario struct {
 	// IPC is retired instructions per cycle — a fingerprint that the
 	// scenario simulated the same work, not a performance metric.
 	IPC float64 `json:"ipc"`
+	// Injections is the number of injection experiments concluded in the
+	// measured region (estimator scenarios only; 0 elsewhere).
+	Injections int64 `json:"injections,omitempty"`
+	// InjPerSec is the AVF-estimation throughput — injections concluded
+	// per wall-clock second. The multi-lane engine's headline metric:
+	// lanes=64 must beat lanes=1 by an order of magnitude here while
+	// ns/cycle stays flat.
+	InjPerSec float64 `json:"inj_per_sec,omitempty"`
 }
 
 // Report is one avfbench run.
@@ -233,6 +241,16 @@ func Compare(prev, cur *Report, threshold float64) []Regression {
 				Scenario: c.Name, Metric: "ns_per_cycle",
 				Prev: p.NsPerCycle, Cur: c.NsPerCycle,
 				Ratio: c.NsPerCycle / p.NsPerCycle,
+			})
+		}
+		// Estimation throughput regressions: fewer injections concluded
+		// per wall-second is a regression even when ns/cycle is flat
+		// (e.g. lane occupancy silently draining).
+		if p.InjPerSec > 0 && c.InjPerSec > 0 && c.InjPerSec < p.InjPerSec/(1+threshold) {
+			regs = append(regs, Regression{
+				Scenario: c.Name, Metric: "inj_per_sec",
+				Prev: p.InjPerSec, Cur: c.InjPerSec,
+				Ratio: c.InjPerSec / p.InjPerSec,
 			})
 		}
 		// Allocation regressions: zero-alloc scenarios must stay

@@ -163,7 +163,7 @@ func TestLogicInjectionIdleMasked(t *testing.T) {
 		t.Errorf("idle-unit injection caused failures")
 	}
 	// The armed injection must not linger beyond its cycle.
-	if p.pendingLogic[StructFXU] != 0 {
+	if p.logicArmed || p.armCount != 0 {
 		t.Error("logic injection lingered past its cycle")
 	}
 }

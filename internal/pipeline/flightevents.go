@@ -130,6 +130,26 @@ func (p *Pipeline) SetRecorder(r ErrRecorder) {
 	p.recOn = r != nil
 }
 
+// RecorderAttached reports whether a flight recorder is attached — the
+// lane engine checks it before computing per-lane populations that only
+// feed clear-event emission.
+func (p *Pipeline) RecorderAttached() bool { return p.recOn }
+
+// EmitLaneClear emits the clear-plane delimiter for one lane about to be
+// wiped by ClearPlanes: s is the structure the lane's experiment was
+// injected into (the lane table's attribution, which the bit index no
+// longer encodes) and pop the lane's pre-wipe population. No-op without a
+// recorder.
+func (p *Pipeline) EmitLaneClear(s Structure, lane, pop int) {
+	if !p.recOn {
+		return
+	}
+	ev := p.baseEv(EvClearPlane, LaneBit(lane))
+	ev.Structure = s
+	ev.Pop = pop
+	p.emitEv(ev)
+}
+
 // emitEv forwards one event to the attached recorder. Callers must
 // check p.recOn first (keeps the argument construction off the
 // recorder-off path).

@@ -1,12 +1,28 @@
 package pipeline
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // This file is the error-injection surface used by the online AVF
 // estimator (internal/core). Storage injections set the error bit of one
 // entry; logic injections arm a single-cycle corruption of one unit,
 // landing only if an operation starts on that unit during the next cycle
 // (an idle unit masks the error, per Section 3.1).
+//
+// Every entry point takes the bit to set explicitly (lane layout) or
+// derives it from the structure (plane layout); the propagation machinery
+// downstream never cares which.
+
+// logicArm is one armed single-cycle logic injection: the next operation
+// starting on unit `unit` of structure `s` acquires `bit`. bit == 0 marks
+// a consumed or cleared arm (the slot is reclaimed at end of cycle).
+type logicArm struct {
+	s    Structure
+	unit int32
+	bit  ErrMask
+}
 
 // StructureEntries returns the number of injectable entries (storage) or
 // units (logic) of s — the K used for round-robin entry selection.
@@ -53,12 +69,29 @@ func (p *Pipeline) iqSlot(idx int) (QueueID, int) {
 // It reports whether the error landed on live content (occupied entry or
 // a unit that will see the armed cycle) — diagnostic only; masking is
 // decided by the normal propagation rules.
+//
+// Inject uses the plane layout: the bit set is s.Bit(). The lane engine
+// uses InjectLane instead.
 func (p *Pipeline) Inject(s Structure, idx int) bool {
+	return p.injectBit(s, idx, s.Bit())
+}
+
+// InjectLane emulates a soft error in entry/unit idx of structure s,
+// setting lane's bit instead of the structure's plane bit. Up to MaxLanes
+// independent experiments propagate through the same dataflow this way;
+// the caller's lane table — not the bit index — remembers which structure
+// each lane was injected into.
+func (p *Pipeline) InjectLane(s Structure, idx, lane int) bool {
+	return p.injectBit(s, idx, LaneBit(lane))
+}
+
+// injectBit is the shared implementation: set `bit` on entry idx of s.
+func (p *Pipeline) injectBit(s Structure, idx int, bit ErrMask) bool {
 	if idx < 0 || idx >= p.StructureEntries(s) {
 		panic(fmt.Sprintf("pipeline: inject %v entry %d out of range", s, idx))
 	}
 	if p.recOn {
-		ev := p.baseEv(EvInject, s.Bit())
+		ev := p.baseEv(EvInject, bit)
 		ev.Structure, ev.Entry = s, idx
 		switch s {
 		case StructIQ:
@@ -77,36 +110,65 @@ func (p *Pipeline) Inject(s Structure, idx int) bool {
 	case StructIQ:
 		q, slot := p.iqSlot(idx)
 		if u := p.queues[q].slots[slot]; u != nil {
-			u.errMask |= s.Bit()
+			u.errMask |= bit
 			return true
 		}
 		// Empty entry: the error has nowhere to live; it is masked.
 		return false
 	case StructReg:
-		p.intRF.err[idx] |= s.Bit()
+		p.intRF.err[idx] |= bit
 		return p.intRF.ready[idx]
 	case StructFPReg:
-		p.fpRF.err[idx] |= s.Bit()
+		p.fpRF.err[idx] |= bit
 		return p.fpRF.ready[idx]
 	case StructDTLB:
-		p.dtlbErr[idx] |= s.Bit()
+		p.dtlbErr[idx] |= bit
 		return true
 	case StructITLB:
-		p.itlbErr[idx] |= s.Bit()
+		p.itlbErr[idx] |= bit
 		return true
 	case StructFXU, StructFPU, StructLSU:
-		p.pendingLogic[s] = idx + 1
-		p.logicArmed = true
+		p.armLogic(s, idx, bit)
 		return true
 	default:
 		panic(fmt.Sprintf("pipeline: unknown structure %v", s))
 	}
 }
 
+// armLogic records a single-cycle logic injection. Re-arming the same bit
+// overwrites its previous arm (the legacy pendingLogic[s] = idx semantics,
+// generalized per bit); distinct bits arm independently, so several lanes
+// may target the same or different units in one cycle.
+func (p *Pipeline) armLogic(s Structure, unit int, bit ErrMask) {
+	for i := 0; i < p.armCount; i++ {
+		if p.arms[i].bit == bit {
+			p.arms[i].s = s
+			p.arms[i].unit = int32(unit)
+			p.logicArmed = true
+			return
+		}
+	}
+	// Reuse a consumed slot before growing the table.
+	for i := 0; i < p.armCount; i++ {
+		if p.arms[i].bit == 0 {
+			p.arms[i] = logicArm{s: s, unit: int32(unit), bit: bit}
+			p.logicArmed = true
+			return
+		}
+	}
+	if p.armCount >= MaxLanes {
+		panic("pipeline: logic-arm table overflow")
+	}
+	p.arms[p.armCount] = logicArm{s: s, unit: int32(unit), bit: bit}
+	p.armCount++
+	p.logicArmed = true
+}
+
 // ClearPlane removes every error bit of structure s from the machine:
 // physical registers, in-flight instructions, and any armed logic
 // injection. The estimator calls this between injections so exactly one
-// emulated error is live at a time (Section 3.1).
+// emulated error is live at a time (Section 3.1). Plane layout only; the
+// lane engine uses ClearPlanes with a lane mask.
 func (p *Pipeline) ClearPlane(s Structure) {
 	if p.recOn {
 		// The clear delimits the injection window for the flight
@@ -117,32 +179,52 @@ func (p *Pipeline) ClearPlane(s Structure) {
 		ev.Pop = p.PlanePopulation(s)
 		p.emitEv(ev)
 	}
-	bit := s.Bit()
-	p.intRF.clearPlane(bit)
-	p.fpRF.clearPlane(bit)
+	p.clearScan(s.Bit())
+}
+
+// ClearPlanes removes every bit in mask from the machine in ONE
+// full-machine scan — concluding many same-cycle experiments costs the
+// same as concluding one. It emits no flight events: multi-lane callers
+// emit their own per-lane delimiters (EmitLaneClear) first, with the
+// structure attribution only the lane table knows.
+func (p *Pipeline) ClearPlanes(mask ErrMask) {
+	if mask == 0 {
+		return
+	}
+	p.clearScan(mask)
+}
+
+// clearScan wipes mask's bits from every residence: physical registers,
+// in-flight ROB entries, TLB entries, the fetch path, the instruction
+// buffer, and armed logic injections.
+func (p *Pipeline) clearScan(mask ErrMask) {
+	p.intRF.clearPlane(mask)
+	p.fpRF.clearPlane(mask)
 	robA, robB := p.rob.spans()
 	for _, u := range robA {
-		u.errMask &^= bit
+		u.errMask &^= mask
 	}
 	for _, u := range robB {
-		u.errMask &^= bit
+		u.errMask &^= mask
 	}
 	for i := range p.dtlbErr {
-		p.dtlbErr[i] &^= bit
+		p.dtlbErr[i] &^= mask
 	}
 	for i := range p.itlbErr {
-		p.itlbErr[i] &^= bit
+		p.itlbErr[i] &^= mask
 	}
-	p.curLineErr &^= bit
+	p.curLineErr &^= mask
 	ibA, ibB := p.instBuf.spans()
 	for i := range ibA {
-		ibA[i].errMask &^= bit
+		ibA[i].errMask &^= mask
 	}
 	for i := range ibB {
-		ibB[i].errMask &^= bit
+		ibB[i].errMask &^= mask
 	}
-	if int(s) < NumStructures {
-		p.pendingLogic[s] = 0
+	if p.logicArmed {
+		for i := 0; i < p.armCount; i++ {
+			p.arms[i].bit &^= mask
+		}
 	}
 }
 
@@ -202,10 +284,66 @@ func (p *Pipeline) PlanePopulation(s Structure) int {
 			n++
 		}
 	}
-	if int(s) < NumStructures && p.pendingLogic[s] != 0 {
-		n++
+	if p.logicArmed {
+		for i := 0; i < p.armCount; i++ {
+			if p.arms[i].bit&bit != 0 {
+				n++
+			}
+		}
 	}
 	return n
+}
+
+// PlanePopulations counts the live bits of every lane in mask in ONE
+// full-machine scan, writing lane i's population to counts[i] (only the
+// set lanes' slots are written). The multi-lane engine samples it once
+// per conclusion cycle where the legacy path would scan per structure.
+func (p *Pipeline) PlanePopulations(mask ErrMask, counts *[MaxLanes]int) {
+	if mask == 0 {
+		return
+	}
+	for m := uint64(mask); m != 0; m &= m - 1 {
+		counts[bits.TrailingZeros64(m)] = 0
+	}
+	for _, m := range p.intRF.err {
+		addLaneCounts(m, mask, counts)
+	}
+	for _, m := range p.fpRF.err {
+		addLaneCounts(m, mask, counts)
+	}
+	robA, robB := p.rob.spans()
+	for _, u := range robA {
+		addLaneCounts(u.errMask, mask, counts)
+	}
+	for _, u := range robB {
+		addLaneCounts(u.errMask, mask, counts)
+	}
+	for _, m := range p.dtlbErr {
+		addLaneCounts(m, mask, counts)
+	}
+	for _, m := range p.itlbErr {
+		addLaneCounts(m, mask, counts)
+	}
+	addLaneCounts(p.curLineErr, mask, counts)
+	ibA, ibB := p.instBuf.spans()
+	for _, f := range ibA {
+		addLaneCounts(f.errMask, mask, counts)
+	}
+	for _, f := range ibB {
+		addLaneCounts(f.errMask, mask, counts)
+	}
+	if p.logicArmed {
+		for i := 0; i < p.armCount; i++ {
+			addLaneCounts(p.arms[i].bit, mask, counts)
+		}
+	}
+}
+
+// addLaneCounts bumps counts[i] for every lane i set in both em and mask.
+func addLaneCounts(em, mask ErrMask, counts *[MaxLanes]int) {
+	for got := uint64(em) & uint64(mask); got != 0; got &= got - 1 {
+		counts[bits.TrailingZeros64(got)]++
+	}
 }
 
 // UnitKind returns the functional-unit kind monitored by a logic

@@ -210,14 +210,17 @@ type Pipeline struct {
 	// incrementally instead of rescanning inflight every cycle.
 	activeUnits [NumFUKinds]int64
 
-	// Error-bit machinery. logicArmed gates every per-cycle touch of
-	// pendingLogic: between injections (the overwhelmingly common case)
-	// issue and accountCycle pay one bool check instead of per-structure
-	// loads and a clearing loop.
-	pendingLogic [NumStructures]int // unit index + 1; 0 = no injection pending
-	logicArmed   bool
-	dtlbErr      []ErrMask
-	itlbErr      []ErrMask
+	// Error-bit machinery. Armed logic injections live in a small fixed
+	// table (one entry per armed lane; the classic estimator arms at
+	// most one per logic structure, the lane engine at most one per
+	// lane). logicArmed gates every per-cycle touch of the table:
+	// between injections (the overwhelmingly common case) issue and
+	// accountCycle pay one bool check instead of a table walk.
+	arms       [MaxLanes]logicArm
+	armCount   int
+	logicArmed bool
+	dtlbErr    []ErrMask
+	itlbErr    []ErrMask
 
 	hooks Hooks
 
@@ -353,13 +356,22 @@ func (p *Pipeline) retire() {
 
 		if u.errMask != 0 {
 			if u.inst.Class.IsFailurePoint() {
-				// Walk only the set bits, ascending (same order as the
-				// old per-structure scan).
-				for m := uint32(u.errMask); m != 0; m &= m - 1 {
-					s := Structure(bits.TrailingZeros32(m))
-					p.failures[s]++
-					if p.hooks.OnFailure != nil {
-						p.hooks.OnFailure(s, u.seq, p.cycle, u.inst.Class)
+				if p.hooks.OnFailureMask != nil {
+					// Lane layout: bit indexes are experiment lanes, not
+					// structures — hand the whole mask to the lane-aware
+					// consumer, which owns the lane→structure table.
+					// Per-structure counters are skipped; the consumer
+					// attributes failures itself.
+					p.hooks.OnFailureMask(u.errMask, u.seq, p.cycle, u.inst.Class)
+				} else {
+					// Plane layout: walk only the set bits, ascending
+					// (same order as the old per-structure scan).
+					for m := uint64(u.errMask); m != 0; m &= m - 1 {
+						s := Structure(bits.TrailingZeros64(m))
+						p.failures[s]++
+						if p.hooks.OnFailure != nil {
+							p.hooks.OnFailure(s, u.seq, p.cycle, u.inst.Class)
+						}
 					}
 				}
 				if p.recOn {
@@ -558,17 +570,22 @@ func (p *Pipeline) start(u *uop, unit int) {
 
 	// A pending single-cycle logic injection corrupts the op starting on
 	// the chosen unit this cycle. logicArmed is false except during the
-	// one cycle following an Inject on a logic structure.
+	// one cycle following an Inject/InjectLane on a logic structure.
+	// Several lanes may have armed the same unit; every match lands.
 	if p.logicArmed {
 		if ls := logicStructure(u.fu); int(ls) < NumStructures {
-			if p.pendingLogic[ls] == unit+1 {
-				u.errMask |= ls.Bit()
-				p.pendingLogic[ls] = 0 // consumed
+			for i := 0; i < p.armCount; i++ {
+				a := &p.arms[i]
+				if a.bit == 0 || a.s != ls || int(a.unit) != unit {
+					continue
+				}
+				u.errMask |= a.bit
 				if p.recOn {
-					ev := p.baseEv(EvLogicLand, ls.Bit())
+					ev := p.baseEv(EvLogicLand, a.bit)
 					ev.Structure, ev.Entry, ev.Seq = ls, unit, u.seq
 					p.emitEv(ev)
 				}
+				a.bit = 0 // consumed
 			}
 		}
 	}
@@ -821,15 +838,23 @@ func (p *Pipeline) accountCycle() {
 	}
 	p.iqOccupancySum += int64(p.queues[QFXU].count + p.queues[QFPU].count + p.queues[QBr].count)
 	// Unconsumed single-cycle logic injections are masked (unit idle).
+	// Mask events are emitted in ascending structure order (matching the
+	// old per-structure pendingLogic sweep), insertion order within one.
 	if p.logicArmed {
-		for s := range p.pendingLogic {
-			if p.recOn && p.pendingLogic[s] != 0 {
-				ev := p.baseEv(EvLogicMask, Structure(s).Bit())
-				ev.Structure, ev.Entry = Structure(s), p.pendingLogic[s]-1
-				p.emitEv(ev)
+		if p.recOn {
+			for s := Structure(0); int(s) < NumStructures; s++ {
+				for i := 0; i < p.armCount; i++ {
+					a := &p.arms[i]
+					if a.bit == 0 || a.s != s {
+						continue
+					}
+					ev := p.baseEv(EvLogicMask, a.bit)
+					ev.Structure, ev.Entry = a.s, int(a.unit)
+					p.emitEv(ev)
+				}
 			}
-			p.pendingLogic[s] = 0
 		}
+		p.armCount = 0
 		p.logicArmed = false
 	}
 }

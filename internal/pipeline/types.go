@@ -14,10 +14,34 @@ import (
 	"avfsim/internal/isa"
 )
 
-// ErrMask is a set of error bits, one per monitored structure (a bit
-// plane). The simulator carries all planes at once so a single run can
-// estimate the AVF of every structure; hardware would carry one bit.
-type ErrMask uint32
+// ErrMask is a set of error bits carried by every value in the machine.
+// Each bit is an independent *lane*: error propagation is purely bitwise
+// (OR on read, overwrite on write, AND-NOT on clear), so all 64 lanes
+// propagate through the same dataflow at once without interacting.
+//
+// Two layouts share the type:
+//
+//   - Plane layout (the classic estimator): bit s is monitored structure
+//     s's plane — one live emulated error per structure at a time, the
+//     hardware the paper describes. The simulator carries all planes at
+//     once so a single run estimates every structure's AVF.
+//   - Lane layout (the multi-lane engine): bit i belongs to whichever
+//     injection experiment the lane allocator (internal/core) currently
+//     maps to lane i. Up to 64 independent experiments ride the same
+//     cycle loop; the lane table, not the bit index, says which
+//     structure each bit was injected into.
+//
+// The pipeline itself is layout-agnostic everywhere except legacy
+// convenience entry points (Inject, ClearPlane, the per-structure
+// failure attribution in retire), which assume the plane layout.
+type ErrMask uint64
+
+// MaxLanes is the number of independent error-bit lanes an ErrMask
+// carries — the concurrency ceiling of the multi-lane injection engine.
+const MaxLanes = 64
+
+// LaneBit returns the single-bit mask of lane i.
+func LaneBit(lane int) ErrMask { return 1 << uint(lane) }
 
 // Structure identifies a monitored processor structure. The first four
 // are the paper's evaluation targets; the rest are extensions enabled by

@@ -63,6 +63,12 @@ type JobSpec struct {
 	RandomEntry    bool     `json:"random_entry,omitempty"`
 	RandomSchedule bool     `json:"random_schedule,omitempty"`
 	Multiplex      bool     `json:"multiplex,omitempty"`
+	// Lanes > 1 runs the multi-lane injection engine: up to 64
+	// concurrent experiments share the cycle loop (round-robin across
+	// the monitored structures), shrinking wall-clock per estimate by
+	// ~Lanes/len(structures). 0 or 1 keeps the classic estimator.
+	// Incompatible with multiplex.
+	Lanes int `json:"lanes,omitempty"`
 	// Flight attaches a flight recorder: every error-bit event of the
 	// run is retained (bounded ring, newest wins) and served as
 	// propagation traces at GET /v1/jobs/{id}/flight. FlightCap bounds
@@ -104,6 +110,13 @@ func (js *JobSpec) runConfig() (experiment.RunConfig, error) {
 		RandomEntry:    js.RandomEntry,
 		RandomSchedule: js.RandomSchedule,
 		Multiplex:      js.Multiplex,
+		Lanes:          js.Lanes,
+	}
+	if js.Lanes < 0 || js.Lanes > pipeline.MaxLanes {
+		return rc, fmt.Errorf("lanes %d out of range [0, %d]", js.Lanes, pipeline.MaxLanes)
+	}
+	if js.Lanes > 1 && js.Multiplex {
+		return rc, errors.New("lanes > 1 is incompatible with multiplex")
 	}
 	if _, err := workload.ByName(js.Benchmark); err != nil {
 		return rc, err
@@ -114,6 +127,15 @@ func (js *JobSpec) runConfig() (experiment.RunConfig, error) {
 			return rc, err
 		}
 		rc.Structures = append(rc.Structures, s)
+	}
+	if js.Lanes > 1 {
+		nStructs := len(rc.Structures)
+		if nStructs == 0 {
+			nStructs = len(pipeline.PaperStructures)
+		}
+		if js.Lanes < nStructs {
+			return rc, fmt.Errorf("lanes %d < %d monitored structures", js.Lanes, nStructs)
+		}
 	}
 	return rc, nil
 }

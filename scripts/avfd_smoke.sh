@@ -211,6 +211,49 @@ printf '%s\n' "$METRICS" | grep -q '^avfd_slo_budget_remaining{' ||
 echo "ok: /v1/slo charged the completed job ($GOOD good)"
 
 # ---------------------------------------------------------------------
+# Multi-lane leg: a 16-lane flight-recorded job on the same daemon. The
+# lane engine runs 16 concurrent injection experiments through one
+# pipeline, so its flight export and span tree must reconcile with the
+# job status exactly as the single-lane job's did — every closed trace
+# one concluded injection, every failure trace one counted failure —
+# with each trace tagged by its lane and all 16 lanes still live (open
+# windows) when the job stops.
+# ---------------------------------------------------------------------
+
+# n is divisible by the per-structure pool size (lanes/4 structures = 4)
+# so every estimate completes exactly at a conclusion boundary and no
+# concluded injection spills into an uncounted fourth interval — the
+# closed-trace count then equals the status injection sum exactly.
+LANES=16
+LANE_SPEC='{"benchmark":"bzip2","scale":0.02,"seed":3,"m":400,"n":48,"intervals":3,"lanes":'$LANES',"flight":true}'
+LANE_SUBMIT=$(curl -fsS "$BASE/v1/jobs" -d "$LANE_SPEC")
+LANE_JOB=$(printf '%s' "$LANE_SUBMIT" | json_str id)
+[ -n "$LANE_JOB" ] || fail "multi-lane submit returned no job id: $LANE_SUBMIT"
+wait_done "$BASE" "$LANE_JOB"
+LANE_STATUS=$(curl -fsS "$BASE/v1/jobs/$LANE_JOB")
+LANE_FLIGHT=$(curl -fsS "$BASE/v1/jobs/$LANE_JOB/flight")
+WANT_FAIL=$(printf '%s' "$LANE_STATUS" | json_int_sum failures)
+WANT_CLOSED=$(printf '%s' "$LANE_STATUS" | json_int_sum injections)
+GOT_FAIL=$(printf '%s\n' "$LANE_FLIGHT" | grep -c '"outcome":"failure"' || true)
+GOT_CLOSED=$(printf '%s\n' "$LANE_FLIGHT" | grep -cE '"outcome":"(failure|masked|pending)"' || true)
+GOT_OPEN=$(printf '%s\n' "$LANE_FLIGHT" | grep -c '"outcome":"open"' || true)
+TOTAL=$(printf '%s\n' "$LANE_FLIGHT" | grep -c '"outcome":' || true)
+TAGGED=$(printf '%s\n' "$LANE_FLIGHT" | grep -c '"lane":' || true)
+[ "$GOT_FAIL" -eq "$WANT_FAIL" ] ||
+    fail "lane flight failure traces ($GOT_FAIL) != estimator failures ($WANT_FAIL)"
+[ "$GOT_CLOSED" -eq "$WANT_CLOSED" ] ||
+    fail "lane flight closed traces ($GOT_CLOSED) != estimator injections ($WANT_CLOSED)"
+[ "$GOT_OPEN" -eq "$LANES" ] ||
+    fail "open windows ($GOT_OPEN) != $LANES lanes — occupancy drained or leaked"
+[ "$TAGGED" -eq "$TOTAL" ] ||
+    fail "only $TAGGED of $TOTAL lane traces carry a lane tag"
+WANT_IV=$(printf '%s' "$LANE_STATUS" | grep -c '"start_cycle"' || true)
+GOT_IV=$(curl -fsS "$BASE/v1/jobs/$LANE_JOB/spans" | grep -c '"name":"interval"' || true)
+[ "$GOT_IV" -eq "$WANT_IV" ] ||
+    fail "lane interval spans ($GOT_IV) != status estimates ($WANT_IV)"
+echo "ok: multi-lane job reconciles ($GOT_CLOSED closed, $GOT_FAIL failures, $GOT_OPEN live lanes, $GOT_IV interval spans)"
+
+# ---------------------------------------------------------------------
 # Crash-recovery leg: kill -9 a durable daemon mid-job, restart on the
 # same -data-dir, and require the resumed job to finish with an
 # estimate stream byte-identical to an uninterrupted reference run.

@@ -14,7 +14,11 @@
 // -data-dir persists it: estimator+wal and fused+wal. With -span two
 // more measure request-span recording — one interval span per completed
 // estimate into a bounded ring, the write avfd makes when -spans is on:
-// estimator+span and fused+span. With -sched two scheduler-dispatch
+// estimator+span and fused+span. With -microtel two more measure the
+// microarchitectural telemetry collector — occupancy residency sampling,
+// coverage-map sink writes, and Wilson intervals, the cost of a job's
+// "microtel": true — estimator+microtel and fused+microtel. With -sched
+// two scheduler-dispatch
 // scenarios compare single-class submission against a four-SLO-class
 // mix (ns per dispatched task): sched-single and sched-classes. With
 // -lanes 8,32,64 the estimator and fused scenarios are re-measured with
@@ -45,6 +49,7 @@ import (
 	"avfsim/internal/config"
 	"avfsim/internal/core"
 	"avfsim/internal/flight"
+	"avfsim/internal/microtel"
 	"avfsim/internal/perfstat"
 	"avfsim/internal/pipeline"
 	"avfsim/internal/sched"
@@ -69,6 +74,7 @@ type scenarioDef struct {
 	flight    bool
 	wal       bool
 	span      bool
+	microtel  bool
 	// lanes > 1 runs the estimator's multi-lane injection engine with
 	// that many concurrent experiments (see core.Options.Lanes).
 	lanes int
@@ -110,6 +116,18 @@ var spanScenarios = []scenarioDef{
 	{name: "fused+span", softarch: true, estimator: true, span: true},
 }
 
+// microtelScenarios measure the microarchitectural telemetry
+// collector's marginal cost over the matching base scenarios: every
+// concluded injection lands in the coverage map, every injection
+// boundary samples the occupancy histograms, and every completed
+// estimate computes a Wilson interval — the writes avfd makes when a
+// job runs with "microtel": true. Only run with -microtel, for the
+// same report-shape stability reason as -flight.
+var microtelScenarios = []scenarioDef{
+	{name: "estimator+microtel", estimator: true, microtel: true},
+	{name: "fused+microtel", softarch: true, estimator: true, microtel: true},
+}
+
 // schedScenarios measure the scheduler's dispatch path: no-op tasks
 // pushed through the worker pool, reported as ns per dispatched task
 // (reusing the ns/cycle column; "cycles" = tasks). sched-single keeps
@@ -141,6 +159,7 @@ func main() {
 		doFlight  = flag.Bool("flight", false, "also measure estimator/fused with the flight recorder attached")
 		doWAL     = flag.Bool("wal", false, "also measure estimator/fused with per-interval WAL checkpointing attached")
 		doSpan    = flag.Bool("span", false, "also measure estimator/fused with per-interval request-span recording attached")
+		doMicro   = flag.Bool("microtel", false, "also measure estimator/fused with the microarchitectural telemetry collector attached")
 		doSched   = flag.Bool("sched", false, "also measure scheduler dispatch: single-class vs per-SLO-class queues (ns per task)")
 		doLanes   = flag.String("lanes", "", "comma-separated lane counts >1 (e.g. 8,32,64): also measure estimator/fused with the multi-lane injection engine")
 	)
@@ -178,6 +197,9 @@ func main() {
 	}
 	if *doSpan {
 		defs = append(defs, spanScenarios...)
+	}
+	if *doMicro {
+		defs = append(defs, microtelScenarios...)
 	}
 	if *doLanes != "" {
 		lanes, err := parseLaneCounts(*doLanes)
@@ -327,6 +349,23 @@ func runScenario(def scenarioDef, bench string, seed uint64, warmup, cycles int6
 				a.SetAttr("interval", strconv.Itoa(e.Interval))
 				a.SetAttr("avf", strconv.FormatFloat(e.AVF, 'g', 6, 64))
 				a.EndAt("ok", wallEnd)
+			}
+		}
+		if def.microtel {
+			// The telemetry writes avfd makes per "microtel": true job:
+			// coverage-map sink on every concluded injection, occupancy
+			// sample at every injection boundary, Wilson interval per
+			// completed estimate.
+			mt := microtel.New(microtel.Config{})
+			mt.Bind(p, pipeline.PaperStructures, def.lanes)
+			opt.Sink = mt
+			opt.OnConcludeScan = mt.SampleOccupancy
+			userInterval := opt.OnInterval
+			opt.OnInterval = func(e core.Estimate) {
+				mt.RecordEstimate(e.Structure, e.Interval, e.Failures, e.Injections)
+				if userInterval != nil {
+					userInterval(e)
+				}
 			}
 		}
 		est, err = core.NewEstimator(p, opt)

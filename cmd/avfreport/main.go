@@ -20,6 +20,11 @@
 // estimation of -flight-benchmark at the chosen scale and dumps the
 // reconstructed error-propagation traces as NDJSON — the offline
 // counterpart of avfd's GET /v1/jobs/{id}/flight.
+//
+// With -coverage <path> it runs one estimation of -coverage-benchmark
+// with the microarchitectural telemetry collector attached and dumps
+// the occupancy residency / injection coverage / confidence surface as
+// NDJSON — the offline counterpart of GET /v1/jobs/{id}/coverage.
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 
 	"avfsim/internal/experiment"
 	"avfsim/internal/flight"
+	"avfsim/internal/microtel"
 	"avfsim/internal/sched"
 )
 
@@ -44,6 +50,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (source for make pgo)")
 	flightOut := flag.String("flight", "", "dump flight-recorder propagation traces (NDJSON) to this file and exit")
 	flightBench := flag.String("flight-benchmark", "mesa", "benchmark for the -flight dump")
+	coverageOut := flag.String("coverage", "", "dump microarchitectural telemetry (occupancy/coverage/confidence NDJSON) to this file and exit")
+	coverageBench := flag.String("coverage-benchmark", "mesa", "benchmark for the -coverage dump")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -77,6 +85,14 @@ func main() {
 
 	if *flightOut != "" {
 		if err := flightDump(spec, *flightBench, *seed, *flightOut); err != nil {
+			fmt.Fprintf(os.Stderr, "avfreport: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *coverageOut != "" {
+		if err := coverageDump(spec, *coverageBench, *seed, *coverageOut); err != nil {
 			fmt.Fprintf(os.Stderr, "avfreport: %v\n", err)
 			os.Exit(1)
 		}
@@ -159,6 +175,50 @@ func flightDump(spec experiment.ScaleSpec, benchmark string, seed uint64, path s
 	if traces.Dropped > 0 || traces.Orphans > 0 {
 		fmt.Printf("avfreport: ring dropped %d events (%d orphaned); raise the cap for lossless traces\n",
 			traces.Dropped, traces.Orphans)
+	}
+	fmt.Printf("avfreport: %d retired in %v\n", res.Stats.Retired, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// coverageDump runs one estimation with the microarchitectural
+// telemetry collector attached and writes the occupancy / coverage /
+// confidence surface as NDJSON.
+func coverageDump(spec experiment.ScaleSpec, benchmark string, seed uint64, path string) error {
+	mt := microtel.New(microtel.Config{})
+	start := time.Now()
+	res, err := experiment.Run(experiment.RunConfig{
+		Benchmark: benchmark,
+		Scale:     spec.Scale,
+		Seed:      seed,
+		M:         spec.M, N: spec.N, Intervals: spec.Intervals,
+		Microtel: mt,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := mt.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	snap := mt.Snapshot()
+	fmt.Printf("avfreport: %s @ %s: %d concluded (%d failure, %d masked, %d pending), %d occupancy samples -> %s\n",
+		benchmark, spec.Name, snap.Concluded,
+		snap.Totals.Failures, snap.Totals.Masked, snap.Totals.Pending, snap.Samples, path)
+	for _, ss := range snap.Structures {
+		ci := ""
+		if ss.Confidence != nil {
+			ci = fmt.Sprintf("  avf=%.4f ci=[%.4f, %.4f]", ss.AVF, ss.Confidence.Lo, ss.Confidence.Hi)
+		}
+		fmt.Printf("avfreport: %-6s coverage %3d/%3d (%.0f%%)  mean occupancy %.2f/%d%s\n",
+			ss.Structure, ss.Covered, ss.Entries, ss.CoverageRatio*100,
+			ss.OccupancyMean, ss.Entries, ci)
 	}
 	fmt.Printf("avfreport: %d retired in %v\n", res.Stats.Retired, time.Since(start).Round(time.Millisecond))
 	return nil

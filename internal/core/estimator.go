@@ -76,6 +76,16 @@ type Options struct {
 	// nothing and the hot path pays only nil checks; see
 	// TestTickAllocatesNothingObsDisabled.
 	Sink obs.Sink
+	// OnConcludeScan, when non-nil, is invoked once per injection
+	// boundary — the cycles where the estimator concludes expired
+	// experiments and injects replacements, i.e. exactly where it
+	// already performs its fused full-machine scans (ClearPlanes /
+	// PlanePopulations). Microarchitectural telemetry
+	// (internal/microtel) hangs occupancy sampling here so enabling it
+	// adds no per-cycle work: between boundaries the hot path is
+	// untouched, and a nil hook (the default) costs one nil check per
+	// boundary, preserving the zero-allocation guarantee.
+	OnConcludeScan func(cycle int64)
 	// Multiplex emulates the true hardware cost model: a single error
 	// bit per value means only ONE emulated error may be live in the
 	// whole machine, so injections rotate across the monitored
@@ -313,6 +323,9 @@ func (e *Estimator) Tick() {
 		e.nextInject = cycle + gap
 	} else {
 		e.nextInject = cycle + e.opt.M
+	}
+	if e.opt.OnConcludeScan != nil {
+		e.opt.OnConcludeScan(cycle)
 	}
 }
 

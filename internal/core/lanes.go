@@ -134,6 +134,9 @@ func (e *Estimator) tickLanes() {
 			e.nextEvent = ln.nextAt
 		}
 	}
+	if e.opt.OnConcludeScan != nil {
+		e.opt.OnConcludeScan(cycle)
+	}
 }
 
 // concludeLane finishes lane i's live experiment: charge the owning

@@ -13,6 +13,7 @@ import (
 
 	"avfsim/internal/config"
 	"avfsim/internal/core"
+	"avfsim/internal/microtel"
 	"avfsim/internal/obs"
 	"avfsim/internal/pipeline"
 	"avfsim/internal/softarch"
@@ -90,6 +91,13 @@ type RunConfig struct {
 	// streamed to it for propagation-trace reconstruction. Recording is
 	// observation only and does not perturb results.
 	Recorder pipeline.ErrRecorder
+	// Microtel, when non-nil, attaches a microarchitectural telemetry
+	// collector: it is bound to the run's pipeline, fanned into the
+	// injection sink stream (coverage maps), hung on the estimator's
+	// conclusion-boundary scan hook (occupancy residency), and fed every
+	// completed estimate (confidence surfaces). Like Recorder, it is
+	// observation only — the estimate series is unchanged.
+	Microtel *microtel.Collector
 }
 
 func (c *RunConfig) defaults() error {
@@ -287,6 +295,25 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 		p.SetRecorder(rc.Recorder)
 	}
 
+	sink := rc.Sink
+	onInterval := rc.OnInterval
+	var onConcludeScan func(int64)
+	if mt := rc.Microtel; mt != nil {
+		// Telemetry taps: coverage via the sink stream, occupancy via
+		// the conclusion-boundary scans, confidence via the estimate
+		// stream. All passive; defaults resolve first so the collector
+		// binds the same structure set the estimator monitors.
+		mt.Bind(p, rc.Structures, rc.Lanes)
+		sink = microtel.Fanout(mt, sink)
+		onConcludeScan = mt.SampleOccupancy
+		user := onInterval
+		onInterval = func(e core.Estimate) {
+			mt.RecordEstimate(e.Structure, e.Interval, e.Failures, e.Injections)
+			if user != nil {
+				user(e)
+			}
+		}
+	}
 	est, err := core.NewEstimator(p, core.Options{
 		M: rc.M, N: rc.N,
 		Structures:     rc.Structures,
@@ -296,10 +323,11 @@ func RunCtx(ctx context.Context, rc RunConfig) (*Result, error) {
 		RecordLatency:  rc.RecordLatency,
 		Multiplex:      rc.Multiplex,
 		Lanes:          rc.Lanes,
-		OnInterval:     rc.OnInterval,
+		OnInterval:     onInterval,
 		OnIntervalSpan: rc.OnIntervalSpan,
 		StartInterval:  rc.StartInterval,
-		Sink:           rc.Sink,
+		Sink:           sink,
+		OnConcludeScan: onConcludeScan,
 	})
 	if err != nil {
 		return nil, err

@@ -108,8 +108,12 @@ type JobTemplate struct {
 	Structures      []string `json:"structures,omitempty"`
 	// Lanes > 1 submits multi-lane jobs (see the avfd lanes field):
 	// concurrent injection experiments sharing one cycle loop.
-	Lanes           int     `json:"lanes,omitempty"`
-	Flight          bool    `json:"flight,omitempty"`
+	Lanes  int  `json:"lanes,omitempty"`
+	Flight bool `json:"flight,omitempty"`
+	// Microtel submits jobs with the microarchitectural telemetry
+	// collector attached (see the avfd microtel field): occupancy
+	// residency, injection coverage, and confidence surfaces.
+	Microtel        bool    `json:"microtel,omitempty"`
 	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 }
 
@@ -357,6 +361,7 @@ type wireJob struct {
 	Structures      []string `json:"structures,omitempty"`
 	Lanes           int      `json:"lanes,omitempty"`
 	Flight          bool     `json:"flight,omitempty"`
+	Microtel        bool     `json:"microtel,omitempty"`
 	DeadlineSeconds float64  `json:"deadline_seconds,omitempty"`
 	SLOClass        string   `json:"slo_class,omitempty"`
 }
@@ -375,6 +380,7 @@ func (s *Spec) Body(client int, i int) []byte {
 		Structures:      c.Job.Structures,
 		Lanes:           c.Job.Lanes,
 		Flight:          c.Job.Flight,
+		Microtel:        c.Job.Microtel,
 		DeadlineSeconds: c.Job.DeadlineSeconds,
 		SLOClass:        c.SLOClass,
 	}

@@ -85,6 +85,10 @@ func (t *TLB) LookupEntry(addr uint64) (hit bool, entry int) {
 // Entries returns the TLB capacity.
 func (t *TLB) Entries() int { return len(t.entries) }
 
+// ValidEntries returns the number of resident translations. The index
+// map is an exact mirror of the valid entries, so this is O(1).
+func (t *TLB) ValidEntries() int { return len(t.index) }
+
 // Accesses returns the number of lookups performed.
 func (t *TLB) Accesses() int64 { return t.accesses }
 

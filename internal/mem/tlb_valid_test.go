@@ -1,0 +1,36 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTLBValidEntriesMirrorsValidArray: the O(1) ValidEntries accessor
+// (backed by the page index map) must always equal a direct count of the
+// valid array, through cold fills, hits, and LRU evictions.
+func TestTLBValidEntriesMirrorsValidArray(t *testing.T) {
+	tlb := NewTLB(16, 4096)
+	rng := rand.New(rand.NewSource(11))
+	countValid := func() int {
+		n := 0
+		for _, v := range tlb.valid {
+			if v {
+				n++
+			}
+		}
+		return n
+	}
+	if tlb.ValidEntries() != 0 {
+		t.Fatalf("fresh TLB reports %d valid entries", tlb.ValidEntries())
+	}
+	for i := 0; i < 5000; i++ {
+		// 64 hot pages against 16 entries: plenty of hits and evictions.
+		tlb.Lookup(uint64(rng.Intn(64)) << 12)
+		if got, want := tlb.ValidEntries(), countValid(); got != want {
+			t.Fatalf("after %d lookups: ValidEntries %d, direct count %d", i+1, got, want)
+		}
+	}
+	if tlb.ValidEntries() != 16 {
+		t.Fatalf("saturated TLB reports %d/16 valid entries", tlb.ValidEntries())
+	}
+}

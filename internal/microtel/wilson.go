@@ -1,0 +1,64 @@
+package microtel
+
+import "math"
+
+// DefaultZ is the 97.5th normal quantile: two-sided 95% intervals.
+const DefaultZ = 1.959963984540054
+
+// Confidence is the wire form of one estimate's uncertainty: the
+// binomial standard error (matching core.Estimate.StdErr) and a Wilson
+// score interval, which stays inside [0,1] and behaves sensibly at the
+// AVF extremes (p near 0, small n) where the normal approximation
+// collapses to a zero-width interval.
+type Confidence struct {
+	StdErr float64 `json:"stderr"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+}
+
+// Wilson returns the Wilson score interval for failures successes out
+// of n trials at normal quantile z. n <= 0 yields the vacuous [0,1].
+func Wilson(failures, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	nf := float64(n)
+	p := float64(failures) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	margin := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	// The analytic bounds are exact at the extremes (p=0 → lo=0,
+	// p=1 → hi=1); clamp away the floating-point residue so boundary
+	// estimates get boundary intervals.
+	if failures == 0 || lo < 0 {
+		lo = 0
+	}
+	if failures == n || hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// StdErr is the binomial standard error sqrt(p(1-p)/n) — the same
+// estimator core.Estimate.StdErr exposes, reproduced here so offline
+// consumers (avfreport, merges) need no core dependency.
+func StdErr(failures, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	p := float64(failures) / float64(n)
+	return math.Sqrt(p * (1 - p) / float64(n))
+}
+
+// Interval bundles the standard error and Wilson bounds for one
+// estimate at quantile z (DefaultZ if z == 0).
+func Interval(failures, n int, z float64) Confidence {
+	if z == 0 {
+		z = DefaultZ
+	}
+	lo, hi := Wilson(failures, n, z)
+	return Confidence{StdErr: StdErr(failures, n), Lo: lo, Hi: hi}
+}

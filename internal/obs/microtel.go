@@ -1,0 +1,95 @@
+package obs
+
+import "avfsim/internal/pipeline"
+
+// MicrotelMetrics exposes the microarchitectural telemetry layer
+// (internal/microtel) through the Registry:
+//
+//	avfd_microtel_occupancy{structure}       residency histogram of occupancy fraction per sample
+//	avfd_microtel_occupancy_mean{structure}  running mean occupancy fraction
+//	avfd_microtel_coverage_ratio{structure}  fraction of entries with >= 1 concluded injection
+//	avfd_microtel_ci_halfwidth{structure}    latest Wilson half-width on the structure's AVF stream
+//	avfd_microtel_samples_total              occupancy samples taken across all collectors
+//
+// Cells are pre-resolved per structure (the InjectionCounters pattern)
+// so collector updates are atomic ops — no map lookups, no allocations
+// on the sampling path.
+type MicrotelMetrics struct {
+	occ       [pipeline.NumStructures]*Histogram
+	occMean   [pipeline.NumStructures]*Gauge
+	coverage  [pipeline.NumStructures]*Gauge
+	halfwidth [pipeline.NumStructures]*Gauge
+	samples   *Counter
+}
+
+// occupancyBuckets spans the [0,1] occupancy-fraction range with finer
+// resolution at the ends, where residency distributions concentrate
+// (near-empty logic units, near-full register files).
+var occupancyBuckets = []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1}
+
+// NewMicrotelMetrics registers the microtel families in r.
+func NewMicrotelMetrics(r *Registry) *MicrotelMetrics {
+	m := &MicrotelMetrics{}
+	hv := r.HistogramVec("avfd_microtel_occupancy",
+		"Occupancy fraction of a monitored structure at estimator conclusion boundaries.",
+		occupancyBuckets, "structure")
+	mv := r.GaugeVec("avfd_microtel_occupancy_mean",
+		"Running mean occupancy fraction of a monitored structure.",
+		"structure")
+	cv := r.GaugeVec("avfd_microtel_coverage_ratio",
+		"Fraction of a structure's entries that have received at least one concluded injection.",
+		"structure")
+	wv := r.GaugeVec("avfd_microtel_ci_halfwidth",
+		"Half-width of the latest Wilson confidence interval on the structure's AVF stream.",
+		"structure")
+	m.samples = r.Counter("avfd_microtel_samples_total",
+		"Occupancy samples taken by microarchitectural telemetry collectors.")
+	for s := 0; s < pipeline.NumStructures; s++ {
+		name := pipeline.Structure(s).String()
+		m.occ[s] = hv.With(name)
+		m.occMean[s] = mv.With(name)
+		m.coverage[s] = cv.With(name)
+		m.halfwidth[s] = wv.With(name)
+	}
+	return m
+}
+
+// ObserveOccupancy records one occupancy-fraction sample.
+func (m *MicrotelMetrics) ObserveOccupancy(s pipeline.Structure, frac float64) {
+	if m == nil {
+		return
+	}
+	m.occ[s].Observe(frac)
+}
+
+// SetOccupancyMean publishes the running mean occupancy fraction.
+func (m *MicrotelMetrics) SetOccupancyMean(s pipeline.Structure, frac float64) {
+	if m == nil {
+		return
+	}
+	m.occMean[s].Set(frac)
+}
+
+// SetCoverage publishes the covered-entry ratio.
+func (m *MicrotelMetrics) SetCoverage(s pipeline.Structure, ratio float64) {
+	if m == nil {
+		return
+	}
+	m.coverage[s].Set(ratio)
+}
+
+// SetCIHalfwidth publishes the latest confidence half-width.
+func (m *MicrotelMetrics) SetCIHalfwidth(s pipeline.Structure, w float64) {
+	if m == nil {
+		return
+	}
+	m.halfwidth[s].Set(w)
+}
+
+// IncSamples counts one occupancy sample.
+func (m *MicrotelMetrics) IncSamples() {
+	if m == nil {
+		return
+	}
+	m.samples.Inc()
+}

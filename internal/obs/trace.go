@@ -171,6 +171,14 @@ func (t *JobTracer) RecordInjection(rec Injection) {
 	t.mu.Unlock()
 }
 
+// Dropped returns the number of records dropped at the retention cap —
+// the ring-saturation signal behind avfd_trace_records_dropped_total.
+func (t *JobTracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
 // Snapshot returns a copy of the retained records and the number
 // dropped at the cap.
 func (t *JobTracer) Snapshot() (recs []Injection, dropped int64) {

@@ -245,12 +245,19 @@ const dashboardHTML = `<!doctype html>
   canvas { display:block; }
   .alarm { color:#f66; }
   #conn { float:right; color:#888; }
+  #stale { display:none; background:#631; color:#fc9; padding:.4em .8em;
+           border-radius:4px; margin:.6em 0; }
 </style>
 </head>
 <body>
 <h1>avfd live AVF <span id="conn">connecting&hellip;</span></h1>
+<div id="stale"></div>
 <h2>per-interval AVF (online estimator)</h2>
 <div class="charts" id="charts"></div>
+<h2>microarchitectural telemetry</h2>
+<table id="microtel"><thead><tr>
+<th>structure</th><th>entries</th><th>covered</th><th>coverage</th><th>mean occupancy</th><th>concluded</th><th>AVF</th><th>95% CI</th>
+</tr></thead><tbody></tbody></table>
 <h2>SLO error budgets</h2>
 <table id="slo"><thead><tr>
 <th>class</th><th>objective</th><th>budget left</th><th>burn 5m</th><th>burn 1h</th><th>good</th><th>bad</th><th>recent violators</th>
@@ -374,18 +381,74 @@ function onState(ev) {
     ]});
   }
   fill("#slo", srows);
+  var mrows = [];
+  var mt = (st.stats && st.stats.microtel && st.stats.microtel.structures) || [];
+  for (var i = 0; i < mt.length; i++) {
+    var m = mt[i];
+    var ci = m.confidence ? "[" + fmt(m.confidence.lo) + ", " + fmt(m.confidence.hi) + "]" : "—";
+    var total = m.outcomes.failures + m.outcomes.masked + m.outcomes.pending;
+    mrows.push({ cells: [
+      m.structure, m.entries, m.covered,
+      (m.coverage_ratio * 100).toFixed(1) + "%",
+      fmt(m.occupancy_mean) + " / " + m.entries,
+      total, m.confidence ? fmt(m.avf) : "—", ci,
+    ]});
+  }
+  fill("#microtel", mrows);
   document.getElementById("sched").textContent = JSON.stringify(st.stats, null, 1);
 }
 
 function onAlarm(ev) { /* state refresh carries the log; nothing extra */ }
 
-var es = new EventSource("/debug/avf/stream");
+// Connection management: EventSource would reconnect on its own, but a
+// half-dead connection (proxy buffering, suspended laptop) keeps it
+// silently "open". We own the loop instead: any gap in events beyond
+// STALE_MS shows a staleness banner and a dead connection is torn down
+// and redialed with jittered exponential backoff, so a restarted server
+// never gets a synchronized stampede of dashboards.
 var conn = document.getElementById("conn");
-es.onopen = function () { conn.textContent = "live"; };
-es.onerror = function () { conn.textContent = "reconnecting…"; };
-es.addEventListener("estimate", onEstimate);
-es.addEventListener("state", onState);
-es.addEventListener("alarm", onAlarm);
+var staleBox = document.getElementById("stale");
+var es = null;
+var lastEvent = Date.now();
+var backoffMs = 500;
+var BACKOFF_MAX = 15000;
+var STALE_MS = 7000; // > 3 state periods: unambiguous silence
+
+function markEvent() { lastEvent = Date.now(); }
+
+function connect() {
+  if (es) es.close();
+  es = new EventSource("/debug/avf/stream");
+  es.onopen = function () {
+    conn.textContent = "live";
+    backoffMs = 500;
+    markEvent();
+  };
+  es.onerror = function () {
+    conn.textContent = "reconnecting…";
+    es.close();
+    var jitter = 0.5 + Math.random(); // 0.5x–1.5x: desynchronize clients
+    var delay = Math.min(backoffMs * jitter, BACKOFF_MAX);
+    backoffMs = Math.min(backoffMs * 2, BACKOFF_MAX);
+    setTimeout(connect, delay);
+  };
+  es.addEventListener("estimate", function (ev) { markEvent(); onEstimate(ev); });
+  es.addEventListener("state", function (ev) { markEvent(); onState(ev); });
+  es.addEventListener("alarm", function (ev) { markEvent(); onAlarm(ev); });
+}
+
+setInterval(function () {
+  var age = Date.now() - lastEvent;
+  if (age > STALE_MS) {
+    staleBox.style.display = "block";
+    staleBox.textContent = "⚠ data is stale: last event " +
+      Math.round(age / 1000) + "s ago (server unreachable or stream stalled)";
+  } else {
+    staleBox.style.display = "none";
+  }
+}, 1000);
+
+connect();
 </script>
 </body>
 </html>

@@ -1,0 +1,331 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// microtelJob is tinyJob plus the telemetry collector.
+const microtelJob = `{"benchmark":"bzip2","scale":0.02,"seed":3,"m":400,"n":50,"intervals":3,"microtel":true}`
+
+// covLine mirrors the NDJSON coverage wire shape (the fields these
+// tests reconcile).
+type covLine struct {
+	Type      string `json:"type"`
+	Structure string `json:"structure"`
+
+	Samples   int64 `json:"samples"`
+	Concluded int64 `json:"concluded"`
+
+	Failures int64 `json:"failures"`
+	Masked   int64 `json:"masked"`
+	Pending  int64 `json:"pending"`
+
+	Entries      int     `json:"entries"`
+	Covered      int     `json:"covered"`
+	OccupancySum int64   `json:"occupancy_sum"`
+	Residency    []int64 `json:"residency"`
+
+	Entry  *int `json:"entry"`
+	Bucket *int `json:"bucket"`
+	Lane   *int `json:"lane"`
+
+	Injections int64 `json:"injections"`
+}
+
+func (l covLine) total() int64 { return l.Failures + l.Masked + l.Pending }
+
+func fetchCoverage(t *testing.T, ts *httptest.Server, id string) []covLine {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET coverage: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("coverage content-type = %q", ct)
+	}
+	var lines []covLine
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var l covLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad coverage line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestMicrotelCoverageEndpoint submits a job with telemetry on and
+// checks the full surface: Wilson confidence on every streamed interval
+// point, and a coverage export whose summary, structure, entry, and
+// cycle-bucket lines all reconcile exactly — plus residency histograms
+// that integrate to the sample count and occupancy sum.
+func TestMicrotelCoverageEndpoint(t *testing.T) {
+	ts, _, _ := newTestServer(t, 2, 8)
+	id, code := postJob(t, ts, microtelJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d", code)
+	}
+	st := waitTerminal(t, ts, id, 30*time.Second)
+	if st.State != "done" {
+		t.Fatalf("job state = %q (%s)", st.State, st.Error)
+	}
+	if len(st.Intervals) == 0 {
+		t.Fatal("no interval points")
+	}
+	sumFail := map[string]int64{}
+	sumInj := map[string]int64{}
+	for _, pt := range st.Intervals {
+		cf := pt.Confidence
+		if cf == nil {
+			t.Fatalf("interval point %s/%d missing confidence", pt.Structure, pt.Interval)
+		}
+		if cf.Lo < 0 || cf.Hi > 1 || cf.Lo > pt.AVF || cf.Hi < pt.AVF {
+			t.Fatalf("interval %s/%d: AVF %g outside Wilson [%g, %g]",
+				pt.Structure, pt.Interval, pt.AVF, cf.Lo, cf.Hi)
+		}
+		sumFail[pt.Structure] += int64(pt.Failures)
+		sumInj[pt.Structure] += int64(pt.Injections)
+	}
+
+	lines := fetchCoverage(t, ts, id)
+	if len(lines) == 0 || lines[0].Type != "summary" {
+		t.Fatalf("coverage export must lead with a summary line, got %+v", lines[:1])
+	}
+	summary := lines[0]
+	if summary.Concluded == 0 || summary.Concluded != summary.total() {
+		t.Fatalf("summary concluded=%d but outcome total=%d", summary.Concluded, summary.total())
+	}
+
+	var structTotal int64
+	structs := map[string]covLine{}
+	entrySum := map[string]int64{}
+	cycleSum := map[string]int64{}
+	for _, l := range lines[1:] {
+		switch l.Type {
+		case "structure":
+			structs[l.Structure] = l
+			structTotal += l.total()
+		case "entry":
+			if l.Entry == nil {
+				t.Fatalf("entry line without entry index: %+v", l)
+			}
+			entrySum[l.Structure] += l.total()
+		case "cycles":
+			if l.Bucket == nil {
+				t.Fatalf("cycles line without bucket index: %+v", l)
+			}
+			cycleSum[l.Structure] += l.total()
+		case "lane":
+			// classic engine: no lanes expected, but lane lines are legal
+		default:
+			t.Fatalf("unknown coverage line type %q", l.Type)
+		}
+	}
+	if structTotal != summary.total() {
+		t.Fatalf("structure totals %d != summary total %d", structTotal, summary.total())
+	}
+	// Default spec: the four paper structures.
+	if len(structs) != 4 {
+		t.Fatalf("got %d structure lines, want 4", len(structs))
+	}
+	for name, sl := range structs {
+		if entrySum[name] != sl.total() {
+			t.Fatalf("%s: entry lines sum to %d, structure total %d", name, entrySum[name], sl.total())
+		}
+		if cycleSum[name] != sl.total() {
+			t.Fatalf("%s: cycle buckets sum to %d, structure total %d", name, cycleSum[name], sl.total())
+		}
+		// The per-interval estimate stream is a lower bound: the coverage
+		// map also holds conclusions outside completed intervals.
+		if sl.Failures < sumFail[name] {
+			t.Fatalf("%s: coverage failures %d < streamed interval failures %d",
+				name, sl.Failures, sumFail[name])
+		}
+		if sl.total() < sumInj[name] {
+			t.Fatalf("%s: coverage conclusions %d < streamed interval injections %d",
+				name, sl.total(), sumInj[name])
+		}
+		// Residency must integrate exactly to the sample count and the
+		// occupancy sum.
+		var n, sum int64
+		for k, c := range sl.Residency {
+			n += c
+			sum += int64(k) * c
+		}
+		if n != summary.Samples {
+			t.Fatalf("%s: residency mass %d != samples %d", name, n, summary.Samples)
+		}
+		if sum != sl.OccupancySum {
+			t.Fatalf("%s: residency integrates to %d, occupancy_sum %d", name, sum, sl.OccupancySum)
+		}
+		if sl.Covered == 0 || sl.Covered > sl.Entries {
+			t.Fatalf("%s: covered %d of %d entries", name, sl.Covered, sl.Entries)
+		}
+	}
+	if summary.Samples == 0 {
+		t.Fatal("no occupancy samples recorded")
+	}
+}
+
+// TestMicrotelLaneJob runs the lane engine with telemetry: lane lines
+// partition the concluded total and every lane sees work.
+func TestMicrotelLaneJob(t *testing.T) {
+	ts, _, _ := newTestServer(t, 2, 8)
+	id, code := postJob(t, ts,
+		`{"benchmark":"bzip2","scale":0.02,"seed":3,"m":400,"n":40,"intervals":2,"lanes":8,"microtel":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d", code)
+	}
+	st := waitTerminal(t, ts, id, 30*time.Second)
+	if st.State != "done" {
+		t.Fatalf("job state = %q (%s)", st.State, st.Error)
+	}
+	lines := fetchCoverage(t, ts, id)
+	summary := lines[0]
+	var laneInj int64
+	var lanes int
+	for _, l := range lines[1:] {
+		if l.Type != "lane" {
+			continue
+		}
+		lanes++
+		laneInj += l.Injections
+		if l.Injections == 0 {
+			t.Fatalf("lane %d idle", *l.Lane)
+		}
+	}
+	if lanes != 8 {
+		t.Fatalf("got %d lane lines, want 8", lanes)
+	}
+	if laneInj != summary.Concluded {
+		t.Fatalf("lane injections %d != concluded %d", laneInj, summary.Concluded)
+	}
+}
+
+// TestCoverageGating: jobs without microtel 404 with a hint; unknown
+// jobs 404.
+func TestCoverageGating(t *testing.T) {
+	ts, _, _ := newTestServer(t, 2, 8)
+	id, _ := postJob(t, ts, tinyJob)
+	waitTerminal(t, ts, id, 30*time.Second)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("coverage without microtel: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "microtel") {
+		t.Fatalf("404 body should hint at the microtel flag: %s", body)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/jobs/nope/coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("coverage for unknown job: status %d", resp2.StatusCode)
+	}
+}
+
+// TestOccupancyAggregate merges two microtel jobs' surfaces.
+func TestOccupancyAggregate(t *testing.T) {
+	ts, _, _ := newTestServer(t, 2, 8)
+	id1, _ := postJob(t, ts, microtelJob)
+	id2, _ := postJob(t, ts,
+		`{"benchmark":"mesa","scale":0.02,"seed":9,"m":400,"n":50,"intervals":2,"microtel":true}`)
+	waitTerminal(t, ts, id1, 30*time.Second)
+	waitTerminal(t, ts, id2, 30*time.Second)
+
+	c1 := fetchCoverage(t, ts, id1)[0]
+	c2 := fetchCoverage(t, ts, id2)[0]
+
+	resp, err := http.Get(ts.URL + "/v1/occupancy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var agg struct {
+		Jobs       int   `json:"jobs"`
+		Samples    int64 `json:"samples"`
+		Concluded  int64 `json:"concluded"`
+		Structures []struct {
+			Structure string  `json:"structure"`
+			Residency []int64 `json:"residency"`
+		} `json:"structures"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Jobs != 2 {
+		t.Fatalf("occupancy jobs = %d, want 2", agg.Jobs)
+	}
+	if agg.Concluded != c1.Concluded+c2.Concluded {
+		t.Fatalf("aggregate concluded %d != %d + %d", agg.Concluded, c1.Concluded, c2.Concluded)
+	}
+	if agg.Samples != c1.Samples+c2.Samples {
+		t.Fatalf("aggregate samples %d != %d + %d", agg.Samples, c1.Samples, c2.Samples)
+	}
+	if len(agg.Structures) != 4 {
+		t.Fatalf("aggregate structures = %d, want 4", len(agg.Structures))
+	}
+}
+
+// TestStatsDropsBlock: /v1/stats always carries the consolidated drop
+// counters, and the registry exports the matching counter families.
+func TestStatsDropsBlock(t *testing.T) {
+	ts, _, _ := newTestServer(t, 2, 8)
+	id, _ := postJob(t, ts, tinyJob)
+	waitTerminal(t, ts, id, 30*time.Second)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Drops map[string]int64 `json:"drops"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Drops == nil {
+		t.Fatal("stats payload missing drops block")
+	}
+	for _, key := range []string{"flight_events", "trace_records", "spans"} {
+		if _, ok := stats.Drops[key]; !ok {
+			t.Fatalf("drops block missing %q: %v", key, stats.Drops)
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, fam := range []string{"avfd_flight_dropped_total", "avfd_trace_records_dropped_total"} {
+		if !strings.Contains(string(body), fam) {
+			t.Fatalf("/metrics missing %s", fam)
+		}
+	}
+}

@@ -12,9 +12,11 @@
 //	GET    /v1/jobs/{id}/trace   NDJSON injection-lifecycle trace (needs WithMetrics)
 //	GET    /v1/jobs/{id}/flight  NDJSON propagation traces (needs "flight": true)
 //	GET    /v1/jobs/{id}/spans   NDJSON request spans of the job's trace (needs WithSpans)
+//	GET    /v1/jobs/{id}/coverage  NDJSON microarchitectural telemetry (needs "microtel": true)
 //	DELETE /v1/jobs/{id}      cancel (idempotent)
 //	GET    /v1/healthz        liveness
-//	GET    /v1/stats          scheduler counters + queue saturation + job-state census
+//	GET    /v1/occupancy      aggregate occupancy/coverage surface across microtel jobs
+//	GET    /v1/stats          scheduler counters + queue saturation + job-state census + drop counters
 //	GET    /v1/drift          drift-monitor snapshot: stream charts + alarm log
 //	GET    /v1/traces         trace summaries (?min_dur=&class=&state=&limit=; needs WithSpans)
 //	GET    /v1/slo            per-class error budgets + burn rates (needs WithSLO)
@@ -40,6 +42,7 @@ import (
 	"avfsim/internal/drift"
 	"avfsim/internal/experiment"
 	"avfsim/internal/flight"
+	"avfsim/internal/microtel"
 	"avfsim/internal/obs"
 	"avfsim/internal/pipeline"
 	"avfsim/internal/sched"
@@ -75,6 +78,13 @@ type JobSpec struct {
 	// the ring (events; default flight.DefaultCap).
 	Flight    bool `json:"flight,omitempty"`
 	FlightCap int  `json:"flight_cap,omitempty"`
+	// Microtel attaches the microarchitectural telemetry collector:
+	// occupancy residency histograms sampled at injection boundaries,
+	// (structure × entry × cycle-bucket) coverage maps, per-lane
+	// utilization, and Wilson confidence intervals on every streamed
+	// estimate. Served at GET /v1/jobs/{id}/coverage and aggregated at
+	// GET /v1/occupancy.
+	Microtel bool `json:"microtel,omitempty"`
 	// DeadlineSeconds bounds the job's run time (admission control): the
 	// run is canceled once it has executed this long. 0 inherits the
 	// server-wide default; values beyond the server's cap are clamped.
@@ -149,6 +159,9 @@ type IntervalPoint struct {
 	AVF        float64 `json:"avf"`
 	Failures   int     `json:"failures"`
 	Injections int     `json:"injections"`
+	// Confidence carries the estimate's standard error and Wilson score
+	// interval (only on jobs submitted with "microtel": true).
+	Confidence *microtel.Confidence `json:"confidence,omitempty"`
 }
 
 // StreamEvent is one NDJSON line of GET /v1/jobs/{id}/stream: "interval"
@@ -209,6 +222,9 @@ type job struct {
 	// flight records error-bit events for propagation-trace export (nil
 	// unless the spec asked for it).
 	flight *flight.Recorder
+	// microtel accumulates occupancy residency, injection coverage, and
+	// confidence surfaces (nil unless the spec asked for it).
+	microtel *microtel.Collector
 
 	// Request tracing (zero values when the server runs without
 	// WithSpans): the job's trace identity, the remote parent span ID
@@ -366,6 +382,9 @@ type Server struct {
 	httpm          *obs.HTTPMetrics
 	injc           *obs.InjectionCounters
 	streamedPoints *obs.Counter
+	// microtelMetrics mirrors every microtel collector into the shared
+	// registry (nil without WithMetrics; collectors take nil gracefully).
+	microtelMetrics *obs.MicrotelMetrics
 
 	// spans is the bounded ring of completed request spans (nil without
 	// WithSpans — every recording site is nil-safe, so disabled tracing
@@ -415,6 +434,7 @@ func WithMetrics(r *obs.Registry) Option {
 		s.reg = r
 		s.httpm = obs.NewHTTPMetrics(r)
 		s.injc = obs.NewInjectionCounters(r)
+		s.microtelMetrics = obs.NewMicrotelMetrics(r)
 		s.streamedPoints = r.Counter("avfd_http_streamed_points_total",
 			"Per-interval estimate events written to NDJSON stream clients.")
 		s.driftAlarms = r.CounterVec("avfd_drift_alarms_total",
@@ -537,6 +557,22 @@ func New(pool *sched.Pool, opts ...Option) *Server {
 	// no goroutine keeps them fresh. Registered here (not in WithMetrics)
 	// because they need both the registry and the engine, whatever the
 	// option order.
+	// Drop accounting: every bounded buffer that can shed data under
+	// pressure (flight rings, trace rings, span ring) reports its drops
+	// as a counter, so "the telemetry is lying to me" is itself observable.
+	if s.reg != nil {
+		s.reg.CounterFunc("avfd_flight_dropped_total",
+			"Flight-recorder events dropped by ring overwrite, summed across jobs.",
+			func() int64 { f, _ := s.dropTotals(); return f })
+		s.reg.CounterFunc("avfd_trace_records_dropped_total",
+			"Injection-trace records dropped by ring overwrite, summed across jobs.",
+			func() int64 { _, tr := s.dropTotals(); return tr })
+	}
+	if s.reg != nil && s.spans != nil {
+		s.reg.CounterFunc("avfd_spans_dropped_total",
+			"Completed request spans dropped by the bounded span ring.",
+			s.spans.Dropped)
+	}
 	if s.reg != nil && s.slo != nil {
 		budget := s.reg.GaugeVec("avfd_slo_budget_remaining",
 			"Fraction of the class's rolling 1h error budget still unspent.", "class")
@@ -556,6 +592,22 @@ func New(pool *sched.Pool, opts ...Option) *Server {
 // Drift exposes the drift monitor (tests and embedding callers).
 func (s *Server) Drift() *drift.Monitor { return s.drift }
 
+// dropTotals sums per-job flight-recorder and injection-trace drops
+// across all retained jobs (live and terminal).
+func (s *Server) dropTotals() (flightDrops, traceDrops int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if j.flight != nil {
+			flightDrops += j.flight.Dropped()
+		}
+		if j.tracer != nil {
+			traceDrops += j.tracer.Dropped()
+		}
+	}
+	return flightDrops, traceDrops
+}
+
 // Handler returns the route table, instrumented per-route when the
 // server was built WithMetrics (route labels are the patterns below,
 // so per-job paths aggregate into one series each).
@@ -574,6 +626,8 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/jobs/{id}/trace", s.handleTrace)
 	handle("GET /v1/jobs/{id}/flight", s.handleFlight)
 	handle("GET /v1/jobs/{id}/spans", s.handleSpans)
+	handle("GET /v1/jobs/{id}/coverage", s.handleCoverage)
+	handle("GET /v1/occupancy", s.handleOccupancy)
 	handle("DELETE /v1/jobs/{id}", s.handleCancel)
 	handle("GET /v1/healthz", s.handleHealthz)
 	handle("GET /v1/stats", s.handleStats)
@@ -849,6 +903,10 @@ func (s *Server) launch(j *job, rc experiment.RunConfig) error {
 			Failures:   est.Failures,
 			Injections: est.Injections,
 		}
+		if j.microtel != nil {
+			cf := microtel.Interval(est.Failures, est.Injections, 0)
+			pt.Confidence = &cf
+		}
 		// Resumed jobs replay deterministically through intervals the WAL
 		// already holds; StartInterval suppresses whole interval groups
 		// below the checkpoint and this filter drops the ragged remainder
@@ -894,6 +952,12 @@ func (s *Server) launch(j *job, rc experiment.RunConfig) error {
 	if spec.Flight {
 		j.flight = flight.New(spec.FlightCap)
 		rc.Recorder = j.flight
+	}
+	if spec.Microtel {
+		// Created inside launch (not submit) so a WAL-recovered job gets a
+		// fresh collector: Bind is once-per-run and the resumed run rebinds.
+		j.microtel = microtel.New(microtel.Config{Metrics: s.microtelMetrics})
+		rc.Microtel = j.microtel
 	}
 	deadline := s.effectiveDeadline(&spec)
 	// The queue span opens before Submit (its start is the enqueue
@@ -1243,6 +1307,51 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	span.WriteNDJSON(w, s.spans.ForJob(j.id))
 }
 
+// handleCoverage serves the job's microarchitectural telemetry as
+// NDJSON: a summary line (reconciling exactly with the concluded
+// injection counts in the job status), per-structure occupancy/coverage/
+// confidence lines, nonzero (structure × entry) and (structure ×
+// cycle-bucket) outcome lines, and per-lane utilization.
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if j.microtel == nil {
+		writeError(w, http.StatusNotFound,
+			`microarchitectural telemetry disabled (submit with "microtel": true)`)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	s.armStreamWrite(w)() // one bulk write: a single rolling deadline
+	j.microtel.WriteNDJSON(w)
+}
+
+// handleOccupancy serves the aggregate occupancy/coverage surface:
+// per-structure snapshots merged across every job running with
+// microtel (live and finished, within retention).
+func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	var snaps []*microtel.Snapshot
+	for _, j := range s.jobs {
+		if j.microtel != nil && j.microtel.Enabled() {
+			snaps = append(snaps, j.microtel.Snapshot())
+		}
+	}
+	s.mu.Unlock()
+	merged := microtel.MergeSnapshots(snaps)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":       len(snaps),
+		"samples":    merged.Samples,
+		"concluded":  merged.Concluded,
+		"totals":     merged.Totals,
+		"structures": merged.Structures,
+	})
+}
+
 // handleTraces serves trace summaries, newest first. Query params:
 // min_dur (seconds, float), class, state filter; limit bounds the
 // result (default 100).
@@ -1307,8 +1416,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) statsPayload() map[string]any {
 	s.mu.Lock()
 	census := map[string]int{}
+	var flightDrops, traceDrops int64
+	var mtSnaps []*microtel.Snapshot
 	for _, j := range s.jobs {
 		census[j.state()]++
+		if j.flight != nil {
+			flightDrops += j.flight.Dropped()
+		}
+		if j.tracer != nil {
+			traceDrops += j.tracer.Dropped()
+		}
+		if j.microtel != nil && j.microtel.Enabled() {
+			mtSnaps = append(mtSnaps, j.microtel.Snapshot())
+		}
 	}
 	total := len(s.jobs)
 	s.mu.Unlock()
@@ -1332,6 +1452,24 @@ func (s *Server) statsPayload() map[string]any {
 		"classes": ps.Classes,
 		"jobs":    map[string]any{"total": total, "by_state": census},
 		"drift":   map[string]any{"total_alarms": s.drift.TotalAlarms()},
+		// Every bounded telemetry buffer's shed count, in one place: how
+		// much the flight rings, injection-trace rings, and span ring have
+		// dropped under pressure across retained jobs.
+		"drops": map[string]any{
+			"flight_events": flightDrops,
+			"trace_records": traceDrops,
+			"spans":         s.spans.Dropped(),
+		},
+	}
+	if len(mtSnaps) > 0 {
+		merged := microtel.MergeSnapshots(mtSnaps)
+		out["microtel"] = map[string]any{
+			"jobs":       len(mtSnaps),
+			"samples":    merged.Samples,
+			"concluded":  merged.Concluded,
+			"totals":     merged.Totals,
+			"structures": merged.Structures,
+		}
 	}
 	if s.spans != nil {
 		out["spans"] = map[string]any{

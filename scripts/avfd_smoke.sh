@@ -9,6 +9,11 @@
 # /v1/slo. The span NDJSON is left at $SPAN_OUT (default
 # avfd-spans.ndjson) for the CI workflow to archive.
 #
+# The multi-lane leg runs with microarchitectural telemetry on: its
+# coverage export must reconcile exactly with the job status (concluded
+# injections, failures, per-lane utilization) and is left at
+# $COVERAGE_OUT (default avfd-coverage.ndjson) for CI to archive.
+#
 # A second leg exercises crash recovery: a durable daemon (-data-dir)
 # is SIGKILLed mid-job, restarted on the same directory, and the
 # resumed job's NDJSON estimate stream must be byte-identical to an
@@ -34,6 +39,7 @@ TRACE_ID="4bf92f3577b34da6a3ce929d0e0e4736"
 PARENT_SPAN="00f067aa0ba902b7"
 TRACEPARENT="00-$TRACE_ID-$PARENT_SPAN-01"
 SPAN_OUT="${SPAN_OUT:-avfd-spans.ndjson}"
+COVERAGE_OUT="${COVERAGE_OUT:-avfd-coverage.ndjson}"
 # Long enough (40 intervals x 100k cycles) that the SIGKILL below lands
 # mid-run with checkpoints already durable and plenty still to go.
 RECOVERY_SPEC='{"benchmark":"bzip2","scale":0.02,"seed":7,"m":2000,"n":50,"intervals":40}'
@@ -225,7 +231,7 @@ echo "ok: /v1/slo charged the completed job ($GOOD good)"
 # concluded injection spills into an uncounted fourth interval — the
 # closed-trace count then equals the status injection sum exactly.
 LANES=16
-LANE_SPEC='{"benchmark":"bzip2","scale":0.02,"seed":3,"m":400,"n":48,"intervals":3,"lanes":'$LANES',"flight":true}'
+LANE_SPEC='{"benchmark":"bzip2","scale":0.02,"seed":3,"m":400,"n":48,"intervals":3,"lanes":'$LANES',"flight":true,"microtel":true}'
 LANE_SUBMIT=$(curl -fsS "$BASE/v1/jobs" -d "$LANE_SPEC")
 LANE_JOB=$(printf '%s' "$LANE_SUBMIT" | json_str id)
 [ -n "$LANE_JOB" ] || fail "multi-lane submit returned no job id: $LANE_SUBMIT"
@@ -252,6 +258,59 @@ GOT_IV=$(curl -fsS "$BASE/v1/jobs/$LANE_JOB/spans" | grep -c '"name":"interval"'
 [ "$GOT_IV" -eq "$WANT_IV" ] ||
     fail "lane interval spans ($GOT_IV) != status estimates ($WANT_IV)"
 echo "ok: multi-lane job reconciles ($GOT_CLOSED closed, $GOT_FAIL failures, $GOT_OPEN live lanes, $GOT_IV interval spans)"
+
+# ---------------------------------------------------------------------
+# Microtel leg: the multi-lane job ran with "microtel": true, so its
+# coverage export must reconcile exactly with the same job status the
+# flight export just did — summary concluded == status injections,
+# summary failures == status failures, structure lines == summary,
+# entry lines == structure lines, 16 lane lines partitioning the total
+# — and every streamed estimate must carry a Wilson confidence interval.
+# ---------------------------------------------------------------------
+
+curl -fsS "$BASE/v1/jobs/$LANE_JOB/coverage" >"$COVERAGE_OUT"
+SUMMARY=$(head -1 "$COVERAGE_OUT")
+printf '%s' "$SUMMARY" | grep -q '"type":"summary"' ||
+    fail "coverage export does not lead with a summary line: $SUMMARY"
+COV_CONCLUDED=$(printf '%s' "$SUMMARY" | json_int_sum concluded)
+COV_FAIL=$(printf '%s' "$SUMMARY" | json_int_sum failures)
+[ "$COV_CONCLUDED" -eq "$WANT_CLOSED" ] ||
+    fail "coverage concluded ($COV_CONCLUDED) != estimator injections ($WANT_CLOSED)"
+[ "$COV_FAIL" -eq "$WANT_FAIL" ] ||
+    fail "coverage failures ($COV_FAIL) != estimator failures ($WANT_FAIL)"
+STRUCT_LINES=$(grep '"type":"structure"' "$COVERAGE_OUT")
+STRUCT_TOTAL=$(($(printf '%s\n' "$STRUCT_LINES" | json_int_sum failures) +
+    $(printf '%s\n' "$STRUCT_LINES" | json_int_sum masked) +
+    $(printf '%s\n' "$STRUCT_LINES" | json_int_sum pending)))
+[ "$STRUCT_TOTAL" -eq "$COV_CONCLUDED" ] ||
+    fail "structure lines sum to $STRUCT_TOTAL, summary concluded $COV_CONCLUDED"
+ENTRY_LINES=$(grep '"type":"entry"' "$COVERAGE_OUT")
+ENTRY_TOTAL=$(($(printf '%s\n' "$ENTRY_LINES" | json_int_sum failures) +
+    $(printf '%s\n' "$ENTRY_LINES" | json_int_sum masked) +
+    $(printf '%s\n' "$ENTRY_LINES" | json_int_sum pending)))
+[ "$ENTRY_TOTAL" -eq "$COV_CONCLUDED" ] ||
+    fail "entry lines sum to $ENTRY_TOTAL, summary concluded $COV_CONCLUDED"
+LANE_LINES=$(grep -c '"type":"lane"' "$COVERAGE_OUT" || true)
+[ "$LANE_LINES" -eq "$LANES" ] || fail "coverage has $LANE_LINES lane lines, want $LANES"
+LANE_INJ=$(grep '"type":"lane"' "$COVERAGE_OUT" | json_int_sum injections)
+[ "$LANE_INJ" -eq "$COV_CONCLUDED" ] ||
+    fail "lane injections ($LANE_INJ) != concluded ($COV_CONCLUDED)"
+SAMPLES=$(printf '%s' "$SUMMARY" | json_int_sum samples)
+[ "$SAMPLES" -ge 1 ] || fail "coverage recorded no occupancy samples"
+printf '%s' "$LANE_STATUS" | grep -q '"confidence"' ||
+    fail "microtel job status estimates carry no confidence intervals"
+curl -fsS "$BASE/v1/occupancy" | grep -q '"structure": *"iq"' ||
+    fail "/v1/occupancy missing the iq structure"
+STATS=$(curl -fsS "$BASE/v1/stats")
+printf '%s' "$STATS" | grep -q '"drops"' || fail "/v1/stats missing drops block"
+printf '%s' "$STATS" | grep -q '"flight_events"' || fail "drops block missing flight_events"
+printf '%s' "$STATS" | grep -q '"microtel"' || fail "/v1/stats missing microtel block"
+MT_METRICS=$(curl -fsS "$BASE/metrics")
+printf '%s\n' "$MT_METRICS" | grep -q '^avfd_microtel_occupancy_mean{' ||
+    fail "/metrics missing avfd_microtel_occupancy_mean"
+printf '%s\n' "$MT_METRICS" | grep -q '^avfd_flight_dropped_total ' ||
+    fail "/metrics missing avfd_flight_dropped_total"
+echo "ok: microtel coverage reconciles ($COV_CONCLUDED concluded, $SAMPLES samples, $LANE_LINES lanes) -> $COVERAGE_OUT"
 
 # ---------------------------------------------------------------------
 # Crash-recovery leg: kill -9 a durable daemon mid-job, restart on the

@@ -21,6 +21,9 @@
 // two scheduler-dispatch
 // scenarios compare single-class submission against a four-SLO-class
 // mix (ns per dispatched task): sched-single and sched-classes. With
+// -cache two result-cache scenarios measure the admission fast path —
+// spec canonicalization + SHA-256 keying (cache-key) and keying + hit
+// lookup against a populated cache (cache-hit), in ns per op. With
 // -lanes 8,32,64 the estimator and fused scenarios are re-measured with
 // the multi-lane injection engine (estimator+lanes<k>, fused+lanes<k>);
 // the inj/sec column — injections concluded per wall-second — is the
@@ -46,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"avfsim/internal/cache"
 	"avfsim/internal/config"
 	"avfsim/internal/core"
 	"avfsim/internal/flight"
@@ -128,6 +132,21 @@ var microtelScenarios = []scenarioDef{
 	{name: "fused+microtel", softarch: true, estimator: true, microtel: true},
 }
 
+// cacheScenarios measure the content-addressed result cache's admission
+// fast path (reusing the ns/cycle column; "cycles" = operations):
+// cache-key is spec canonicalization + SHA-256 keying alone — the cost
+// every submission pays when the cache is on — and cache-hit adds the
+// Begin lookup against a populated cache, the whole server-side
+// decision for a duplicate submission before the replay write. Only run
+// with -cache, for the same report-shape stability reason as -flight.
+var cacheScenarios = []struct {
+	name string
+	hit  bool
+}{
+	{name: "cache-key"},
+	{name: "cache-hit", hit: true},
+}
+
 // schedScenarios measure the scheduler's dispatch path: no-op tasks
 // pushed through the worker pool, reported as ns per dispatched task
 // (reusing the ns/cycle column; "cycles" = tasks). sched-single keeps
@@ -161,6 +180,7 @@ func main() {
 		doSpan    = flag.Bool("span", false, "also measure estimator/fused with per-interval request-span recording attached")
 		doMicro   = flag.Bool("microtel", false, "also measure estimator/fused with the microarchitectural telemetry collector attached")
 		doSched   = flag.Bool("sched", false, "also measure scheduler dispatch: single-class vs per-SLO-class queues (ns per task)")
+		doCache   = flag.Bool("cache", false, "also measure the result cache's admission path: spec keying and hit lookup (ns per op)")
 		doLanes   = flag.String("lanes", "", "comma-separated lane counts >1 (e.g. 8,32,64): also measure estimator/fused with the multi-lane injection engine")
 	)
 	flag.Parse()
@@ -243,6 +263,20 @@ func main() {
 				fmt.Fprintf(os.Stderr, "avfbench: %s: %v\n", def.name, err)
 				os.Exit(1)
 			}
+			rep.Scenarios = append(rep.Scenarios, *sc)
+			fmt.Printf("%-18s %12.1f %14.0f %12.4f %12.1f %8.4f %12s\n",
+				sc.Name, sc.NsPerCycle, sc.CyclesPerSec,
+				sc.AllocsPerCycle, sc.BytesPerCycle, sc.IPC, "-")
+		}
+	}
+	if *doCache {
+		// Keying is µs-scale per op like scheduler dispatch; same budget.
+		ops := *cycles / 20
+		if ops < 10_000 {
+			ops = 10_000
+		}
+		for _, def := range cacheScenarios {
+			sc := runCacheScenario(def.name, def.hit, *bench, ops)
 			rep.Scenarios = append(rep.Scenarios, *sc)
 			fmt.Printf("%-18s %12.1f %14.0f %12.4f %12.1f %8.4f %12s\n",
 				sc.Name, sc.NsPerCycle, sc.CyclesPerSec,
@@ -470,6 +504,66 @@ func parseLaneCounts(s string) ([]int, error) {
 		out = append(out, k)
 	}
 	return out, nil
+}
+
+// benchCacheEntries sizes the populated cache for the hit scenario —
+// the avfd -cache-max default, so lookups run at production occupancy.
+const benchCacheEntries = 4096
+
+// runCacheScenario measures the result cache's admission fast path as
+// ns per operation (in the ns/cycle column; Cycles = ops, IPC left 0).
+// Every op canonicalizes a spec and computes its SHA-256 key — the work
+// handleSubmit adds when the cache is on; with hit=true the op also
+// runs Begin against a cache populated to the daemon's default
+// capacity, cycling over resident keys so every lookup lands.
+func runCacheScenario(name string, hit bool, bench string, ops int64) *perfstat.Scenario {
+	spec := func(i int64) cache.Canonical {
+		return cache.Canonical{
+			Benchmark: bench, Scale: 0.02, Seed: uint64(i),
+			M: benchM, N: benchN, Intervals: 10,
+		}
+	}
+	c := cache.New(benchCacheEntries)
+	if hit {
+		for i := int64(0); i < benchCacheEntries; i++ {
+			c.Put(spec(i).Key(), i)
+		}
+	}
+
+	op := func(i int64) {
+		k := spec(i % benchCacheEntries).Key()
+		if hit {
+			if out := c.Begin(k, "bench", nil); !out.Hit {
+				panic(fmt.Sprintf("avfbench: %s: op %d missed a populated cache", name, i))
+			}
+		}
+	}
+	for i := int64(0); i < ops/10; i++ { // warm-up
+		op(i)
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := int64(0); i < ops; i++ {
+		op(i)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	sc := &perfstat.Scenario{
+		Name:           name,
+		Cycles:         ops,
+		WallNs:         wall.Nanoseconds(),
+		NsPerCycle:     float64(wall.Nanoseconds()) / float64(ops),
+		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		BytesPerCycle:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+	}
+	if sc.NsPerCycle > 0 {
+		sc.CyclesPerSec = 1e9 / sc.NsPerCycle
+	}
+	return sc
 }
 
 // runSchedScenario pushes `tasks` no-op jobs through a worker pool,

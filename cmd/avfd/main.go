@@ -6,7 +6,8 @@
 // Usage:
 //
 //	avfd [-addr :8080] [-workers N] [-queue N] [-drain 30s]
-//	     [-data-dir DIR] [-retention 0] [-retention-max 0] [-deadline 0]
+//	     [-data-dir DIR] [-compact-bytes 0] [-cache-max 4096]
+//	     [-retention 0] [-retention-max 0] [-deadline 0]
 //	     [-max-body 1048576] [-read-header-timeout 5s] [-read-timeout 30s]
 //	     [-write-timeout 30s] [-idle-timeout 2m] [-stream-write-timeout 30s]
 //	     [-spans] [-span-cap 16384] [-slo-config FILE]
@@ -41,6 +42,14 @@
 // and re-enqueues interrupted ones — the simulator is deterministic in
 // (spec, seed), so a resumed job emits the remaining intervals exactly
 // as the uninterrupted run would have.
+//
+// Completed runs land in a content-addressed result cache (-cache-max):
+// resubmitting an identical spec — up to default materialization, the
+// simulator is a pure function of (spec, seed) — replays the original
+// NDJSON stream byte-identically in microseconds without executing, and
+// concurrent identical submissions collapse onto a single simulation
+// (single-flight). Cache entries persist through the WAL when the
+// daemon is durable, so the cache survives restarts.
 //
 // With -pprof, the standard profiling endpoints are served under
 // /debug/pprof/ (CPU profile, heap, goroutines, execution trace).
@@ -97,6 +106,8 @@ func main() {
 	queue := flag.Int("queue", 64, "job queue capacity (submissions beyond it get 429)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 	dataDir := flag.String("data-dir", "", "durable job store directory (empty = in-memory only)")
+	compactBytes := flag.Int64("compact-bytes", 0, "compact the WAL into a snapshot past this size (0 = 4 MiB default, negative disables)")
+	cacheMax := flag.Int("cache-max", 4096, "result-cache capacity in completed runs (0 = unbounded, negative disables the cache)")
 	retention := flag.Duration("retention", 0, "evict terminal jobs older than this (0 = keep)")
 	retentionMax := flag.Int("retention-max", 0, "keep at most this many terminal jobs (0 = unlimited)")
 	deadline := flag.Duration("deadline", 0, "cap on each job's run time (0 = unlimited)")
@@ -130,6 +141,12 @@ func main() {
 		server.WithMaxBodyBytes(*maxBody),
 		server.WithStreamWriteTimeout(*streamWriteTimeout),
 	}
+	if *cacheMax >= 0 {
+		// The content-addressed result cache: duplicate submissions replay
+		// the original run's stream byte-identically in microseconds, and
+		// concurrent identical submissions collapse onto one simulation.
+		opts = append(opts, server.WithResultCache(*cacheMax))
+	}
 	objs, err := loadObjectives(*sloConfig)
 	if err != nil {
 		logger.Error("load SLO objectives", "file", *sloConfig, "error", err)
@@ -141,7 +158,7 @@ func main() {
 	}
 	var st *store.Store
 	if *dataDir != "" {
-		st, err = store.Open(*dataDir, store.Options{Metrics: reg})
+		st, err = store.Open(*dataDir, store.Options{Metrics: reg, CompactBytes: *compactBytes})
 		if err != nil {
 			logger.Error("open job store", "dir", *dataDir, "error", err)
 			os.Exit(1)

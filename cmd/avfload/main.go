@@ -234,7 +234,9 @@ func (d *driver) submit(ctx context.Context, ar load.Arrival, start time.Time) l
 	case http.StatusAccepted:
 		out.Status = load.StatusAccepted
 		var acc struct {
-			ID string `json:"id"`
+			ID     string `json:"id"`
+			State  string `json:"state"`
+			Cached bool   `json:"cached"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil || acc.ID == "" {
 			out.Status = load.StatusError
@@ -242,7 +244,13 @@ func (d *driver) submit(ctx context.Context, ar load.Arrival, start time.Time) l
 			return out
 		}
 		out.JobID = acc.ID
-		if d.track {
+		out.Cached = acc.Cached
+		if acc.State == "done" {
+			// A result-cache hit comes back already terminal: the submit
+			// round trip is the whole job, so there is nothing to track.
+			out.Final = acc.State
+			out.CompleteMS = out.AcceptMS
+		} else if d.track {
 			d.trackJob(ctx, &out, t0)
 		}
 	case http.StatusTooManyRequests:
@@ -287,8 +295,9 @@ func (d *driver) trackJob(ctx context.Context, out *load.Outcome, submitted time
 		resp, err := d.client.Get(d.target + "/v1/jobs/" + out.JobID)
 		if err == nil {
 			var st struct {
-				State string `json:"state"`
-				Error string `json:"error"`
+				State  string `json:"state"`
+				Error  string `json:"error"`
+				Cached bool   `json:"cached"`
 			}
 			derr := json.NewDecoder(resp.Body).Decode(&st)
 			resp.Body.Close()
@@ -297,6 +306,9 @@ func (d *driver) trackJob(ctx context.Context, out *load.Outcome, submitted time
 				case "done", "failed", "canceled", "shed":
 					out.Final = st.State
 					out.CompleteMS = float64(time.Since(submitted)) / float64(time.Millisecond)
+					if st.Cached {
+						out.Cached = true
+					}
 					if st.Error != "" {
 						out.Err = st.Error
 					}

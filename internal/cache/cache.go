@@ -1,0 +1,316 @@
+// Package cache is avfd's content-addressed result cache. The simulator
+// is a pure function of its canonical run parameters — the crash-resume
+// byte-identity proof (internal/store) is exactly a memoization
+// argument — so a completed run's interval series and final estimates
+// can be replayed to any later submission of the same spec without
+// re-executing a single cycle.
+//
+// Two mechanisms live here:
+//
+//   - Content addressing: Canonical is the simulation-relevant
+//     projection of a job spec with every default materialized, and Key
+//     is the SHA-256 of its deterministic encoding. Specs that differ
+//     only in presentation (explicit vs. omitted defaults, lanes 0 vs.
+//     1) map to the same key; specs that differ in anything the
+//     estimate series depends on never collide.
+//
+//   - Single-flight collapsing: concurrent submissions of one key
+//     execute exactly one simulation. The first becomes the leader; the
+//     rest attach to its Flight and ride the leader's live run.
+//
+// The cache stores opaque values — the server owns the wire shapes —
+// which keeps it reusable and dependency-light.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"avfsim/internal/pipeline"
+)
+
+// Key is the content address of one canonical run: SHA-256 over the
+// normalized spec encoding.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex (the persisted form).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey decodes the hex form produced by String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("cache: bad key %q: %w", s, err)
+	}
+	if len(b) != len(k) {
+		return k, fmt.Errorf("cache: bad key %q: want %d bytes, got %d", s, len(k), len(b))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Canonical is the simulation-relevant projection of a job spec: every
+// field the estimate series depends on, and nothing else. Presentation
+// and scheduling fields (flight recording, microtel, deadlines, SLO
+// class, trace context) must not appear here — they change how a run is
+// observed, never what it computes.
+//
+// Field order is the encoding order and therefore part of the key
+// format; append new fields, never reorder.
+type Canonical struct {
+	Benchmark      string   `json:"benchmark"`
+	Scale          float64  `json:"scale"`
+	Seed           uint64   `json:"seed"`
+	M              int64    `json:"m"`
+	N              int      `json:"n"`
+	Intervals      int      `json:"intervals"`
+	Structures     []string `json:"structures"`
+	Window         int      `json:"window"`
+	RandomEntry    bool     `json:"random_entry"`
+	RandomSchedule bool     `json:"random_schedule"`
+	Multiplex      bool     `json:"multiplex"`
+	Lanes          int      `json:"lanes"`
+}
+
+// normalize materializes the run defaults (experiment.RunConfig's: the
+// paper's M = N = 1000, 10 intervals, scale 1, the four paper
+// structures) so a spec written tersely and one spelling its defaults
+// out hash identically. Lanes 0 and 1 both run the classic estimator —
+// the golden-digest gate pins them byte-identical — so both fold to 0.
+func (c *Canonical) normalize() {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.M == 0 {
+		c.M = 1000
+	}
+	if c.N == 0 {
+		c.N = 1000
+	}
+	if c.Intervals == 0 {
+		c.Intervals = 10
+	}
+	if c.Lanes <= 1 {
+		c.Lanes = 0
+	}
+	if len(c.Structures) == 0 {
+		names := make([]string, 0, len(pipeline.PaperStructures))
+		for _, st := range pipeline.PaperStructures {
+			names = append(names, st.String())
+		}
+		c.Structures = names
+	}
+}
+
+// Key normalizes a copy of c and hashes its encoding. Structure order is
+// preserved: the monitored set is positional in the result series, so
+// ["reg","iq"] is a different run than ["iq","reg"].
+func (c Canonical) Key() Key {
+	c.normalize()
+	b, err := json.Marshal(&c)
+	if err != nil {
+		// Canonical is scalars and a string slice; Marshal cannot fail.
+		panic("cache: marshal canonical: " + err.Error())
+	}
+	return Key(sha256.Sum256(b))
+}
+
+// Flight is one in-flight simulation other submissions may attach to.
+// The leader resolves it twice: once when its launch settles (Launched
+// or Abort — followers block on that via Resolve) and once when the run
+// is terminal (Complete or Drop).
+type Flight struct {
+	// LeaderID is the leader's job ID (surfaced in follower statuses).
+	LeaderID string
+	// Leader is the leader's job, opaque to the cache.
+	Leader any
+
+	ready chan struct{}
+	err   error
+}
+
+// Resolve blocks until the leader's launch settled and returns its
+// error: nil means the leader is running (or already finished) and the
+// follower may attach; non-nil is the leader's admission failure, which
+// applies equally to the follower (an identical spec rejected for queue
+// pressure would have been rejected too).
+func (f *Flight) Resolve() error {
+	<-f.ready
+	return f.err
+}
+
+// Outcome is the cache's verdict on one submission.
+type Outcome struct {
+	// Hit: Value holds the cached terminal state; serve it directly.
+	Hit   bool
+	Value any
+	// Flight, when non-nil, is an identical run already in flight:
+	// Resolve it and attach to Flight.Leader as a follower.
+	Flight *Flight
+	// Lead: the caller is the single-flight leader. It must call
+	// Launched or Abort once its launch settles, then Complete or Drop
+	// at terminal.
+	Lead bool
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Entries and Inflight are current occupancy.
+	Entries  int `json:"entries"`
+	Inflight int `json:"inflight"`
+	// Hits, Misses, Followers, Evicted are cumulative. Every
+	// cache-eligible submission is exactly one of hit, miss (leader), or
+	// follower, so the three reconcile with the submission count.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Followers int64 `json:"singleflight_followers"`
+	Evicted   int64 `json:"evicted"`
+}
+
+// Cache is the content-addressed result store plus the single-flight
+// table. Values are opaque and treated as immutable. All methods are
+// safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[Key]any
+	order    []Key // insertion order: the FIFO eviction queue
+	inflight map[Key]*Flight
+
+	hits, misses, followers, evicted int64
+}
+
+// New builds a cache holding at most max entries (<= 0: unbounded).
+// Eviction is FIFO: results are deterministic and re-derivable, so the
+// cheap policy is fine — an evicted entry costs one re-run, not data.
+func New(max int) *Cache {
+	return &Cache{
+		max:      max,
+		entries:  map[Key]any{},
+		inflight: map[Key]*Flight{},
+	}
+}
+
+// Begin resolves one submission: a hit returns the cached value, an
+// in-flight identical run returns its Flight, and otherwise the caller
+// becomes the leader of a new flight. Exactly one counter (hit, miss,
+// follower) is charged per call.
+func (c *Cache) Begin(k Key, leaderID string, leader any) Outcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.entries[k]; ok {
+		c.hits++
+		return Outcome{Hit: true, Value: v}
+	}
+	if f, ok := c.inflight[k]; ok {
+		c.followers++
+		return Outcome{Flight: f}
+	}
+	c.misses++
+	f := &Flight{LeaderID: leaderID, Leader: leader, ready: make(chan struct{})}
+	c.inflight[k] = f
+	return Outcome{Lead: true}
+}
+
+// Launched marks the leader's flight as admitted: followers blocked in
+// Resolve proceed to attach. Call it only after the leader's job is
+// fully observable (task registered), since Resolve's return is the
+// followers' happens-before edge.
+func (c *Cache) Launched(k Key) {
+	c.mu.Lock()
+	f := c.inflight[k]
+	c.mu.Unlock()
+	if f != nil {
+		close(f.ready)
+	}
+}
+
+// Abort removes a flight whose leader failed to launch (queue full,
+// shutdown); err propagates to every follower's Resolve. The next
+// identical submission starts a fresh flight.
+func (c *Cache) Abort(k Key, err error) {
+	c.mu.Lock()
+	f := c.inflight[k]
+	delete(c.inflight, k)
+	c.mu.Unlock()
+	if f != nil {
+		f.err = err
+		close(f.ready)
+	}
+}
+
+// Complete stores the leader's terminal value and retires its flight,
+// returning any entries the capacity cap pushed out (the caller owns
+// persisting those evictions).
+func (c *Cache) Complete(k Key, v any) (evicted []Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.inflight, k)
+	return c.putLocked(k, v)
+}
+
+// Drop retires a flight without storing a value (the leader ended
+// canceled, failed, or shed — nothing trustworthy to replay).
+func (c *Cache) Drop(k Key) {
+	c.mu.Lock()
+	delete(c.inflight, k)
+	c.mu.Unlock()
+}
+
+// Put stores a value outside any flight (recovery rebuild, and runs
+// that populate without participating in lookup, e.g. flight-recorded
+// jobs whose estimate series is unchanged by the recording).
+func (c *Cache) Put(k Key, v any) (evicted []Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.putLocked(k, v)
+}
+
+func (c *Cache) putLocked(k Key, v any) (evicted []Key) {
+	if _, ok := c.entries[k]; !ok {
+		c.order = append(c.order, k)
+	}
+	c.entries[k] = v
+	for c.max > 0 && len(c.entries) > c.max {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, old)
+		c.evicted++
+		evicted = append(evicted, old)
+	}
+	return evicted
+}
+
+// Lookup returns the cached value without charging a hit or miss
+// (recovery's restore path).
+func (c *Cache) Lookup(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[k]
+	return v, ok
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:   len(c.entries),
+		Inflight:  len(c.inflight),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Followers: c.followers,
+		Evicted:   c.evicted,
+	}
+}

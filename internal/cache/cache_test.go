@@ -1,0 +1,212 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestKeyNormalizationEquivalence(t *testing.T) {
+	base := Canonical{Benchmark: "gcc"}.Key()
+	equivalent := []Canonical{
+		{Benchmark: "gcc", Scale: 1},
+		{Benchmark: "gcc", M: 1000},
+		{Benchmark: "gcc", N: 1000},
+		{Benchmark: "gcc", Intervals: 10},
+		{Benchmark: "gcc", Lanes: 1},
+		{Benchmark: "gcc", Seed: 0},
+		{Benchmark: "gcc", Structures: []string{"iq", "reg", "fxu", "fpu"}},
+		{Benchmark: "gcc", Scale: 1, Seed: 0, M: 1000, N: 1000, Intervals: 10,
+			Structures: []string{"iq", "reg", "fxu", "fpu"}, Lanes: 1},
+	}
+	for i, c := range equivalent {
+		if got := c.Key(); got != base {
+			t.Errorf("equivalent[%d] %+v: key %s != base %s", i, c, got, base)
+		}
+	}
+	different := []Canonical{
+		{Benchmark: "gzip"},
+		{Benchmark: "gcc", Seed: 1},
+		{Benchmark: "gcc", Scale: 0.5},
+		{Benchmark: "gcc", M: 500},
+		{Benchmark: "gcc", N: 500},
+		{Benchmark: "gcc", Intervals: 5},
+		{Benchmark: "gcc", Lanes: 16},
+		{Benchmark: "gcc", Window: 64},
+		{Benchmark: "gcc", RandomEntry: true},
+		{Benchmark: "gcc", RandomSchedule: true},
+		{Benchmark: "gcc", Multiplex: true},
+		{Benchmark: "gcc", Structures: []string{"iq"}},
+		// Structure order is positional in the result series.
+		{Benchmark: "gcc", Structures: []string{"reg", "iq", "fxu", "fpu"}},
+	}
+	seen := map[Key]int{base: -1}
+	for i, c := range different {
+		k := c.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("different[%d] %+v collides with case %d", i, c, prev)
+		}
+		seen[k] = i
+	}
+}
+
+func TestKeyLanesFold(t *testing.T) {
+	k0 := Canonical{Benchmark: "gcc", Lanes: 0}.Key()
+	k1 := Canonical{Benchmark: "gcc", Lanes: 1}.Key()
+	k16 := Canonical{Benchmark: "gcc", Lanes: 16}.Key()
+	if k0 != k1 {
+		t.Fatalf("lanes 0 and 1 are both the classic engine; keys differ: %s %s", k0, k1)
+	}
+	if k0 == k16 {
+		t.Fatalf("lanes 16 is a different schedule; key must differ from classic")
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	k := Canonical{Benchmark: "gcc"}.Key()
+	got, err := ParseKey(k.String())
+	if err != nil {
+		t.Fatalf("ParseKey: %v", err)
+	}
+	if got != k {
+		t.Fatalf("round trip: %s != %s", got, k)
+	}
+	if _, err := ParseKey("zz"); err == nil {
+		t.Fatal("ParseKey accepted junk")
+	}
+	if _, err := ParseKey("abcd"); err == nil {
+		t.Fatal("ParseKey accepted a short key")
+	}
+}
+
+func TestSingleFlightLifecycle(t *testing.T) {
+	c := New(0)
+	k := Canonical{Benchmark: "gcc"}.Key()
+
+	out := c.Begin(k, "job-1", "leader")
+	if !out.Lead {
+		t.Fatalf("first Begin must lead: %+v", out)
+	}
+	// A second submission while in flight becomes a follower.
+	f := c.Begin(k, "job-2", "follower")
+	if f.Flight == nil || f.Hit || f.Lead {
+		t.Fatalf("second Begin must follow: %+v", f)
+	}
+	if f.Flight.LeaderID != "job-1" {
+		t.Fatalf("flight leader = %q, want job-1", f.Flight.LeaderID)
+	}
+	c.Launched(k)
+	if err := f.Flight.Resolve(); err != nil {
+		t.Fatalf("Resolve after Launched: %v", err)
+	}
+	if evicted := c.Complete(k, "value"); evicted != nil {
+		t.Fatalf("unexpected evictions: %v", evicted)
+	}
+	// After completion the same key is a hit.
+	h := c.Begin(k, "job-3", nil)
+	if !h.Hit || h.Value != "value" {
+		t.Fatalf("post-complete Begin must hit: %+v", h)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Followers != 1 || st.Entries != 1 || st.Inflight != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAbortPropagatesAndClears(t *testing.T) {
+	c := New(0)
+	k := Canonical{Benchmark: "gzip"}.Key()
+	if out := c.Begin(k, "job-1", nil); !out.Lead {
+		t.Fatalf("want lead: %+v", out)
+	}
+	f := c.Begin(k, "job-2", nil)
+	boom := errors.New("queue full")
+	c.Abort(k, boom)
+	if err := f.Flight.Resolve(); !errors.Is(err, boom) {
+		t.Fatalf("follower error = %v, want %v", err, boom)
+	}
+	// The aborted flight is gone: the next submission leads afresh.
+	if out := c.Begin(k, "job-3", nil); !out.Lead {
+		t.Fatalf("post-abort Begin must lead: %+v", out)
+	}
+}
+
+func TestDropAllowsRetry(t *testing.T) {
+	c := New(0)
+	k := Canonical{Benchmark: "mcf"}.Key()
+	c.Begin(k, "job-1", nil)
+	c.Launched(k)
+	c.Drop(k) // leader canceled: nothing cached
+	if out := c.Begin(k, "job-2", nil); !out.Lead {
+		t.Fatalf("post-drop Begin must lead: %+v", out)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	c := New(2)
+	keys := []Key{
+		Canonical{Benchmark: "gcc"}.Key(),
+		Canonical{Benchmark: "gzip"}.Key(),
+		Canonical{Benchmark: "mcf"}.Key(),
+	}
+	if ev := c.Put(keys[0], 0); ev != nil {
+		t.Fatalf("evictions: %v", ev)
+	}
+	c.Put(keys[1], 1)
+	ev := c.Put(keys[2], 2)
+	if len(ev) != 1 || ev[0] != keys[0] {
+		t.Fatalf("evicted %v, want [%s]", ev, keys[0])
+	}
+	if _, ok := c.Lookup(keys[0]); ok {
+		t.Fatal("oldest entry survived the cap")
+	}
+	for _, k := range keys[1:] {
+		if _, ok := c.Lookup(k); !ok {
+			t.Fatalf("entry %s missing", k)
+		}
+	}
+	// Re-putting an existing key refreshes in place, no duplicate order slot.
+	if ev := c.Put(keys[1], 11); ev != nil {
+		t.Fatalf("refresh evicted %v", ev)
+	}
+	if st := c.Stats(); st.Entries != 2 || st.Evicted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentBeginElectsOneLeader(t *testing.T) {
+	c := New(0)
+	k := Canonical{Benchmark: "gcc", Seed: 7}.Key()
+	const n = 64
+	var leaders, followers atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			switch out := c.Begin(k, "job", nil); {
+			case out.Lead:
+				leaders.Add(1)
+				c.Launched(k)
+			case out.Flight != nil:
+				if err := out.Flight.Resolve(); err != nil {
+					t.Errorf("Resolve: %v", err)
+				}
+				followers.Add(1)
+			default:
+				t.Error("unexpected hit")
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if leaders.Load() != 1 || followers.Load() != n-1 {
+		t.Fatalf("leaders=%d followers=%d, want 1/%d", leaders.Load(), followers.Load(), n-1)
+	}
+}

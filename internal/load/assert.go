@@ -149,6 +149,8 @@ func offends(a *Assertion, o *Outcome) (ms float64, ok bool) {
 		return 0, o.Final == "canceled"
 	case "untracked":
 		return 0, o.Status == StatusAccepted && o.Final == ""
+	case "cached_count", "cached_rate":
+		return 0, o.Cached
 	case "accept_p50_ms", "accept_p90_ms", "accept_p99_ms", "accept_max_ms":
 		if a.Max != nil && o.Status == StatusAccepted && o.AcceptMS > *a.Max {
 			return o.AcceptMS, true

@@ -39,6 +39,10 @@ type Outcome struct {
 	Final string `json:"final,omitempty"`
 	// CompleteMS is submit→terminal latency for tracked jobs.
 	CompleteMS float64 `json:"complete_ms,omitempty"`
+	// Cached marks a submission the server answered from its result
+	// cache: the 202 came back already terminal ("done"), no simulation
+	// ran, and CompleteMS collapses into the submit round trip.
+	Cached bool `json:"cached,omitempty"`
 }
 
 const (
@@ -73,6 +77,8 @@ type Summary struct {
 	// Untracked counts accepted jobs with no terminal state (run ended
 	// first, or tracking disabled).
 	Untracked int `json:"untracked"`
+	// Cached counts accepted jobs served from the result cache.
+	Cached int `json:"cached"`
 
 	AcceptP50MS   float64 `json:"accept_p50_ms"`
 	AcceptP90MS   float64 `json:"accept_p90_ms"`
@@ -88,6 +94,15 @@ func (s *Summary) ShedRate() float64 {
 		return 0
 	}
 	return float64(s.Shed) / float64(s.Accepted)
+}
+
+// CachedRate is cached / accepted (0 when nothing was accepted) — the
+// result-cache hit ratio as seen from the driver's side.
+func (s *Summary) CachedRate() float64 {
+	if s.Accepted == 0 {
+		return 0
+	}
+	return float64(s.Cached) / float64(s.Accepted)
 }
 
 // Metric returns the named summary metric. knownMetric / MetricNames
@@ -114,6 +129,10 @@ func (s *Summary) Metric(name string) (float64, error) {
 		return s.ShedRate(), nil
 	case "untracked":
 		return float64(s.Untracked), nil
+	case "cached_count":
+		return float64(s.Cached), nil
+	case "cached_rate":
+		return s.CachedRate(), nil
 	case "accept_p50_ms":
 		return s.AcceptP50MS, nil
 	case "accept_p90_ms":
@@ -133,6 +152,7 @@ func (s *Summary) Metric(name string) (float64, error) {
 var metricNames = []string{
 	"submitted", "accepted", "rejected", "errors",
 	"done", "failed", "canceled", "shed_count", "shed_rate", "untracked",
+	"cached_count", "cached_rate",
 	"accept_p50_ms", "accept_p90_ms", "accept_p99_ms", "accept_max_ms",
 	"complete_p50_ms", "complete_p99_ms",
 }
@@ -191,6 +211,9 @@ func Summarize(outs []Outcome) *Report {
 			case StatusAccepted:
 				b.sum.Accepted++
 				b.accepts = append(b.accepts, o.AcceptMS)
+				if o.Cached {
+					b.sum.Cached++
+				}
 			case StatusRejected:
 				b.sum.Rejected++
 			default:
@@ -258,13 +281,13 @@ func percentile(sorted []float64, p float64) float64 {
 // total, then classes, then clients, each sorted by scope name.
 func (r *Report) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-24s %6s %6s %6s %5s %6s %6s %5s %9s %9s %11s\n",
-		"scope", "submit", "accept", "reject", "err", "done", "shed", "fail",
+	fmt.Fprintf(&b, "%-24s %6s %6s %6s %5s %6s %6s %6s %5s %9s %9s %11s\n",
+		"scope", "submit", "accept", "reject", "err", "done", "cached", "shed", "fail",
 		"acc_p50ms", "acc_p99ms", "cmpl_p50ms")
 	row := func(s Summary) {
-		fmt.Fprintf(&b, "%-24s %6d %6d %6d %5d %6d %6d %5d %9.1f %9.1f %11.0f\n",
+		fmt.Fprintf(&b, "%-24s %6d %6d %6d %5d %6d %6d %6d %5d %9.1f %9.1f %11.0f\n",
 			s.Scope, s.Submitted, s.Accepted, s.Rejected, s.Errors,
-			s.Done, s.Shed, s.Failed, s.AcceptP50MS, s.AcceptP99MS, s.CompleteP50MS)
+			s.Done, s.Cached, s.Shed, s.Failed, s.AcceptP50MS, s.AcceptP99MS, s.CompleteP50MS)
 	}
 	row(r.Total)
 	for _, k := range sortedKeys(r.Classes) {

@@ -1,0 +1,85 @@
+package obs
+
+// CacheCounters is a point-in-time snapshot of the result cache's
+// counters, sampled by the avfd_cache_* families at scrape time — the
+// cache keeps its own atomically-consistent totals and the registry
+// reads them through a func, so the submit hot path pays no double
+// accounting.
+type CacheCounters struct {
+	Hits      int64
+	Misses    int64
+	Followers int64
+	Evicted   int64
+	Entries   int
+	Inflight  int
+}
+
+// CacheMetrics publishes the content-addressed result cache in the
+// registry: cumulative hit / miss / single-flight-follower / eviction
+// counters, live entry and in-flight gauges, the hit ratio, and a
+// microsecond-resolution latency histogram over cache-hit submissions
+// (the whole point of the cache is that this histogram lives three
+// orders of magnitude below the run-latency one). All methods are
+// nil-safe so a server without metrics costs a pointer check.
+type CacheMetrics struct {
+	hitSeconds *Histogram
+}
+
+// NewCacheMetrics registers the avfd_cache_* family, sampling stats for
+// the counter/gauge cells. Returns nil when r or stats is nil.
+func NewCacheMetrics(r *Registry, stats func() CacheCounters) *CacheMetrics {
+	if r == nil || stats == nil {
+		return nil
+	}
+	r.CounterFunc("avfd_cache_hits_total",
+		"Submissions served directly from the result cache.",
+		func() int64 { return stats().Hits })
+	r.CounterFunc("avfd_cache_misses_total",
+		"Cache-eligible submissions that had to run (single-flight leaders).",
+		func() int64 { return stats().Misses })
+	r.CounterFunc("avfd_cache_singleflight_followers_total",
+		"Submissions collapsed onto an identical in-flight run.",
+		func() int64 { return stats().Followers })
+	r.CounterFunc("avfd_cache_evicted_total",
+		"Result-cache entries evicted by the capacity cap.",
+		func() int64 { return stats().Evicted })
+	r.GaugeFunc("avfd_cache_entries",
+		"Entries resident in the result cache.",
+		func() float64 { return float64(stats().Entries) })
+	r.GaugeFunc("avfd_cache_inflight",
+		"Single-flight leaders currently running.",
+		func() float64 { return float64(stats().Inflight) })
+	r.GaugeFunc("avfd_cache_hit_ratio",
+		"hits / (hits + misses), cumulative since boot.",
+		func() float64 {
+			c := stats()
+			if c.Hits+c.Misses == 0 {
+				return 0
+			}
+			return float64(c.Hits) / float64(c.Hits+c.Misses)
+		})
+	return &CacheMetrics{
+		// 1 µs … ~67 s: the low buckets resolve the hit path, the high
+		// ones catch pathological stalls (lock convoy, GC pause).
+		hitSeconds: r.Histogram("avfd_cache_hit_seconds",
+			"Submit-to-response latency of cache-hit submissions (seconds).",
+			ExpBuckets(1e-6, 4, 14)),
+	}
+}
+
+// ObserveHit records one cache-hit submission's latency in seconds.
+func (m *CacheMetrics) ObserveHit(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.hitSeconds.Observe(seconds)
+}
+
+// HitLatency summarizes the hit-latency histogram (nil receiver: nil).
+func (m *CacheMetrics) HitLatency() *Quantiles {
+	if m == nil {
+		return nil
+	}
+	q := m.hitSeconds.Summary()
+	return &q
+}

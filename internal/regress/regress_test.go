@@ -122,8 +122,11 @@ func TestFitRecoversPlantedModelProperty(t *testing.T) {
 			s ^= s << 17
 			return float64(s%10000) / 10000
 		}
-		// Coefficients chosen so every target stays within [0,1].
-		w0, w1, w2 := 0.3*rnd()+0.2, 0.3*(rnd()-0.5), 0.3*(rnd()-0.5)
+		// Coefficients chosen so every target stays within [0,1]:
+		// w0 ∈ [0.3, 0.6) and |w1|+|w2| ≤ 0.3 keep w0+w1·x1+w2·x2 in
+		// (0, 0.9) for x ∈ [0,1)², so Predict's [0,1] clamp (AVF is a
+		// fraction) never distorts the planted targets.
+		w0, w1, w2 := 0.3*rnd()+0.3, 0.3*(rnd()-0.5), 0.3*(rnd()-0.5)
 		X := make([][]float64, 50)
 		y := make([]float64, 50)
 		for i := range X {

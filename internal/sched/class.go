@@ -117,4 +117,5 @@ type ClassStats struct {
 	Canceled  int64 `json:"canceled"`
 	Shed      int64 `json:"shed"`
 	Rejected  int64 `json:"rejected"`
+	Bypassed  int64 `json:"bypassed"`
 }

@@ -213,6 +213,12 @@ type Stats struct {
 	Canceled  int64 `json:"canceled"`
 	Shed      int64 `json:"shed"`
 	Rejected  int64 `json:"rejected"`
+	// Bypassed counts jobs admitted and completed without consuming a
+	// queue slot or worker: result-cache hits and single-flight
+	// followers. They are deliberately not part of Submitted — the
+	// scheduler never saw them — so Submitted still reconciles with
+	// queue/worker accounting.
+	Bypassed int64 `json:"bypassed"`
 	// Classes breaks the counters down by SLO tier, keyed by class name.
 	Classes map[string]ClassStats `json:"classes,omitempty"`
 	// AvgQueueLatency / AvgRunLatency are means over completed waits
@@ -230,6 +236,7 @@ type Stats struct {
 type classCounters struct {
 	queued, submitted, done, failed atomic.Int64
 	canceled, shed, rejected        atomic.Int64
+	bypassed                        atomic.Int64
 }
 
 // Pool is a bounded worker pool with strict-priority per-class FIFO
@@ -249,7 +256,7 @@ type Pool struct {
 	// Counters (atomics; the stats block of the issue).
 	queued, running                  atomic.Int64
 	submitted, nDone, nFail, nCancel atomic.Int64
-	nShed, rejected                  atomic.Int64
+	nShed, rejected, bypassed        atomic.Int64
 	queueLatencyNS, runLatencyNS     atomic.Int64
 	queueLatencyN, runLatencyN       atomic.Int64
 	classes                          [NumClasses]classCounters
@@ -286,6 +293,7 @@ func (p *Pool) registerMetrics(r *obs.Registry) {
 		"canceled":  &p.nCancel,
 		"shed":      &p.nShed,
 		"rejected":  &p.rejected,
+		"bypassed":  &p.bypassed,
 	} {
 		src := src
 		jobs.WithFunc(func() int64 { return src.Load() }, state)
@@ -307,6 +315,7 @@ func (p *Pool) registerMetrics(r *obs.Registry) {
 			"canceled":  &cc.canceled,
 			"shed":      &cc.shed,
 			"rejected":  &cc.rejected,
+			"bypassed":  &cc.bypassed,
 		} {
 			src := src
 			classJobs.WithFunc(func() int64 { return src.Load() }, name, state)
@@ -336,6 +345,17 @@ func New(opts Options) *Pool {
 
 // Workers returns the configured worker count.
 func (p *Pool) Workers() int { return p.opts.Workers }
+
+// NoteBypass records a job that was admitted and completed without ever
+// touching the pool — a result-cache hit or a single-flight follower.
+// The census keeps the consumer-scale story honest: "10k submits/sec"
+// with 9.9k bypassed is a very different machine than 10k dispatched.
+func (p *Pool) NoteBypass(c Class) {
+	p.bypassed.Add(1)
+	if int(c) < NumClasses {
+		p.classes[c].bypassed.Add(1)
+	}
+}
 
 func (p *Pool) newTask(fn Func, opts []SubmitOption) *Task {
 	ctx, cancel := context.WithCancel(context.Background())
@@ -626,6 +646,7 @@ func (p *Pool) Stats() Stats {
 		Canceled:  p.nCancel.Load(),
 		Shed:      p.nShed.Load(),
 		Rejected:  p.rejected.Load(),
+		Bypassed:  p.bypassed.Load(),
 		Classes:   make(map[string]ClassStats, NumClasses),
 	}
 	for c := 0; c < NumClasses; c++ {
@@ -638,6 +659,7 @@ func (p *Pool) Stats() Stats {
 			Canceled:  cc.canceled.Load(),
 			Shed:      cc.shed.Load(),
 			Rejected:  cc.rejected.Load(),
+			Bypassed:  cc.bypassed.Load(),
 		}
 	}
 	if n := p.queueLatencyN.Load(); n > 0 {

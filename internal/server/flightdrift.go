@@ -78,6 +78,8 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "flight recording disabled; submit with \"flight\": true")
 		return
 	}
+	j.pin()
+	defer j.unpin()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
@@ -270,6 +272,8 @@ const dashboardHTML = `<!doctype html>
 <table id="alarms"><thead><tr>
 <th>stream</th><th>chart</th><th>obs#</th><th>value</th><th>baseline</th><th>dir</th>
 </tr></thead><tbody></tbody></table>
+<h2>result cache</h2>
+<div id="cache">no cache configured</div>
 <h2>scheduler</h2>
 <pre id="sched"></pre>
 <script>
@@ -395,6 +399,15 @@ function onState(ev) {
     ]});
   }
   fill("#microtel", mrows);
+  var cc = st.stats && st.stats.cache;
+  if (cc) {
+    document.getElementById("cache").textContent =
+      cc.hits + " hits · " + cc.misses + " misses · " +
+      cc.singleflight_followers + " followers · hit ratio " +
+      (cc.hit_ratio * 100).toFixed(1) + "% · " +
+      cc.entries + " entries (" + cc.inflight + " in flight, " +
+      cc.evicted + " evicted)";
+  }
   document.getElementById("sched").textContent = JSON.stringify(st.stats, null, 1);
 }
 

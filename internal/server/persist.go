@@ -38,6 +38,9 @@ func (s *Server) Recover() (resumed int, err error) {
 	if s.st == nil {
 		return 0, nil
 	}
+	// The result cache rebuilds first so recovered duplicates can restore
+	// from it instead of re-running.
+	s.recoverCacheEntries()
 	for _, jr := range s.st.Jobs() {
 		j := &job{
 			id:        jr.ID,
@@ -114,6 +117,17 @@ func (s *Server) Recover() (resumed int, err error) {
 			s.orphan(j, fmt.Sprintf("recover: spec no longer valid: %v", e))
 			continue
 		}
+		// Recovered jobs route through the cache like fresh submissions:
+		// an already-completed identical run (this boot or persisted)
+		// restores this job terminal, an identical relaunched run absorbs
+		// it as a follower, and otherwise it leads.
+		if s.recoverThroughCache(j) {
+			resumed++
+			if s.recoveredJobs != nil {
+				s.recoveredJobs.Inc()
+			}
+			continue
+		}
 		j.skipTo = skipTo
 		// The estimator fast-forwards whole interval groups below the
 		// minimum persisted count; the ragged remainder (structures whose
@@ -121,6 +135,9 @@ func (s *Server) Recover() (resumed int, err error) {
 		// structure by the skipTo filter in the OnInterval callback.
 		rc.StartInterval = startInterval(skipTo, rc.Structures)
 		if e := s.launch(j, rc); e != nil {
+			if j.cacheLead {
+				s.cache.Abort(j.cacheKey, e)
+			}
 			s.orphan(j, fmt.Sprintf("recover: resubmit: %v", e))
 			continue
 		}
@@ -221,7 +238,10 @@ func (s *Server) sweepRetention(now time.Time) {
 	done := make([]fin, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		j.mu.Lock()
-		if j.ended {
+		// streamRefs > 0 pins the job: a reader is mid-replay on one of
+		// its NDJSON endpoints, and evicting underneath it would truncate
+		// the stream. The next sweep collects it once the reader detaches.
+		if j.ended && j.streamRefs == 0 {
 			done = append(done, fin{j, j.finishedAt})
 		}
 		j.mu.Unlock()

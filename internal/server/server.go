@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"avfsim/internal/cache"
 	"avfsim/internal/core"
 	"avfsim/internal/drift"
 	"avfsim/internal/experiment"
@@ -205,6 +206,11 @@ type JobStatus struct {
 	// ShedBy names the SLO class whose arrival evicted this job (only
 	// on state "shed").
 	ShedBy string `json:"shed_by,omitempty"`
+	// Cached marks a job served from the result cache without executing;
+	// CacheLeader names the job whose run produced the replayed series
+	// (also set on single-flight followers riding a live run).
+	Cached      bool   `json:"cached,omitempty"`
+	CacheLeader string `json:"cache_leader,omitempty"`
 }
 
 // subCap buffers a stream subscriber; a client that falls this many
@@ -244,6 +250,14 @@ type job struct {
 	// OnInterval callback drops them so clients see each interval once.
 	skipTo map[string]int
 
+	// Result-cache participation (see cache.go), all set before the job
+	// is observable: cacheKey is the spec's content address; cacheLead
+	// marks the single-flight leader (settles the flight at terminal);
+	// cachePopulate marks a run that feeds the cache without leading.
+	cacheKey      cache.Key
+	cacheLead     bool
+	cachePopulate bool
+
 	mu     sync.Mutex
 	points []IntervalPoint
 	subs   map[chan IntervalPoint]struct{}
@@ -253,8 +267,22 @@ type job struct {
 	// finishedAt drives retention; zero until terminal.
 	finishedAt time.Time
 	// stateOverride replaces task.State() for jobs restored from the WAL
-	// in a terminal state (they have no live task).
+	// in a terminal state (they have no live task) and for cache-served
+	// jobs (hits and finished followers), which never had one.
 	stateOverride string
+	// cached/cacheLeader mirror JobStatus: this job's series was served
+	// by the cache (or a live leader) instead of its own run.
+	cached      bool
+	cacheLeader string
+	// leader, while non-nil, is the live run this follower rides;
+	// followers is the leader-side fan-out list (guarded by the *leader's*
+	// mu, the same mutex publish holds). Lock order: leader.mu → follower.mu.
+	leader    *job
+	followers []*job
+	// streamRefs counts attached NDJSON readers (stream/trace/flight/
+	// spans/coverage); retention defers eviction while nonzero so a live
+	// reader's job can never be deleted under it.
+	streamRefs int
 }
 
 // state returns the job's lifecycle state, whether it is backed by a
@@ -266,14 +294,29 @@ func (j *job) state() string {
 	if j.stateOverride != "" {
 		return j.stateOverride
 	}
+	if j.leader != nil { // single-flight follower: mirror the live run
+		return j.leader.state()
+	}
 	return "queued"
 }
 
-// publish appends an estimate and fans it out to live subscribers.
-// Called from the worker goroutine driving the simulation.
-func (j *job) publish(pt IntervalPoint) {
+// stateLocked reads the job's state under its mutex (for callers not
+// already holding it: leader and stateOverride mutate post-registration
+// on the single-flight paths).
+func (j *job) stateLocked() string {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.state()
+}
+
+// publish appends an estimate and fans it out to live subscribers and
+// single-flight followers. Called from the worker goroutine driving the
+// simulation. The follower snapshot is taken in the same critical
+// section that appends the point, and attachFollower copies points and
+// joins the list in one section too, so every follower sees each
+// estimate exactly once (either in its initial copy or via fan-out).
+func (j *job) publish(pt IntervalPoint) {
+	j.mu.Lock()
 	j.points = append(j.points, pt)
 	for ch := range j.subs {
 		select {
@@ -282,6 +325,14 @@ func (j *job) publish(pt IntervalPoint) {
 			delete(j.subs, ch)
 			close(ch)
 		}
+	}
+	fs := j.followers
+	if len(fs) > 0 {
+		fs = append([]*job(nil), fs...)
+	}
+	j.mu.Unlock()
+	for _, f := range fs { // outside j.mu: lock order is leader → follower
+		f.publish(pt)
 	}
 }
 
@@ -360,6 +411,8 @@ func (j *job) status() JobStatus {
 		Result:    j.result,
 		Error:     j.errMsg,
 		TraceID:   j.traceID(),
+		Cached:      j.cached,
+		CacheLeader: j.cacheLeader,
 	}
 	if j.task != nil {
 		if by, ok := j.task.ShedBy(); ok {
@@ -416,6 +469,15 @@ type Server struct {
 	draining    atomic.Bool
 	janitorStop chan struct{}
 	closeOnce   sync.Once
+
+	// cache is the content-addressed result cache + single-flight table
+	// (nil without WithResultCache; see cache.go). pendingSweep/sweeping
+	// batch retention sweeps on the cache-served fast path: hits finish
+	// jobs at 10k+/s, far above what per-completion sweeps can absorb.
+	cache        *cache.Cache
+	cacheMetrics *obs.CacheMetrics
+	pendingSweep atomic.Int64
+	sweeping     atomic.Bool
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -573,6 +635,9 @@ func New(pool *sched.Pool, opts ...Option) *Server {
 			"Completed request spans dropped by the bounded span ring.",
 			s.spans.Dropped)
 	}
+	// Cache metrics need both the registry and the cache, whatever the
+	// option order (same pattern as the SLO gauges below).
+	s.registerCacheMetrics()
 	if s.reg != nil && s.slo != nil {
 		budget := s.reg.GaugeVec("avfd_slo_budget_remaining",
 			"Fraction of the class's rolling 1h error budget still unspent.", "class")
@@ -748,36 +813,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
-	switch err := s.launch(j, rc); {
-	case errors.Is(err, sched.ErrQueueFull):
-		// Backpressure: the client should retry after the queue drains a
-		// slot; 429 is the load-shedding signal (503 stays reserved for
-		// shutdown, where retrying the same instance is pointless). The
-		// retry horizon is class-dependent: background tiers are asked to
-		// back off longer so interactive traffic sees the freed slots.
-		// A rejection burns error budget — it is the service failing to
-		// accept work the class was promised — so it feeds the SLO engine
-		// with the admission latency, never a run latency.
-		s.finishRejected(j, class, admitStart)
-		ps := s.pool.Stats()
-		retry := retryAfterSeconds(class)
-		w.Header().Set("Retry-After", strconv.Itoa(retry))
-		writeJSON(w, http.StatusTooManyRequests, map[string]any{
-			"error":               "queue full",
-			"queue_depth":         ps.Queued,
-			"queue_capacity":      ps.QueueCap,
-			"slo_class":           class.String(),
-			"retry_after_seconds": retry,
-			"trace_id":            j.traceID(),
-		})
-		return
-	case errors.Is(err, sched.ErrShutdown):
-		s.finishRejected(j, class, admitStart)
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
-		return
-	case err != nil:
-		s.finishRejected(j, class, admitStart)
-		writeError(w, http.StatusInternalServerError, "submit: %v", err)
+	// Content-addressed cache resolution (see cache.go): an exact hit is
+	// served terminal without touching the scheduler, an identical run
+	// already in flight absorbs this submission as a follower, and
+	// otherwise this job leads — its completed series populates the
+	// cache. Both short-circuit paths bypass the queue entirely, so
+	// duplicates keep being served even under full backpressure.
+	if s.cache != nil {
+		switch cacheModeOf(&spec) {
+		case cacheFull:
+			j.cacheKey = cacheKeyOf(&spec)
+			switch out := s.cache.Begin(j.cacheKey, j.id, j); {
+			case out.Hit:
+				s.serveCacheHit(w, j, out.Value.(*cacheValue), class, admitStart)
+				return
+			case out.Flight != nil:
+				s.serveFollower(w, j, out.Flight, class, admitStart)
+				return
+			default:
+				j.cacheLead = true
+			}
+		case cachePopulate:
+			j.cacheKey = cacheKeyOf(&spec)
+			j.cachePopulate = true
+		}
+	}
+
+	// A rejection burns error budget — it is the service failing to
+	// accept work the class was promised — so it feeds the SLO engine
+	// with the admission latency, never a run latency.
+	if err := s.launch(j, rc); err != nil {
+		if j.cacheLead {
+			s.cache.Abort(j.cacheKey, err)
+		}
+		s.writeAdmissionError(w, j, class, admitStart, err)
 		return
 	}
 
@@ -1021,6 +1090,13 @@ func (s *Server) launch(j *job, rc experiment.RunConfig) error {
 	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	if j.cacheLead {
+		// Open the flight gate only now, with the job registered and its
+		// task live, and strictly before the watcher exists: followers
+		// resolve into a fully observable leader, and a fast run can never
+		// retire the flight before it opens (Drop would strand them).
+		s.cache.Launched(j.cacheKey)
+	}
 	go s.watch(j)
 	return nil
 }
@@ -1060,6 +1136,12 @@ func (s *Server) watch(j *job) {
 			s.log.Error("persist state", "job", j.id, "error", err)
 		}
 	}
+
+	// Cache settlement before follower fan-out: a follower that attaches
+	// between the two (leader already ended) finalizes inline in
+	// attachFollower, so none is ever left hanging.
+	s.settleCache(j, task.State() == sched.StateDone)
+	s.endFollowers(j)
 
 	submitted, started, finished := task.Timing()
 	attrs := []any{"job", j.id, "benchmark", j.spec.Benchmark, "state", state,
@@ -1178,8 +1260,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	if j.task != nil {
 		j.task.Cancel()
+	} else {
+		// No task: a single-flight follower cancels by detaching from its
+		// leader (which keeps running — its own client and any other
+		// followers still want the result).
+		s.detachFollower(j)
 	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": j.state()})
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": j.stateLocked()})
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
@@ -1193,6 +1280,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	// Pin against retention for the life of the stream: the janitor may
+	// not evict a job a reader is attached to (satellite of the cache PR:
+	// eviction under a live stream truncated it mid-read).
+	j.pin()
+	defer j.unpin()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
@@ -1268,6 +1360,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "injection tracing disabled (server built without metrics)")
 		return
 	}
+	j.pin()
+	defer j.unpin()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
@@ -1300,6 +1394,8 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "span recording disabled (server built without WithSpans)")
 		return
 	}
+	j.pin()
+	defer j.unpin()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
@@ -1323,6 +1419,8 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 			`microarchitectural telemetry disabled (submit with "microtel": true)`)
 		return
 	}
+	j.pin()
+	defer j.unpin()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
@@ -1419,7 +1517,7 @@ func (s *Server) statsPayload() map[string]any {
 	var flightDrops, traceDrops int64
 	var mtSnaps []*microtel.Snapshot
 	for _, j := range s.jobs {
-		census[j.state()]++
+		census[j.stateLocked()]++
 		if j.flight != nil {
 			flightDrops += j.flight.Dropped()
 		}
@@ -1487,6 +1585,26 @@ func (s *Server) statsPayload() map[string]any {
 			"wal_bytes": s.st.WALBytes(),
 			"seq":       s.st.Seq(),
 		}
+	}
+	if s.cache != nil {
+		cst := s.cache.Stats()
+		cblock := map[string]any{
+			"entries":                cst.Entries,
+			"inflight":               cst.Inflight,
+			"hits":                   cst.Hits,
+			"misses":                 cst.Misses,
+			"singleflight_followers": cst.Followers,
+			"evicted":                cst.Evicted,
+		}
+		var ratio float64
+		if cst.Hits+cst.Misses > 0 {
+			ratio = float64(cst.Hits) / float64(cst.Hits+cst.Misses)
+		}
+		cblock["hit_ratio"] = ratio
+		if q := s.cacheMetrics.HitLatency(); q != nil {
+			cblock["hit_latency_seconds"] = q
+		}
+		out["cache"] = cblock
 	}
 	return out
 }

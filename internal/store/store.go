@@ -49,6 +49,12 @@ const (
 	KindResult   = "result"   // final series: Data = result
 	KindTrace    = "trace"    // terminal span summary: Data = []span JSON
 	KindEvict    = "evict"    // retention removed the job
+
+	// Cache records address the content-addressed result cache rather
+	// than a job: Job carries the cache key (hex SHA-256 of the
+	// canonical spec) and Data the opaque cached value.
+	KindCache      = "cache"       // result-cache entry stored
+	KindCacheEvict = "cache-evict" // result-cache entry evicted (capacity cap)
 )
 
 // Record is one WAL frame's payload.
@@ -83,6 +89,13 @@ type JobRecord struct {
 	// re-seed its span ring and keep /v1/jobs/{id}/spans answering for
 	// jobs that finished before the restart.
 	Trace json.RawMessage `json:"trace,omitempty"`
+}
+
+// CacheEntry is one materialized result-cache entry: the content
+// address (hex) and the opaque cached value.
+type CacheEntry struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
 }
 
 // Terminal reports whether the record's last persisted state is a clean
@@ -131,6 +144,8 @@ type Store struct {
 	walBytes int64
 	jobs     map[string]*JobRecord
 	order    []string // job ids in first-seen order
+	cache    map[string]json.RawMessage
+	cacheOrd []string // cache keys in first-stored order
 	closed   bool
 
 	// Metrics (nil without Options.Metrics).
@@ -140,8 +155,9 @@ type Store struct {
 
 // snapshot is the compaction file shape.
 type snapshot struct {
-	Seq  uint64       `json:"seq"`
-	Jobs []*JobRecord `json:"jobs"`
+	Seq   uint64       `json:"seq"`
+	Jobs  []*JobRecord `json:"jobs"`
+	Cache []CacheEntry `json:"cache,omitempty"`
 }
 
 const (
@@ -164,7 +180,7 @@ func Open(dir string, opt Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, opt: opt, jobs: map[string]*JobRecord{}}
+	s := &Store{dir: dir, opt: opt, jobs: map[string]*JobRecord{}, cache: map[string]json.RawMessage{}}
 	if r := opt.Metrics; r != nil {
 		s.frames = r.Counter("avfd_store_frames_total",
 			"WAL frames appended since boot.")
@@ -184,6 +200,9 @@ func Open(dir string, opt Options) (*Store, error) {
 		r.GaugeFunc("avfd_store_jobs",
 			"Jobs materialized in the store (snapshot + WAL).",
 			func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.jobs)) })
+		r.GaugeFunc("avfd_store_cache_entries",
+			"Result-cache entries materialized in the store (snapshot + WAL).",
+			func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.cache)) })
 	}
 
 	if err := s.loadSnapshot(); err != nil {
@@ -213,6 +232,10 @@ func (s *Store) loadSnapshot() error {
 	for _, jr := range snap.Jobs {
 		s.jobs[jr.ID] = jr
 		s.order = append(s.order, jr.ID)
+	}
+	for _, ce := range snap.Cache {
+		s.cache[ce.Key] = ce.Value
+		s.cacheOrd = append(s.cacheOrd, ce.Key)
 	}
 	return nil
 }
@@ -329,6 +352,21 @@ func (s *Store) apply(rec *Record) {
 				}
 			}
 		}
+	case KindCache:
+		if _, ok := s.cache[rec.Job]; !ok {
+			s.cacheOrd = append(s.cacheOrd, rec.Job)
+		}
+		s.cache[rec.Job] = rec.Data
+	case KindCacheEvict:
+		if _, ok := s.cache[rec.Job]; ok {
+			delete(s.cache, rec.Job)
+			for i, k := range s.cacheOrd {
+				if k == rec.Job {
+					s.cacheOrd = append(s.cacheOrd[:i], s.cacheOrd[i+1:]...)
+					break
+				}
+			}
+		}
 	}
 }
 
@@ -430,6 +468,37 @@ func (s *Store) Evict(job string) error {
 	return s.append(&Record{Kind: KindEvict, Job: job})
 }
 
+// AppendCacheResult persists one result-cache entry under its content
+// address. Re-appending a key overwrites (the value is deterministic,
+// so any overwrite is a no-op in content).
+func (s *Store) AppendCacheResult(key string, value any) error {
+	data, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("store: marshal cache value: %w", err)
+	}
+	return s.append(&Record{Kind: KindCache, Job: key, Data: data})
+}
+
+// EvictCacheEntry removes a result-cache entry (capacity eviction).
+func (s *Store) EvictCacheEntry(key string) error {
+	return s.append(&Record{Kind: KindCacheEvict, Job: key})
+}
+
+// CacheEntries returns the materialized result-cache entries in
+// first-stored order. Values are shared and must be treated as
+// immutable.
+func (s *Store) CacheEntries() []CacheEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CacheEntry, 0, len(s.cacheOrd))
+	for _, k := range s.cacheOrd {
+		if v, ok := s.cache[k]; ok {
+			out = append(out, CacheEntry{Key: k, Value: v})
+		}
+	}
+	return out
+}
+
 // Jobs returns the materialized job records in first-submitted order.
 // The returned slice and records are copies; the raw JSON payloads are
 // shared and must be treated as immutable.
@@ -479,6 +548,11 @@ func (s *Store) compactLocked() error {
 			snap.Jobs = append(snap.Jobs, jr)
 		}
 	}
+	for _, k := range s.cacheOrd {
+		if v, ok := s.cache[k]; ok {
+			snap.Cache = append(snap.Cache, CacheEntry{Key: k, Value: v})
+		}
+	}
 	b, err := json.Marshal(&snap)
 	if err != nil {
 		return fmt.Errorf("store: marshal snapshot: %w", err)
@@ -503,10 +577,13 @@ func (s *Store) compactLocked() error {
 		os.Remove(tmp)
 		return fmt.Errorf("store: publish snapshot: %w", err)
 	}
+	// The rename is not durable until the directory entry is: fsync the
+	// dir and *fail* the compaction if that fails — truncating the WAL
+	// with the rename still volatile would let a power cut resurrect the
+	// pre-compaction snapshot with the frames that superseded it gone.
 	if !s.opt.NoSync {
-		if d, err := os.Open(s.dir); err == nil {
-			d.Sync()
-			d.Close()
+		if err := syncDir(s.dir); err != nil {
+			return fmt.Errorf("store: sync dir after snapshot publish: %w", err)
 		}
 	}
 	// The snapshot is durable; every WAL frame is now redundant (replay
@@ -517,11 +594,31 @@ func (s *Store) compactLocked() error {
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("store: rewind wal: %w", err)
 	}
+	// Make the truncate itself durable before new frames land: otherwise
+	// a crash can replay the resurrected old tail past the snapshot.
+	if !s.opt.NoSync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync truncated wal: %w", err)
+		}
+	}
 	s.walBytes = 0
 	if s.compactions != nil {
 		s.compactions.Inc()
 	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making renames within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Sync forces the WAL to disk (no-op unless NoSync batched writes).

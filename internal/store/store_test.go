@@ -246,3 +246,69 @@ func TestClosedStoreRejects(t *testing.T) {
 		t.Fatalf("compact on closed store: %v, want ErrClosed", err)
 	}
 }
+
+// TestCacheEntriesRoundTrip persists result-cache entries through WAL
+// replay, compaction, and capacity eviction.
+func TestCacheEntriesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{CompactBytes: -1})
+	val := map[string]any{"leader": "job-1", "points": []int{1, 2, 3}}
+	if err := s.AppendCacheResult("aa11", val); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendCacheResult("bb22", map[string]any{"leader": "job-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EvictCacheEntry("aa11"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// WAL replay path.
+	r := openT(t, dir, Options{CompactBytes: -1})
+	ents := r.CacheEntries()
+	if len(ents) != 1 || ents[0].Key != "bb22" {
+		t.Fatalf("after replay: %+v, want only bb22", ents)
+	}
+	if err := r.AppendCacheResult("cc33", map[string]any{"leader": "job-3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	// Snapshot path: entries must survive compaction + reopen.
+	q := openT(t, dir, Options{CompactBytes: -1})
+	ents = q.CacheEntries()
+	if len(ents) != 2 || ents[0].Key != "bb22" || ents[1].Key != "cc33" {
+		t.Fatalf("after compaction: %+v, want [bb22 cc33]", ents)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(ents[1].Value, &got); err != nil || got["leader"] != "job-3" {
+		t.Fatalf("cc33 value = %s (err %v)", ents[1].Value, err)
+	}
+}
+
+// TestCacheEntriesSurviveAutoCompaction covers the cache block of the
+// snapshot under the automatic size-triggered compaction path, mixed
+// with job frames.
+func TestCacheEntriesSurviveAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{CompactBytes: 512})
+	s.AppendSpec("job-1", testSpec{"mesa", 50}, time.Now())
+	if err := s.AppendCacheResult("k1", map[string]any{"leader": "job-1"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := s.AppendInterval("job-1", testPoint{"iq", i, 0.25}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	r := openT(t, dir, Options{})
+	if ents := r.CacheEntries(); len(ents) != 1 || ents[0].Key != "k1" {
+		t.Fatalf("cache entries after auto-compaction: %+v", ents)
+	}
+}

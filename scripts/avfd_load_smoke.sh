@@ -13,6 +13,12 @@
 #    state "shed" from GET /v1/jobs/{id}, and the daemon's Prometheus
 #    export must count it in avfd_jobs_total{state="shed"}.
 #
+# A final leg replays the duplicate-heavy dup-mix workload against a
+# fresh daemon: the spec's embedded assertions gate the result cache
+# under load (most submissions answered from cache, sub-5ms accept
+# p50), and the driver-side cached count must reconcile exactly with
+# the daemon's avfd_cache_hits_total.
+#
 # Sibling of scripts/avfd_smoke.sh; same bare-image tooling (curl,
 # grep, awk). Exits nonzero on the first failed assertion.
 set -euo pipefail
@@ -66,12 +72,11 @@ curl -fsS "$BASE/v1/healthz" >/dev/null || fail "daemon never became healthy on 
 echo "ok: overload run passed the spec's SLO assertions"
 
 # Leg 3: shed verdicts are visible on the API and in the metrics.
-SHED_ID=$(grep -o '"job_id":"[^"]*","err":"[^"]*shed[^"]*"' "$TMP/timeline.ndjson" |
-    head -1 | sed 's/"job_id":"\([^"]*\)".*/\1/')
-if [ -z "$SHED_ID" ]; then
-    SHED_ID=$(awk '/"final":"shed"/' "$TMP/timeline.ndjson" |
-        head -1 | grep -o '"job_id":"[^"]*"' | cut -d'"' -f4)
-fi
+# (The extraction keys on the outcome's "final" verdict, not on field
+# adjacency — and tolerates no-match grep exits, which pipefail would
+# otherwise turn into a silent script death.)
+SHED_ID=$(awk '/"final":"shed"/' "$TMP/timeline.ndjson" |
+    head -1 | { grep -o '"job_id":"[^"]*"' || true; } | cut -d'"' -f4)
 [ -n "$SHED_ID" ] || fail "timeline records no shed job (did the burst overload the queue?)"
 STATE=$(curl -fsS "$BASE/v1/jobs/$SHED_ID" |
     awk -F'"' '{for (i = 1; i < NF; i++) if ($i == "state") {print $(i + 2); exit}}')
@@ -83,5 +88,35 @@ SHED_N=$(printf '%s\n' "$METRICS" |
 printf '%s\n' "$METRICS" | grep -q '^avfd_sched_class_jobs_total{class="critical",state="shed"} 0$' ||
     fail "/metrics shows critical jobs shed"
 echo "ok: shed verdicts surface via GET /v1/jobs/$SHED_ID and /metrics ($SHED_N shed)"
+
+# Leg 4: the result cache under duplicate-heavy load. Fresh daemon so
+# the cache counters start from zero; the dup-mix spec asserts most
+# submissions come back cached with a sub-5ms accept p50.
+kill -9 "$AVFD_PID" 2>/dev/null || true
+wait "$AVFD_PID" 2>/dev/null || true
+AVFD_PID=""
+DUP_SPEC="examples/workloads/dup-mix.yaml"
+"$TMP/avfd" -addr "$ADDR" -workers 2 -queue 16 -log-level error &
+AVFD_PID=$!
+for i in $(seq 1 50); do
+    curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -fsS "$BASE/v1/healthz" >/dev/null || fail "dup-mix daemon never became healthy on $ADDR"
+
+"$TMP/avfload" -spec "$DUP_SPEC" -target "$BASE" -accel "$ACCEL" \
+    -timeline "$TMP/dup-timeline.ndjson" ||
+    fail "dup-mix run failed its SLO assertions"
+
+# The driver marks an outcome cached exactly when the daemon served the
+# 202 from its cache, so the two counts must agree.
+DUP_CACHED=$(grep -c '"cached":true' "$TMP/dup-timeline.ndjson" || true)
+CACHE_METRICS=$(curl -fsS "$BASE/metrics")
+CACHE_HITS=$(printf '%s\n' "$CACHE_METRICS" | awk '/^avfd_cache_hits_total /{print $2}')
+[ "${CACHE_HITS:-0}" -eq "$DUP_CACHED" ] ||
+    fail "daemon cache hits ($CACHE_HITS) != timeline cached outcomes ($DUP_CACHED)"
+printf '%s\n' "$CACHE_METRICS" | grep -q '^avfd_cache_hit_seconds_count [1-9]' ||
+    fail "/metrics missing a populated avfd_cache_hit_seconds histogram"
+echo "ok: dup-mix cache run reconciles ($DUP_CACHED cached submissions)"
 
 echo "PASS: avfd load smoke"

@@ -14,10 +14,17 @@
 # injections, failures, per-lane utilization) and is left at
 # $COVERAGE_OUT (default avfd-coverage.ndjson) for CI to archive.
 #
-# A second leg exercises crash recovery: a durable daemon (-data-dir)
-# is SIGKILLed mid-job, restarted on the same directory, and the
-# resumed job's NDJSON estimate stream must be byte-identical to an
-# uninterrupted reference run of the same spec.
+# A result-cache leg asserts the content-addressed cache end to end:
+# duplicates of a completed run come back already terminal with
+# byte-identical streams, and the hit/miss/follower counters reconcile
+# exactly with the cache-eligible submissions made.
+#
+# A second leg exercises crash recovery: a durable daemon (-data-dir,
+# with an aggressive -compact-bytes so the kill lands past a snapshot
+# compaction) is SIGKILLed mid-job, restarted on the same directory,
+# and the resumed job's NDJSON estimate stream must be byte-identical
+# to an uninterrupted reference run of the same spec — after which a
+# duplicate submission must be served from the rebuilt cache.
 #
 # Tooling is deliberately minimal (curl + grep + awk) so the script runs
 # on a bare CI image. Exits nonzero on the first failed assertion.
@@ -313,9 +320,92 @@ printf '%s\n' "$MT_METRICS" | grep -q '^avfd_flight_dropped_total ' ||
 echo "ok: microtel coverage reconciles ($COV_CONCLUDED concluded, $SAMPLES samples, $LANE_LINES lanes) -> $COVERAGE_OUT"
 
 # ---------------------------------------------------------------------
+# Result-cache leg: the flight job populated the content-addressed
+# cache (recording is presentation, excluded from the canonical key),
+# so the same simulation parameters without the recorder must come back
+# as an already-terminal cache hit with a byte-identical estimate
+# stream. A fresh spec then exercises the miss -> complete -> hit
+# cycle, and at the end the cache counters must reconcile exactly with
+# the cache-eligible submissions this leg made.
+# ---------------------------------------------------------------------
+
+# The watcher persists the cache entry just after the job goes
+# terminal; wait for the flight job's entry to land. (Responses are
+# buffered before grep -q so its early exit cannot SIGPIPE curl.)
+CACHE_ENTRIES=""
+for i in $(seq 1 50); do
+    CACHE_ENTRIES=$(curl -fsS "$BASE/metrics")
+    printf '%s\n' "$CACHE_ENTRIES" | grep -q '^avfd_cache_entries [1-9]' && break
+    sleep 0.1
+done
+printf '%s\n' "$CACHE_ENTRIES" | grep -q '^avfd_cache_entries [1-9]' ||
+    fail "flight job never populated the result cache"
+
+ELIGIBLE=0
+CACHE_SPEC='{"benchmark":"bzip2","scale":0.02,"seed":3,"m":400,"n":50,"intervals":3}'
+HIT_SUBMIT=$(curl -fsS "$BASE/v1/jobs" -d "$CACHE_SPEC")
+ELIGIBLE=$((ELIGIBLE + 1))
+printf '%s' "$HIT_SUBMIT" | grep -q '"cached": *true' ||
+    fail "duplicate of the flight job's parameters was not served from cache: $HIT_SUBMIT"
+[ "$(printf '%s' "$HIT_SUBMIT" | json_str state)" = done ] ||
+    fail "cache hit did not come back terminal: $HIT_SUBMIT"
+HIT_JOB=$(printf '%s' "$HIT_SUBMIT" | json_str id)
+HIT_STREAM=$(interval_stream "$BASE" "$HIT_JOB")
+ORIG_STREAM=$(interval_stream "$BASE" "$JOB")
+if [ "$HIT_STREAM" != "$ORIG_STREAM" ]; then
+    diff <(printf '%s\n' "$ORIG_STREAM") <(printf '%s\n' "$HIT_STREAM") >&2 || true
+    fail "cache-hit estimate stream differs from the original run"
+fi
+echo "ok: cache hit replays the flight job byte-identically ($HIT_JOB)"
+
+# Fresh spec: first submission is the single-flight leader (a miss),
+# the duplicate after completion a hit. The duplicate poll tolerates
+# the watcher's persistence window — attempts that land inside it
+# resolve as followers of the ended leader, which the reconciliation
+# below accounts for.
+MISS_SPEC='{"benchmark":"bzip2","scale":0.02,"seed":9,"m":400,"n":50,"intervals":3}'
+MISS_SUBMIT=$(curl -fsS "$BASE/v1/jobs" -d "$MISS_SPEC")
+ELIGIBLE=$((ELIGIBLE + 1))
+printf '%s' "$MISS_SUBMIT" | grep -q '"cached": *true' &&
+    fail "first submission of a fresh spec claimed a cache hit: $MISS_SUBMIT"
+MISS_JOB=$(printf '%s' "$MISS_SUBMIT" | json_str id)
+[ -n "$MISS_JOB" ] || fail "fresh-spec submit returned no job id: $MISS_SUBMIT"
+wait_done "$BASE" "$MISS_JOB"
+DUP_SUBMIT=""
+for i in $(seq 1 50); do
+    DUP_SUBMIT=$(curl -fsS "$BASE/v1/jobs" -d "$MISS_SPEC")
+    ELIGIBLE=$((ELIGIBLE + 1))
+    printf '%s' "$DUP_SUBMIT" | grep -q '"cached": *true' && break
+    sleep 0.1
+done
+printf '%s' "$DUP_SUBMIT" | grep -q '"cached": *true' ||
+    fail "duplicate of a completed run never hit the cache: $DUP_SUBMIT"
+[ "$(printf '%s' "$DUP_SUBMIT" | json_str cache_leader)" = "$MISS_JOB" ] ||
+    fail "cache hit does not name the leader $MISS_JOB: $DUP_SUBMIT"
+
+# Every cache-eligible submission is exactly one of hit, miss, or
+# single-flight follower — the three counters must sum to the
+# submissions this leg made.
+CACHE_METRICS=$(curl -fsS "$BASE/metrics")
+HITS=$(printf '%s\n' "$CACHE_METRICS" | awk '/^avfd_cache_hits_total /{print $2}')
+MISSES=$(printf '%s\n' "$CACHE_METRICS" | awk '/^avfd_cache_misses_total /{print $2}')
+FOLLOWERS=$(printf '%s\n' "$CACHE_METRICS" | awk '/^avfd_cache_singleflight_followers_total /{print $2}')
+[ $((HITS + MISSES + FOLLOWERS)) -eq "$ELIGIBLE" ] ||
+    fail "cache counters (hits $HITS + misses $MISSES + followers $FOLLOWERS) != $ELIGIBLE eligible submissions"
+[ "$HITS" -ge 2 ] || fail "expected at least 2 cache hits, got $HITS"
+[ "$MISSES" -eq 1 ] || fail "expected exactly 1 cache miss, got $MISSES"
+CACHE_STATS=$(curl -fsS "$BASE/v1/stats")
+printf '%s' "$CACHE_STATS" | grep -q '"singleflight_followers"' ||
+    fail "/v1/stats missing the cache block"
+echo "ok: cache counters reconcile ($HITS hits + $MISSES miss + $FOLLOWERS followers = $ELIGIBLE submissions)"
+
+# ---------------------------------------------------------------------
 # Crash-recovery leg: kill -9 a durable daemon mid-job, restart on the
 # same -data-dir, and require the resumed job to finish with an
 # estimate stream byte-identical to an uninterrupted reference run.
+# The daemon runs with an aggressive compaction threshold and the kill
+# only lands after at least one snapshot compaction, so the replay
+# crosses a snapshot+WAL boundary, not just a plain log.
 # ---------------------------------------------------------------------
 
 # Uninterrupted reference: same binary and spec, no durability.
@@ -334,7 +424,7 @@ echo "ok: reference run done ($(printf '%s\n' "$REF_STREAM" | wc -l) estimates)"
 # Durable daemon: submit, wait for checkpoints to land, then SIGKILL —
 # no drain, no flush; whatever the WAL holds is all that survives.
 DATA_DIR=$(mktemp -d "${TMPDIR:-/tmp}/avfd-smoke-wal-$$-XXXXXX")
-"$BIN" -addr "$ADDR_CRASH" -data-dir "$DATA_DIR" -workers 2 -log-level warn &
+"$BIN" -addr "$ADDR_CRASH" -data-dir "$DATA_DIR" -compact-bytes 2048 -workers 2 -log-level warn &
 CRASH_PID=$!
 CLEANUP_PIDS="$CLEANUP_PIDS $CRASH_PID"
 wait_healthy "$BASE_CRASH" || fail "durable daemon never became healthy on $ADDR_CRASH"
@@ -342,19 +432,24 @@ CRASH_SUBMIT=$(curl -fsS "$BASE_CRASH/v1/jobs" -d "$RECOVERY_SPEC")
 CRASH_JOB=$(printf '%s' "$CRASH_SUBMIT" | json_str id)
 [ -n "$CRASH_JOB" ] || fail "durable submit returned no job id: $CRASH_SUBMIT"
 PTS=0
+COMPACTIONS=0
 for i in $(seq 1 600); do
     PTS=$(curl -fsS "$BASE_CRASH/v1/jobs/$CRASH_JOB" | grep -c '"structure"' || true)
-    [ "$PTS" -ge 8 ] && break
+    COMPACTIONS=$(curl -fsS "$BASE_CRASH/metrics" |
+        awk '/^avfd_store_compactions_total /{print $2}')
+    [ "$PTS" -ge 8 ] && [ "${COMPACTIONS:-0}" -ge 1 ] && break
     sleep 0.05
 done
 [ "$PTS" -ge 8 ] || fail "job never reached 8 checkpointed estimates before the crash"
+[ "${COMPACTIONS:-0}" -ge 1 ] ||
+    fail "no snapshot compaction landed before the crash (avfd_store_compactions_total $COMPACTIONS)"
 kill -9 "$CRASH_PID"
 wait "$CRASH_PID" 2>/dev/null || true
-echo "ok: SIGKILLed durable daemon mid-job ($PTS estimates checkpointed)"
+echo "ok: SIGKILLed durable daemon mid-job ($PTS estimates checkpointed, $COMPACTIONS compactions)"
 
-# Restart on the same directory: the WAL replays, the job resumes, and
-# the daemon reports the recovery in its metrics.
-"$BIN" -addr "$ADDR_CRASH" -data-dir "$DATA_DIR" -workers 2 -log-level warn &
+# Restart on the same directory: the snapshot + WAL tail replay, the
+# job resumes, and the daemon reports the recovery in its metrics.
+"$BIN" -addr "$ADDR_CRASH" -data-dir "$DATA_DIR" -compact-bytes 2048 -workers 2 -log-level warn &
 CRASH_PID=$!
 CLEANUP_PIDS="$CLEANUP_PIDS $CRASH_PID"
 wait_healthy "$BASE_CRASH" || fail "restarted daemon never became healthy on $ADDR_CRASH"
@@ -368,5 +463,23 @@ if [ "$REF_STREAM" != "$RES_STREAM" ]; then
     fail "resumed estimate stream differs from uninterrupted reference"
 fi
 echo "ok: resumed job byte-identical to uninterrupted run ($(printf '%s\n' "$RES_STREAM" | wc -l) estimates)"
+
+# The completed resumed run must now serve duplicates from the cache —
+# crash, snapshot compaction, and replay in between notwithstanding.
+CRASH_DUP=""
+for i in $(seq 1 50); do
+    CRASH_DUP=$(curl -fsS "$BASE_CRASH/v1/jobs" -d "$RECOVERY_SPEC")
+    printf '%s' "$CRASH_DUP" | grep -q '"cached": *true' && break
+    sleep 0.1
+done
+printf '%s' "$CRASH_DUP" | grep -q '"cached": *true' ||
+    fail "duplicate of the recovered run never hit the cache: $CRASH_DUP"
+DUP_JOB=$(printf '%s' "$CRASH_DUP" | json_str id)
+DUP_STREAM=$(interval_stream "$BASE_CRASH" "$DUP_JOB")
+if [ "$DUP_STREAM" != "$RES_STREAM" ]; then
+    diff <(printf '%s\n' "$RES_STREAM") <(printf '%s\n' "$DUP_STREAM") >&2 || true
+    fail "post-crash cache hit differs from the resumed run's stream"
+fi
+echo "ok: duplicate of the recovered run served from cache ($DUP_JOB)"
 
 echo "PASS: avfd end-to-end smoke"
